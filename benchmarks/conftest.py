@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+the rows/series (captured with ``pytest -s`` or in the benchmark log),
+and asserts the *shape* of the result against the paper's claims.
+pytest-benchmark wraps each harness, so the suite also tracks the
+wall-clock cost of the simulation itself.
+"""
+
+import pytest
+
+
+def show(result):
+    """Print a harness result's table to the captured stdout."""
+    result.table().show()
+    return result
+
+
+@pytest.fixture
+def quick_mode():
+    """Benchmarks run their CI-sized sweep by default."""
+    return True

@@ -1,0 +1,20 @@
+"""Design ablation: allocation leases vs per-invocation scheduling.
+
+The architectural bet of Sec. III-B, quantified: putting a placement
+RPC back on the invocation path (as Lambda/OpenWhisk-style control
+planes do) costs several times the entire rFaaS invocation.
+"""
+
+from conftest import show
+
+from repro.experiments.leases import run_leases
+
+
+def test_lease_ablation(benchmark):
+    result = benchmark.pedantic(lambda: run_leases(invocations=20), rounds=1, iterations=1)
+    show(result)
+
+    # Centralized placement costs at least 5x the leased invocation.
+    assert result.slowdown >= 5
+    # The leased path stays in single-digit microseconds.
+    assert result.lease_rtt_ns < 10_000

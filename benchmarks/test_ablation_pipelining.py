@@ -1,0 +1,22 @@
+"""Throughput ablation: per-worker invocation pipelining.
+
+The paper's executor takes one request at a time per worker (one input
+buffer).  Slicing the buffer into slots overlaps the next request's
+transfer with the current execution; the gain grows with payload size
+and tops out once the transfer is fully hidden.
+"""
+
+from conftest import show
+
+from repro.experiments.pipelining import run_pipelining
+
+
+def test_pipelining_ablation(benchmark):
+    result = benchmark.pedantic(lambda: run_pipelining(burst=24), rounds=1, iterations=1)
+    show(result)
+
+    # Pipelining never hurts and helps more for large payloads.
+    for size in result.sizes:
+        assert result.gain(size, 4) >= 1.0
+    assert result.gain(1_048_576, 4) > result.gain(1_024, 4)
+    assert result.gain(1_048_576, 4) > 1.2

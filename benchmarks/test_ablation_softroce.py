@@ -1,0 +1,26 @@
+"""Sec. III-F modularity ablation: rFaaS on software RDMA.
+
+The platform runs unmodified on a SoftRoCE-like network model; the
+bench quantifies the cost of losing kernel bypass: invocations move
+from single-digit to tens of microseconds, and single-flow goodput
+drops to CPU-bound UDP encapsulation rates.
+"""
+
+from conftest import show
+
+from repro.experiments.softroce import run_softroce
+from repro.sim import us
+
+
+def test_softroce_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_softroce(repetitions=8), rounds=1, iterations=1
+    )
+    show(result)
+
+    # Hardware path stays in single-digit microseconds at small sizes.
+    assert result.hardware[64] < us(5)
+    # Software RDMA works but costs roughly an order of magnitude more.
+    assert 3 <= result.slowdown(64) <= 15
+    # The gap narrows for big payloads (bandwidth-bound on both).
+    assert result.slowdown(1_000_000) < result.slowdown(64)

@@ -1,0 +1,30 @@
+"""Sec. IV-C billing-model ablation: what hot polling buys and costs.
+
+On a sparse workload the hot worker answers ~4.3 us faster per call but
+pays for every nanosecond of busy polling; the warm worker is nearly
+free while idle.  "Applications requiring the highest performance pay
+the premium for nanosecond invocation overheads."
+"""
+
+import pytest
+from conftest import show
+
+from repro.experiments.billing import run_billing
+from repro.sim import ms
+
+
+def test_billing_model_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_billing(invocations=40, think_time_ns=ms(10)), rounds=1, iterations=1
+    )
+    show(result)
+
+    # Hot is faster by the blocking-notification gap (~4.3 us).
+    assert result.latency_advantage_ns == pytest.approx(4_344, abs=100)
+
+    # Hot accrues polling time roughly equal to the think time.
+    assert result.hot.account.hotpoll_ns >= 40 * ms(9)
+    assert result.warm.account.hotpoll_ns == 0
+
+    # And therefore costs decisively more on this sparse pattern.
+    assert result.cost_premium > 10

@@ -1,0 +1,33 @@
+"""Decentralization extension: scaling with concurrent clients.
+
+The architectural payoff of leases + direct connections, measured:
+rFaaS's invocation path has no shared control-plane component, so
+median latency stays flat while aggregate throughput grows linearly
+with clients; centralized platforms queue at their brokers/gateways.
+"""
+
+from conftest import show
+
+from repro.experiments.concurrency import run_concurrency
+
+
+def test_concurrency_scaling(benchmark):
+    result = benchmark.pedantic(run_concurrency, rounds=1, iterations=1)
+    show(result)
+
+    # rFaaS latency is essentially flat from 1 to 64 clients.
+    assert result.latency_inflation("rfaas") < 1.5
+    # Centralized open-source platforms inflate by an order of magnitude.
+    assert result.latency_inflation("openwhisk-queued") > 10
+    assert result.latency_inflation("nightcore-queued") > 5
+
+    # Throughput: rFaaS scales ~linearly with clients...
+    rfaas = result.throughput["rfaas"]
+    assert rfaas[64] > 30 * rfaas[1]
+    # ...OpenWhisk saturates at its single Kafka broker.
+    openwhisk = result.throughput["openwhisk-queued"]
+    assert openwhisk[64] < 2 * openwhisk[4]
+    # And at every concurrency rFaaS beats everyone on latency.
+    for clients in result.client_counts:
+        for platform in ("openwhisk-queued", "nightcore-queued", "aws-lambda-queued"):
+            assert result.latency[platform][clients] > result.latency["rfaas"][clients]

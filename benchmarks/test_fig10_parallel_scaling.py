@@ -1,0 +1,46 @@
+"""Fig. 10 / Sec. V-D: parallel scalability, 1-32 workers.
+
+Paper's claims checked: hot invocations with 1 kB payloads scale with
+insignificant overhead; 1 MB payloads slow down with worker count
+because the 100 Gb/s link saturates -- "parallel scaling of rFaaS
+executors is bounded only by network capacity".
+"""
+
+from conftest import show
+
+from repro.experiments.fig10 import run_fig10
+from repro.rdma.latency import LatencyModel
+from repro.sim import KB, MB
+
+WORKERS = (1, 2, 4, 8, 16, 32)
+
+
+def test_fig10_parallel_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig10(workers=WORKERS, repetitions=3), rounds=1, iterations=1
+    )
+    show(result)
+
+    # 1 kB: near-flat in worker count (hot, bare-metal).
+    assert result.flatness("hot", "bare-metal", 1 * KB) < 2.0
+
+    # 1 MB: bandwidth-bound growth -- at 32 workers the median RTT must
+    # be several times the single-worker RTT...
+    series = result.series[("hot", "bare-metal", 1 * MB)]
+    assert series[32] / series[1] > 4
+    # ...and at least the serialization time of 32 MB on one link.
+    wall = LatencyModel().serialization_ns(32 * MB) / 2  # median ~ half the fan-out
+    assert series[32] >= wall * 0.8
+
+    # Docker vs bare on 1 MB differs by well under 1% (paper: <1%).
+    docker = result.series[("hot", "docker", 1 * MB)]
+    bare = result.series[("hot", "bare-metal", 1 * MB)]
+    for w in WORKERS:
+        assert abs(docker[w] - bare[w]) / bare[w] < 0.01
+
+    # Warm stays above hot at every scale (1 kB).
+    for w in WORKERS:
+        assert (
+            result.series[("warm", "bare-metal", 1 * KB)][w]
+            > result.series[("hot", "bare-metal", 1 * KB)][w]
+        )

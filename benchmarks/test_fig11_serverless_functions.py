@@ -1,0 +1,37 @@
+"""Fig. 11 / Sec. V-E: real serverless functions vs AWS Lambda.
+
+Thumbnailer (97 kB & 3.6 MB images) and ResNet-50-style inference
+(53 kB & 230 kB images) run with identical compute cost on both
+platforms, so the measured gap is the invocation path.  Paper's shape:
+rFaaS wins decisively where data movement dominates (thumbnailer) and
+still wins where inference time dominates (recognition).
+"""
+
+from conftest import show
+
+from repro.experiments.fig11 import run_fig11
+from repro.sim import ms
+
+
+def test_fig11_serverless_functions(benchmark):
+    result = benchmark.pedantic(lambda: run_fig11(repetitions=10), rounds=1, iterations=1)
+    show(result)
+
+    # rFaaS is faster in every case.
+    for case in result.stats:
+        assert result.speedup(case) > 1.0, case
+
+    # Data-movement-dominated cases show large gaps...
+    assert result.speedup("thumbnailer-small") > 10
+    assert result.speedup("thumbnailer-large") > 4
+    # ...compute-dominated inference shows modest but real gaps.
+    assert 1.05 < result.speedup("recognition-small") < 3
+    assert 1.05 < result.speedup("recognition-large") < 3
+
+    # Inference is dominated by the model forward pass on both sides.
+    assert result.stats["recognition-small"]["rfaas"].median > ms(100)
+
+    # Large thumbnails ride the RDMA fabric in tens of ms on rFaaS but
+    # hundreds on Lambda (base64 + HTTP + control plane).
+    assert result.stats["thumbnailer-large"]["rfaas"].median < ms(60)
+    assert result.stats["thumbnailer-large"]["aws-lambda"].median > ms(150)

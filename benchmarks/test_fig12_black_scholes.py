@@ -1,0 +1,43 @@
+"""Fig. 12 / Sec. V-F: Black-Scholes parallel offloading.
+
+Paper's claims checked: offloading the entire work to rFaaS scales
+efficiently compared to OpenMP as long as per-thread work is not close
+to the ~20 ms network transmission time of the 229 MB input; the
+OpenMP+rFaaS hybrid (half local, half remote) beats both everywhere.
+"""
+
+from conftest import show
+
+from repro.experiments.fig12 import run_fig12
+from repro.sim import ms
+
+WORKERS = (1, 2, 4, 8, 16, 32)
+
+
+def test_fig12_black_scholes(benchmark):
+    result = benchmark.pedantic(lambda: run_fig12(workers=WORKERS), rounds=1, iterations=1)
+    show(result)
+
+    openmp = result.series["openmp"]
+    rfaas = result.series["rfaas"]
+    hybrid = result.series["openmp+rfaas"]
+
+    # The input transfer wall is ~19-20 ms (229 MB on 11.6 GiB/s).
+    assert ms(17) <= result.transfer_wall_ns <= ms(21)
+
+    # Low parallelism: offloading is competitive (within 10%).
+    assert rfaas[1] <= openmp[1] * 1.10
+
+    # High parallelism: the transfer wall makes full offload lose.
+    assert rfaas[32] >= result.transfer_wall_ns
+    assert rfaas[32] > openmp[32]
+
+    # The crossover exists somewhere inside the sweep.
+    wins = [w for w in WORKERS if rfaas[w] <= openmp[w] * 1.10]
+    losses = [w for w in WORKERS if rfaas[w] > openmp[w] * 1.10]
+    assert wins and losses and max(wins) < min(losses)
+
+    # The hybrid never loses to either pure strategy.
+    for w in WORKERS:
+        assert hybrid[w] <= openmp[w]
+        assert hybrid[w] <= rfaas[w]

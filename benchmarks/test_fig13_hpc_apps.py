@@ -1,0 +1,41 @@
+"""Fig. 13 / Sec. V-G: MPI applications accelerated with rFaaS.
+
+Paper's claims checked: matrix-matrix multiplication speeds up by
+1.88x-1.94x when half of each rank's work goes to a remote function;
+the Jacobi solver (matrix cached in the warm sandbox, 1-15 ms
+iterations) speeds up by 1.7x-2.2x; sharing the network between MPI
+and rFaaS traffic does not break the acceleration.
+"""
+
+from conftest import show
+
+from repro.experiments.fig13 import run_fig13
+from repro.sim import ms
+from repro.workloads.jacobi import jacobi_iteration_cost_ns
+
+RANKS = (2, 8, 18, 36)
+
+
+def test_fig13_hpc_apps(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig13(
+            ranks=RANKS, gemm_n=4096, gemm_repetitions=2, jacobi_iterations=400
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    # GEMM speedups in (or near) the paper's 1.88x-1.94x band.
+    for ranks in RANKS:
+        assert 1.7 <= result.gemm_speedup(ranks) <= 2.0, ranks
+
+    # Jacobi speedups within the paper's 1.7x-2.2x band.
+    for ranks in RANKS:
+        assert 1.7 <= result.jacobi_speedup(ranks) <= 2.2, ranks
+
+    # The Jacobi per-iteration cost sits in the paper's 1-15 ms window.
+    assert ms(1) <= jacobi_iteration_cost_ns(2000) <= ms(15)
+
+    # Baselines are flat in rank count (independent ranks).
+    assert result.gemm["mpi"][2] == result.gemm["mpi"][36]

@@ -1,0 +1,45 @@
+"""Fig. 1 / Sec. V-C: rFaaS vs AWS Lambda, OpenWhisk, Nightcore.
+
+Paper's claims checked here:
+
+* rFaaS beats AWS Lambda by 695x-3692x over 1 kB-5 MB,
+* rFaaS beats OpenWhisk by 5904x-22406x (within its 125 kB cap),
+* rFaaS beats Nightcore by 23x-39x,
+* Lambda sits at 19.5 ms (1 kB) to >600 ms (5 MB).
+"""
+
+from conftest import show
+
+from repro.experiments.fig1 import run_fig1
+from repro.sim import ms
+
+SIZES = (1_000, 10_000, 100_000, 1_000_000, 5_000_000)
+
+
+def test_fig1_platform_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig1(sizes=SIZES, repetitions=5), rounds=1, iterations=1
+    )
+    show(result)
+
+    # Lambda anchors from the paper's own measurements.
+    assert result.series["aws-lambda"][1_000] == __import__("pytest").approx(ms(19.5), rel=0.05)
+    assert result.series["aws-lambda"][5_000_000] >= ms(550)
+
+    # Speedup bands (shape: same order of magnitude as the paper).
+    lo, hi = result.speedup_range("aws-lambda")
+    assert 500 <= lo <= 1500 and 2500 <= hi <= 6000  # paper: 695x-3692x
+
+    lo, hi = result.speedup_range("openwhisk")
+    assert 4000 <= lo and hi <= 30000  # paper: 5904x-22406x
+
+    lo, hi = result.speedup_range("nightcore")
+    assert 20 <= lo and hi <= 45  # paper: 23x-39x
+
+    # OpenWhisk cannot take payloads over its 125 kB argv cap.
+    assert 1_000_000 not in result.series["openwhisk"]
+
+    # rFaaS wins at every size against every platform with data.
+    for platform in ("aws-lambda", "openwhisk", "nightcore"):
+        for size, rtt in result.series[platform].items():
+            assert rtt > result.series["rfaas"][size]

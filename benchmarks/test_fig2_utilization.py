@@ -1,0 +1,24 @@
+"""Fig. 2 / Sec. II-A: Piz Daint utilization (the motivation).
+
+Paper's observations checked: node utilization in the 80-94% band,
+roughly three-quarters of node memory idle, and idle windows that are
+plentiful but short (minutes, not hours, at the median).
+"""
+
+from conftest import show
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_utilization(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig2(total_nodes=500, days=2.0), rounds=1, iterations=1
+    )
+    show(result)
+
+    assert 0.80 <= result.mean_node_utilization <= 0.97
+    assert result.mean_memory_utilization <= 0.40  # ~75% idle
+    assert result.mean_idle_nodes >= 1  # harvestable capacity exists
+    assert result.idle_window_ns, "idle windows must occur"
+    # Median harvesting window is short -- minutes, not hours.
+    assert result.median_idle_window_minutes <= 60

@@ -1,0 +1,48 @@
+"""Fig. 8 / Sec. V-A: invocation latency vs raw RDMA and TCP.
+
+Paper's numbers checked:
+
+* raw RDMA RTT 3.69 us (small messages),
+* hot overhead ~326 ns bare-metal, ~+50 ns under Docker,
+* the ~630 ns overhead anomaly at exactly 128 B payloads (the 12-byte
+  header defeats inlining in the request direction),
+* warm overhead ~4.67 us, ~+650 ns under Docker,
+* TCP an order of magnitude above RDMA.
+"""
+
+import pytest
+from conftest import show
+
+from repro.experiments.fig8 import run_fig8
+
+SIZES = (2, 64, 128, 256, 1024, 16384, 65536)
+
+
+def test_fig8_invocation_latency(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig8(sizes=SIZES, repetitions=10), rounds=1, iterations=1
+    )
+    show(result)
+
+    assert result.series["rdma"][2] == pytest.approx(3_690, rel=0.01)
+
+    # Hot overhead: ~326 ns; at 128 B the inline asymmetry bumps it.
+    assert result.overhead_vs_rdma("hot", 2) == pytest.approx(326, abs=15)
+    assert result.overhead_vs_rdma("hot", 128) == pytest.approx(630, abs=30)
+    assert result.overhead_vs_rdma("hot", 256) == pytest.approx(326, abs=15)
+
+    # Docker data-path penalties.
+    assert result.series["hot-docker"][2] - result.series["hot"][2] == pytest.approx(50, abs=5)
+    assert result.series["warm-docker"][2] - result.series["warm"][2] == pytest.approx(650, abs=20)
+
+    # Warm overhead ~4.67 us.
+    assert result.overhead_vs_rdma("warm", 2) == pytest.approx(4_670, abs=50)
+
+    # TCP pays the kernel tax at every size.
+    for size in SIZES:
+        assert result.series["tcp"][size] > result.series["rdma"][size] * 4
+
+    # Monotone in size for every series.
+    for name, series in result.series.items():
+        values = [series[s] for s in SIZES]
+        assert values == sorted(values), name

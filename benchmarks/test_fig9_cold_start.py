@@ -1,0 +1,34 @@
+"""Fig. 9 / Sec. V-B: cold invocation overheads.
+
+Paper's claims checked: worker creation is the longest step in every
+configuration; all other steps take single-digit milliseconds; totals
+are ~25 ms for bare-metal executors and ~2.7 s for Docker.
+"""
+
+from conftest import show
+
+from repro.experiments.fig9 import run_fig9
+from repro.sim import ms, secs
+
+
+def test_fig9_cold_start(benchmark):
+    result = benchmark.pedantic(lambda: run_fig9(repetitions=3), rounds=1, iterations=1)
+    show(result)
+
+    # Bare-metal: ~25 ms total (Fig. 9a).
+    total_bare = result.total_ns("bare-metal")
+    assert ms(15) <= total_bare <= ms(40)
+
+    # Docker: ~2.7 s total (Fig. 9b).
+    total_docker = result.total_ns("docker")
+    assert secs(2.3) <= total_docker <= secs(3.2)
+
+    # The longest step is always worker creation.
+    assert result.dominant_step("bare-metal") == "spawn_workers"
+    assert result.dominant_step("docker") == "spawn_workers"
+
+    # "All other steps take single-digit milliseconds to accomplish."
+    for sandbox in ("bare-metal", "docker"):
+        for step, value in result.breakdowns[sandbox].items():
+            if step != "spawn_workers":
+                assert value < ms(10), (sandbox, step)

@@ -1,0 +1,25 @@
+"""Suite extension: five real SeBS-style functions vs AWS Lambda.
+
+Generalizes Fig. 11 across the workload taxonomy of Sec. VII: the more
+data-movement-bound a function, the bigger rFaaS's advantage; compute-
+bound inference still wins, just less.
+"""
+
+from conftest import show
+
+from repro.experiments.suite import run_suite
+
+
+def test_sebs_suite(benchmark):
+    result = benchmark.pedantic(lambda: run_suite(repetitions=8), rounds=1, iterations=1)
+    show(result)
+
+    # rFaaS wins on every function.
+    for case in result.medians:
+        assert result.speedup(case) > 1.0, case
+
+    # The taxonomy: short-compute/data-heavy >> compute-bound.
+    assert result.speedup("graph-bfs") > 50       # microsecond compute
+    assert result.speedup("thumbnailer") > 10     # streaming image pass
+    assert result.speedup("compression") > 8
+    assert result.speedup("recognition") < 2      # 160 ms inference

@@ -1,0 +1,62 @@
+"""Wall-clock performance of the reproduction itself.
+
+These are true pytest-benchmark measurements (multiple rounds) of the
+three hot loops everything else stands on: the DES kernel, the RDMA
+data path, and a full rFaaS invocation.  They guard against
+performance regressions that would make the paper-scale sweeps
+impractical to run.
+"""
+
+from repro.core.deployment import Deployment
+from repro.rdma.microbench import ib_write_lat
+from repro.sim import Environment
+from repro.workloads.noop import noop_package
+
+
+def test_kernel_event_throughput(benchmark):
+    """Pure event-loop throughput: ping-pong timeouts."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(5_000):
+                yield env.timeout(10)
+
+        env.process(ticker())
+        env.run()
+        return env.events_processed
+
+    events = benchmark(run)
+    assert events >= 5_000
+
+
+def test_rdma_pingpong_throughput(benchmark):
+    """Full verbs data path: 100 WRITE_WITH_IMM ping-pongs."""
+
+    result = benchmark(lambda: ib_write_lat(64, iterations=100))
+    assert len(result.rtts_ns) == 100
+
+
+def test_invocation_throughput(benchmark):
+    """End-to-end rFaaS invocations incl. control-plane setup."""
+
+    def run():
+        dep = Deployment.build(executors=1, clients=1)
+        dep.settle()
+        invoker = dep.new_invoker()
+        package = noop_package()
+
+        def driver():
+            yield from invoker.allocate(package, workers=1)
+            in_buf = invoker.alloc_input(1024)
+            in_buf.write(bytes(1024))
+            out_buf = invoker.alloc_output(1024)
+            for _ in range(50):
+                future = invoker.submit("echo", in_buf, 1024, out_buf)
+                yield future.wait()
+            return 50
+
+        return dep.run(driver())
+
+    assert benchmark(run) == 50

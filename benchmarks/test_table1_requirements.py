@@ -1,0 +1,19 @@
+"""Table I: the high-performance FaaS requirements matrix.
+
+Every 'solved'/'enabled' cell of the paper's table is re-checked
+against the built system (latency, direct allocations, bandwidth,
+decentralized scheduling, function chaining).
+"""
+
+from conftest import show
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_requirements(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    show(result)
+    failed = [c.requirement for c in result.checks if not c.passed]
+    assert not failed, f"requirement checks failed: {failed}"
+    solved = [c for c in result.checks if c.paper_status == "solved"]
+    assert len(solved) == 4

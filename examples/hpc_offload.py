@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""MPI + rFaaS offloading with *real* numerics (the Fig. 13 pattern).
+
+Four MPI ranks each solve a linear system with Jacobi iterations.  Each
+rank offloads the bottom half of every iterate to a remote rFaaS
+function whose warm sandbox caches the matrix (the paper's "classical
+serverless optimization"), computes the top half locally, and stitches
+the halves together.  At the end the residual proves the distributed
+solve is numerically identical to a local one.
+
+Run:  python examples/hpc_offload.py
+"""
+
+import numpy as np
+
+from repro.core import Deployment
+from repro.hpc.mpi import MpiJob
+from repro.sim import GiB, ns_to_ms
+from repro.workloads.jacobi import (
+    generate_system,
+    jacobi_iteration_cost_ns,
+    jacobi_package,
+    jacobi_sweep,
+    pack_iterate,
+    pack_setup,
+)
+
+N = 512  # real bytes move through the simulated fabric
+ITERATIONS = 100
+RANKS = 4
+
+
+def main() -> None:
+    dep = Deployment.build(executors=1, clients=2)
+    dep.settle()
+    job = MpiJob(dep.fabric, dep.client_nodes, RANKS)
+    residuals: dict[int, float] = {}
+    timings: dict[int, tuple[int, int]] = {}
+
+    def rank_main(ctx):
+        # Every rank gets its own system and its own remote worker.
+        a, b = generate_system(N, seed=100 + ctx.rank)
+        invoker = dep.new_invoker(
+            client_index=dep.client_nodes.index(ctx.node), name=f"rank{ctx.rank}"
+        )
+        yield from invoker.allocate(jacobi_package(), workers=1, memory_bytes=1 * GiB)
+
+        x = np.zeros(N)
+        half = N // 2
+
+        # --- accelerated solve: local top half, remote bottom half.
+        start = ctx.env.now
+        setup = pack_setup(a, b, x, half, N)
+        in_buf = invoker.alloc_input(len(setup))
+        out_buf = invoker.alloc_output(8 * (N - half))
+        in_buf.write(setup)
+        future = invoker.submit("jacobi", in_buf, len(setup), out_buf)
+        top = jacobi_sweep(a, b, x, 0, half)
+        yield from ctx.compute(jacobi_iteration_cost_ns(N, rows=half))
+        result = yield future.wait()
+        bottom = np.frombuffer(result.output(), dtype=np.float64)
+        x = np.concatenate([top, bottom])
+
+        for _ in range(ITERATIONS - 1):
+            message = pack_iterate(x, half, N)
+            iter_buf = invoker.alloc_input(len(message))
+            iter_buf.write(message)
+            future = invoker.submit("jacobi", iter_buf, len(message), out_buf)
+            top = jacobi_sweep(a, b, x, 0, half)
+            yield from ctx.compute(jacobi_iteration_cost_ns(N, rows=half))
+            result = yield future.wait()
+            bottom = np.frombuffer(result.output(), dtype=np.float64)
+            x = np.concatenate([top, bottom])
+        accelerated_ns = ctx.env.now - start
+
+        # --- baseline: the same solve entirely local.
+        start = ctx.env.now
+        for _ in range(ITERATIONS):
+            yield from ctx.compute(jacobi_iteration_cost_ns(N))
+        baseline_ns = ctx.env.now - start
+
+        residuals[ctx.rank] = float(np.max(np.abs(a @ x - b)))
+        timings[ctx.rank] = (baseline_ns, accelerated_ns)
+        yield from invoker.deallocate()
+
+    dep.run(job.run(rank_main))
+
+    print(f"Jacobi n={N}, {ITERATIONS} iterations, {RANKS} MPI ranks\n")
+    print(f"{'rank':>4}  {'residual':>12}  {'mpi-only':>10}  {'mpi+rfaas':>10}  {'speedup':>7}")
+    for rank in range(RANKS):
+        baseline, accelerated = timings[rank]
+        print(
+            f"{rank:>4}  {residuals[rank]:12.2e}  {ns_to_ms(baseline):8.2f}ms"
+            f"  {ns_to_ms(accelerated):8.2f}ms  {baseline / accelerated:6.2f}x"
+        )
+    assert all(res < 1e-8 for res in residuals.values()), "solver diverged!"
+    print("\nall residuals < 1e-8: the offloaded halves are numerically exact")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Serverless workflows on rFaaS (the Sec. VII discussion, running).
+
+A fan-out/fan-in image-statistics DAG executed by the rFaaS workflow
+orchestrator: one stage normalizes the image, two independent stages
+compute per-channel statistics and an edge metric in parallel, and a
+join stage assembles the report.  Per-hop orchestration overhead stays
+in single-digit microseconds -- the number the paper projects for
+rFaaS-based workflow engines.
+
+Run:  python examples/workflow_pipeline.py
+"""
+
+import struct
+
+import numpy as np
+
+from repro.core import CodePackage, Deployment, FunctionSpec, Workflow, WorkflowRunner
+from repro.sim import ns_to_us, us
+from repro.workloads.images import Image, generate_image
+
+
+def normalize(payload: bytes) -> bytes:
+    image = Image.decode(payload)
+    pixels = image.pixels.astype(np.float64)
+    lo, hi = pixels.min(), pixels.max()
+    scaled = ((pixels - lo) / max(hi - lo, 1) * 255).astype(np.uint8)
+    return Image(pixels=scaled).encode()
+
+
+def channel_stats(payload: bytes) -> bytes:
+    image = Image.decode(payload)
+    means = image.pixels.mean(axis=(0, 1))
+    return struct.pack("<3d", *[float(m) for m in means])
+
+
+def edge_energy(payload: bytes) -> bytes:
+    image = Image.decode(payload)
+    gray = image.pixels.mean(axis=2)
+    gx = np.abs(np.diff(gray, axis=1)).mean()
+    gy = np.abs(np.diff(gray, axis=0)).mean()
+    return struct.pack("<2d", float(gx), float(gy))
+
+
+def assemble(payload: bytes) -> bytes:
+    means = struct.unpack_from("<3d", payload, 0)
+    gx, gy = struct.unpack_from("<2d", payload, 24)
+    report = (
+        f"channels R={means[0]:.1f} G={means[1]:.1f} B={means[2]:.1f}; "
+        f"edges x={gx:.2f} y={gy:.2f}"
+    )
+    return report.encode()
+
+
+def main() -> None:
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    invoker = dep.new_invoker(name="workflow-demo")
+
+    package = CodePackage(name="image-stats")
+    pixel_cost = 5  # ns per pixel for each analysis pass
+    for name, handler in (
+        ("normalize", normalize),
+        ("channel-stats", channel_stats),
+        ("edge-energy", edge_energy),
+        ("assemble", assemble),
+    ):
+        package.add(
+            FunctionSpec(name=name, handler=handler, cost_ns=lambda size: (size // 3) * pixel_cost)
+        )
+
+    workflow = Workflow("image-report")
+    workflow.add("normalize", "normalize", out_capacity=1 << 20)
+    workflow.add("stats", "channel-stats", after=("normalize",))
+    workflow.add("edges", "edge-energy", after=("normalize",))
+    workflow.add("report", "assemble", after=("stats", "edges"))
+
+    image = generate_image(320, 240)
+
+    def driver():
+        yield from invoker.allocate(package, workers=4)
+        runner = WorkflowRunner(invoker)
+        run = yield from runner.run(workflow, image.encode())
+        return run
+
+    run = dep.run(driver())
+
+    print(f"input: {image.width}x{image.height} image ({image.nbytes:,} bytes)\n")
+    for stage in workflow.validate():
+        print(f"  stage {stage:<12} rtt={ns_to_us(run.stage_rtt_ns[stage]):9.1f} us")
+    print(f"\nreport: {run.result(workflow).decode()}")
+    compute = sum(run.stage_rtt_ns.values())
+    print(f"makespan: {ns_to_us(run.makespan_ns):.1f} us "
+          f"(critical path 3 of 4 stages; stats/edges ran in parallel)")
+    assert run.makespan_ns < compute  # parallelism is real
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Terminal plots: sparklines and bar charts in plain text.
+
+No plotting library is available offline, so experiment tables can
+attach these compact text visuals -- enough to see a trend or a
+crossover directly in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], log: bool = False) -> str:
+    """A one-line trend for *values* (8 amplitude levels)."""
+    if not values:
+        return ""
+    import math
+
+    series = [math.log10(max(v, 1e-12)) for v in values] if log else list(values)
+    lo, hi = min(series), max(series)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(series)
+    span = hi - lo
+    out = []
+    for value in series:
+        index = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    log: bool = False,
+) -> str:
+    """A horizontal text bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return ""
+    import math
+
+    scaled = [math.log10(max(v, 1e-12)) for v in values] if log else list(values)
+    lo = min(0.0, min(scaled)) if not log else min(scaled)
+    hi = max(scaled)
+    span = (hi - lo) or 1.0
+    label_width = max(len(label) for label in labels)
+    rows = []
+    for label, value, mapped in zip(labels, values, scaled):
+        bar = "█" * max(1, round((mapped - lo) / span * width))
+        rows.append(f"{label:<{label_width}}  {bar} {value:,.3g}{unit}")
+    return "\n".join(rows)
+
+
+def cdf_points(values: Sequence[float], points: int = 11) -> list[tuple[float, float]]:
+    """(quantile, value) pairs for a text CDF (0..1 inclusive)."""
+    if not values:
+        raise ValueError("cdf of empty sequence")
+    ordered = sorted(values)
+    out = []
+    for index in range(points):
+        q = index / (points - 1)
+        rank = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        out.append((q, float(ordered[rank])))
+    return out

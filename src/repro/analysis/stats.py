@@ -1,0 +1,122 @@
+"""Order statistics: medians, percentiles, nonparametric CIs.
+
+The median CI uses the classic binomial argument: if X(1) <= ... <= X(n)
+are the order statistics, then P(X(l) <= m <= X(u)) = P(l <= B <= u-1)
+where B ~ Binomial(n, 1/2) counts observations below the median.  We
+pick the tightest symmetric (l, u) achieving the requested coverage.
+No distributional assumptions -- this is what the paper computes
+("non-parametric 99% confidence intervals of the median", Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Sample median (average of the two middle values for even n)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (0..100), linear interpolation between ranks."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100
+    low = int(rank)
+    frac = rank - low
+    if low + 1 < len(ordered):
+        return ordered[low] * (1 - frac) + ordered[low + 1] * frac
+    return float(ordered[-1])
+
+
+def _binomial_cdf(k: int, n: int) -> float:
+    """P(B <= k) for B ~ Binomial(n, 1/2)."""
+    if k < 0:
+        return 0.0
+    if k >= n:
+        return 1.0
+    total = sum(comb(n, i) for i in range(k + 1))
+    return total / 2**n
+
+
+def median_ci(values: Sequence[float], confidence: float = 0.99) -> tuple[float, float]:
+    """Nonparametric CI for the median from binomial order statistics.
+
+    Returns (low, high) sample values.  For very small samples where no
+    interior interval achieves the coverage, the sample range is
+    returned (the conservative choice).
+    """
+    if not values:
+        raise ValueError("median_ci of empty sequence")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 1:
+        return float(ordered[0]), float(ordered[0])
+    # Walk symmetric ranks outward from the middle until coverage holds:
+    # coverage of (l, u) [1-indexed] = P(l <= B <= u-1), B ~ Bin(n, 1/2).
+    for half_width in range(1, n // 2 + 1):
+        lo = n // 2 - half_width + 1  # 1-indexed lower rank
+        hi = n - lo + 1  # symmetric upper rank
+        if lo < 1:
+            break
+        coverage = _binomial_cdf(hi - 2, n) - _binomial_cdf(lo - 2, n)
+        if coverage >= confidence:
+            return float(ordered[lo - 1]), float(ordered[hi - 1])
+    return float(ordered[0]), float(ordered[-1])
+
+
+@dataclass
+class SummaryStats:
+    """The numbers the paper's figures report for one series."""
+
+    count: int
+    median: float
+    p99: float
+    mean: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def ci_tightness(self) -> float:
+        """CI width relative to the median (paper: '<1%' for Fig. 8)."""
+        if self.median == 0:
+            return 0.0
+        return (self.ci_high - self.ci_low) / self.median
+
+
+def summarize(values: Sequence[float], confidence: float = 0.99) -> SummaryStats:
+    """Median/p99/mean/CI bundle for a sample."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    low, high = median_ci(values, confidence)
+    return SummaryStats(
+        count=len(values),
+        median=median(values),
+        p99=percentile(values, 99),
+        mean=sum(values) / len(values),
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        ci_low=low,
+        ci_high=high,
+        confidence=confidence,
+    )

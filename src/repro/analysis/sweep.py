@@ -1,0 +1,57 @@
+"""Parameter-sweep harness: run a scenario factory over a grid.
+
+Each benchmark is a sweep over one axis (payload size, worker count,
+rank count, ...); this helper keeps the iteration and bookkeeping
+uniform across all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+@dataclass
+class SweepPoint:
+    """One grid point: the parameter values and whatever the run returned."""
+
+    params: dict[str, Any]
+    result: Any
+
+    def __getitem__(self, key: str) -> Any:
+        return self.params[key]
+
+
+@dataclass
+class Sweep:
+    """Runs ``fn(**params)`` for every combination of the given axes."""
+
+    fn: Callable[..., Any]
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def run(self, **axes: Iterable[Any]) -> "Sweep":
+        """Cartesian product over *axes* (single values allowed as lists)."""
+        names = list(axes)
+        grids: list[list[Any]] = [list(values) for values in axes.values()]
+
+        def recurse(index: int, chosen: dict[str, Any]) -> None:
+            if index == len(names):
+                self.points.append(SweepPoint(dict(chosen), self.fn(**chosen)))
+                return
+            for value in grids[index]:
+                chosen[names[index]] = value
+                recurse(index + 1, chosen)
+            chosen.pop(names[index], None)
+
+        recurse(0, {})
+        return self
+
+    def column(self, extract: Callable[[SweepPoint], Any]) -> list[Any]:
+        return [extract(point) for point in self.points]
+
+    def where(self, **filters: Any) -> list[SweepPoint]:
+        return [
+            point
+            for point in self.points
+            if all(point.params.get(key) == value for key, value in filters.items())
+        ]

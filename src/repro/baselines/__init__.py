@@ -1,0 +1,51 @@
+"""Comparison FaaS platforms (Fig. 1, Sec. V-C).
+
+Each baseline models the invocation path of a real platform the paper
+measured, with constants **fitted to the paper's own numbers**, so the
+Fig. 1 comparison reproduces the reported speedup bands:
+
+* :mod:`repro.baselines.aws_lambda` -- gateway + placement service +
+  HTTP + base64; 19.5 ms at 1 kB growing to 600 ms at 5 MB
+  (rFaaS 695-3692x faster).
+* :mod:`repro.baselines.openwhisk` -- controller, Kafka, invoker chain
+  on the *same* cluster (rFaaS 5904-22406x faster); 125 kB argv cap.
+* :mod:`repro.baselines.nightcore` -- low-latency RPC gateway on the
+  same cluster (rFaaS 23-39x faster).
+* :mod:`repro.baselines.funcx` -- federated scientific FaaS with a
+  hierarchical path (warm invocations >= 90 ms, Sec. VI).
+
+All baselines share the :class:`repro.baselines.base.FaaSPlatform`
+interface, so benchmark sweeps treat them and rFaaS uniformly.
+"""
+
+from repro.baselines.base import FaaSPlatform, PlatformResult
+from repro.baselines.http import base64_size, http_overhead_ns
+from repro.baselines.aws_lambda import AwsLambda
+from repro.baselines.openwhisk import OpenWhisk
+from repro.baselines.nightcore import Nightcore
+from repro.baselines.funcx import FuncX
+from repro.baselines.queueing import (
+    QueuedPlatform,
+    Stage,
+    StageSpec,
+    queued_lambda,
+    queued_nightcore,
+    queued_openwhisk,
+)
+
+__all__ = [
+    "AwsLambda",
+    "FaaSPlatform",
+    "FuncX",
+    "Nightcore",
+    "OpenWhisk",
+    "PlatformResult",
+    "QueuedPlatform",
+    "Stage",
+    "StageSpec",
+    "base64_size",
+    "http_overhead_ns",
+    "queued_lambda",
+    "queued_nightcore",
+    "queued_openwhisk",
+]

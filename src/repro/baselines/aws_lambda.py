@@ -1,0 +1,58 @@
+"""AWS Lambda invocation-path model.
+
+Fitted to the paper's own measurements (Sec. II-B and Fig. 1):
+
+* RTT 19.5 ms at 1 kB, growing to over 600 ms at 5 MB,
+* 30-75 ms in the 100 kB-1 MB range typical of ML inference images,
+* warm routing/placement takes "at most 10 ms" [Firecracker, 30]; the
+  rest of the fixed cost is the HTTP gateway and the management service,
+* payloads ride HTTP as base64 with an effective per-direction goodput
+  of ~23 MB/s (what the 580 ms growth over 2 x 6.67 MB implies),
+* 6 MB synchronous invocation payload cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import FaaSPlatform
+from repro.baselines.http import base64_codec_ns, base64_size
+from repro.sim.clock import ms, us
+
+
+@dataclass
+class AwsLambda(FaaSPlatform):
+    name: str = "aws-lambda"
+    #: Placement/routing by the dedicated management service (warm).
+    placement_ns: int = ms(10)
+    #: API gateway + request validation + auth bypass (no authorizer).
+    gateway_ns: int = ms(6.4)
+    #: Client <-> region WAN round-trip (t2.micro in the same region).
+    wan_rtt_ns: int = ms(3)
+    #: Effective per-direction HTTP goodput for large payloads.
+    http_bytes_per_sec: float = 23e6
+    #: Cold: Firecracker microVM + C++ custom runtime bootstrap.
+    cold_ns: int = ms(180)
+    #: Synchronous payload cap.
+    payload_cap: int = 6 * 1024 * 1024
+
+    def encode_size(self, size: int) -> int:
+        return base64_size(size)
+
+    def codec_ns(self, size: int) -> int:
+        return base64_codec_ns(size)
+
+    def control_plane_ns(self) -> int:
+        return self.placement_ns + self.gateway_ns
+
+    def request_path_ns(self, wire_size: int) -> int:
+        return self.wan_rtt_ns // 2 + round(wire_size * 1e9 / self.http_bytes_per_sec)
+
+    def response_path_ns(self, wire_size: int) -> int:
+        return self.wan_rtt_ns // 2 + round(wire_size * 1e9 / self.http_bytes_per_sec)
+
+    def cold_start_ns(self) -> int:
+        return self.cold_ns
+
+    def max_payload(self) -> int:
+        return self.payload_cap

@@ -1,0 +1,110 @@
+"""Common interface for baseline FaaS platforms.
+
+A baseline platform is an *invocation-path model*: given a payload size
+and the function's compute cost, it yields through the simulated delays
+of its control/data plane and returns the measured round-trip.  Payload
+bytes are still moved for real (through a Python round-trip of the
+handler) so correctness tests apply to baselines too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+@dataclass
+class PlatformResult:
+    """One invocation's outcome on a baseline platform."""
+
+    output: Optional[bytes]
+    rtt_ns: int
+    cold: bool
+
+
+@dataclass
+class FaaSPlatform:
+    """Base class: concrete platforms override the path methods."""
+
+    env: "Environment"
+    name: str = "base"
+    #: Warm sandboxes currently available (function name -> count).
+    _warm: dict = field(default_factory=dict)
+
+    # -- template methods --------------------------------------------------
+
+    def request_path_ns(self, wire_size: int) -> int:
+        """Client -> executor latency for *wire_size* bytes."""
+        raise NotImplementedError
+
+    def response_path_ns(self, wire_size: int) -> int:
+        """Executor -> client latency."""
+        raise NotImplementedError
+
+    def control_plane_ns(self) -> int:
+        """Per-invocation scheduling/routing cost (warm)."""
+        raise NotImplementedError
+
+    def cold_start_ns(self) -> int:
+        """Sandbox allocation cost on a cold invocation."""
+        raise NotImplementedError
+
+    def encode_size(self, size: int) -> int:
+        """Wire size of a *size*-byte payload (base64 etc.)."""
+        return size
+
+    def max_payload(self) -> Optional[int]:
+        """Hard input-size cap, or None."""
+        return None
+
+    def codec_ns(self, size: int) -> int:
+        """Client+server encode/decode cost for *size* payload bytes."""
+        return 0
+
+    # -- the invocation ------------------------------------------------------
+
+    def invoke(
+        self,
+        fn_name: str,
+        payload: Optional[bytes],
+        payload_size: int,
+        handler: Optional[Callable[[bytes], bytes]] = None,
+        compute_ns: int = 0,
+    ):
+        """Process generator: one invocation; returns PlatformResult.
+
+        Raises ``ValueError`` when the payload exceeds the platform cap
+        (as the real API would reject it).
+        """
+        env = self.env
+        cap = self.max_payload()
+        if cap is not None and payload_size > cap:
+            raise ValueError(
+                f"{self.name} rejects payloads over {cap} B (got {payload_size} B)"
+            )
+        start = env.now
+        cold = not self._warm.get(fn_name, 0)
+        if cold:
+            yield env.timeout(self.cold_start_ns())
+            self._warm[fn_name] = self._warm.get(fn_name, 0) + 1
+
+        wire_in = self.encode_size(payload_size)
+        yield env.timeout(self.codec_ns(payload_size))
+        yield env.timeout(self.control_plane_ns())
+        yield env.timeout(self.request_path_ns(wire_in))
+
+        output: Optional[bytes] = None
+        out_size = payload_size
+        if handler is not None and payload is not None:
+            output = handler(payload)
+            out_size = len(output)
+        if compute_ns:
+            yield env.timeout(compute_ns)
+
+        wire_out = self.encode_size(out_size)
+        yield env.timeout(self.response_path_ns(wire_out))
+        yield env.timeout(self.codec_ns(out_size))
+        return PlatformResult(output=output, rtt_ns=env.now - start, cold=cold)

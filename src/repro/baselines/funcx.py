@@ -1,0 +1,48 @@
+"""FuncX invocation-path model (Sec. VI, related work).
+
+FuncX [58] brings functions to scientific computing but through a
+hierarchical, centralized design: client -> cloud web service ->
+endpoint -> manager -> worker.  The paper cites warm invocations of at
+least 90 ms; this model reproduces that floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import FaaSPlatform
+from repro.baselines.http import base64_codec_ns, base64_size
+from repro.sim.clock import ms, secs
+
+
+@dataclass
+class FuncX(FaaSPlatform):
+    name: str = "funcx"
+    #: Cloud web service: auth, task registration, result store.
+    service_ns: int = ms(45)
+    #: Endpoint + manager + worker queue hops.
+    endpoint_ns: int = ms(20)
+    #: Client <-> cloud WAN round trip.
+    wan_rtt_ns: int = ms(30)
+    #: Serialized-task goodput.
+    internal_bytes_per_sec: float = 20e6
+    #: Cold: provision a worker through the batch endpoint.
+    cold_ns: int = secs(5)
+
+    def encode_size(self, size: int) -> int:
+        return base64_size(size)
+
+    def codec_ns(self, size: int) -> int:
+        return base64_codec_ns(size)
+
+    def control_plane_ns(self) -> int:
+        return self.service_ns + self.endpoint_ns
+
+    def request_path_ns(self, wire_size: int) -> int:
+        return self.wan_rtt_ns // 2 + round(wire_size * 1e9 / self.internal_bytes_per_sec)
+
+    def response_path_ns(self, wire_size: int) -> int:
+        return self.wan_rtt_ns // 2 + round(wire_size * 1e9 / self.internal_bytes_per_sec)
+
+    def cold_start_ns(self) -> int:
+        return self.cold_ns

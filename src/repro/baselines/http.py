@@ -1,0 +1,35 @@
+"""HTTP/REST transport helpers shared by the baseline platforms.
+
+The paper's Fig. 1 protocol note: "Since other platforms cannot accept
+raw data, we generate a base64-encoded string that approximately
+matches the input size" -- every baseline pays the 4/3 base64 expansion
+plus encode/decode CPU, while rFaaS ships raw bytes.
+"""
+
+from __future__ import annotations
+
+
+def base64_size(size: int) -> int:
+    """Wire bytes of a base64-encoded *size*-byte payload."""
+    if size <= 0:
+        return 0
+    return 4 * ((size + 2) // 3)
+
+
+#: Base64 encode/decode throughput of one core (bytes/s).
+BASE64_BYTES_PER_SEC = 2e9
+
+
+def base64_codec_ns(size: int) -> int:
+    """One encode or decode pass over *size* bytes."""
+    if size <= 0:
+        return 0
+    return round(size * 1e9 / BASE64_BYTES_PER_SEC)
+
+
+#: Fixed per-request HTTP cost: parsing, headers, connection handling.
+HTTP_REQUEST_NS = 120_000
+
+
+def http_overhead_ns() -> int:
+    return HTTP_REQUEST_NS

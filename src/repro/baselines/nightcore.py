@@ -1,0 +1,47 @@
+"""Nightcore invocation-path model.
+
+Nightcore [14] is the strongest open-source baseline: a FaaS runtime
+built for latency-sensitive microservices, with a lean gateway and
+message-channel dispatch.  Still, external invocations cross the kernel
+TCP stack and a gateway process, so the paper measures rFaaS 23x-39x
+faster on the same hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import FaaSPlatform
+from repro.baselines.http import base64_codec_ns, base64_size
+from repro.sim.clock import ms, us
+
+
+@dataclass
+class Nightcore(FaaSPlatform):
+    name: str = "nightcore"
+    #: Gateway: HTTP handling + dispatch through message channels.
+    gateway_ns: int = us(140)
+    #: Kernel TCP round trip inside the cluster.
+    cluster_rtt_ns: int = us(30)
+    #: Effective per-direction goodput of the gateway TCP path.
+    internal_bytes_per_sec: float = 713e6
+    #: Cold: fork a new worker process (Nightcore keeps these cheap).
+    cold_ns: int = ms(50)
+
+    def encode_size(self, size: int) -> int:
+        return base64_size(size)
+
+    def codec_ns(self, size: int) -> int:
+        return base64_codec_ns(size)
+
+    def control_plane_ns(self) -> int:
+        return self.gateway_ns
+
+    def request_path_ns(self, wire_size: int) -> int:
+        return self.cluster_rtt_ns // 2 + round(wire_size * 1e9 / self.internal_bytes_per_sec)
+
+    def response_path_ns(self, wire_size: int) -> int:
+        return self.cluster_rtt_ns // 2 + round(wire_size * 1e9 / self.internal_bytes_per_sec)
+
+    def cold_start_ns(self) -> int:
+        return self.cold_ns

@@ -1,0 +1,58 @@
+"""Apache OpenWhisk invocation-path model.
+
+Deployed standalone on the *same* RDMA cluster as rFaaS (Sec. V-C), so
+there is no WAN -- the cost is all control plane: nginx gateway ->
+controller -> load balancer -> Kafka -> invoker -> Docker action, with
+the C++ action receiving input through argv (125 kB cap).
+
+Fitted to the paper's reported gap: rFaaS is 5904x-22406x faster over
+the measurable payload range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import FaaSPlatform
+from repro.baselines.http import base64_codec_ns, base64_size
+from repro.sim.clock import ms, us
+
+
+@dataclass
+class OpenWhisk(FaaSPlatform):
+    name: str = "openwhisk"
+    #: Controller: request validation, identity, activation record.
+    controller_ns: int = ms(24)
+    #: Load balancer decision + Kafka produce/consume round trip.
+    kafka_ns: int = ms(38)
+    #: Invoker: activation bookkeeping, container dispatch (warm).
+    invoker_ns: int = ms(30)
+    #: Cluster-internal TCP hop.
+    cluster_rtt_ns: int = us(100)
+    #: Effective per-direction goodput through the gateway/Kafka chain.
+    internal_bytes_per_sec: float = 6.3e6
+    #: Cold: pull + start the action container.
+    cold_ns: int = ms(900)
+    #: argv-based input cap for native C++ actions.
+    payload_cap: int = 125 * 1024
+
+    def encode_size(self, size: int) -> int:
+        return base64_size(size)
+
+    def codec_ns(self, size: int) -> int:
+        return base64_codec_ns(size)
+
+    def control_plane_ns(self) -> int:
+        return self.controller_ns + self.kafka_ns + self.invoker_ns
+
+    def request_path_ns(self, wire_size: int) -> int:
+        return self.cluster_rtt_ns // 2 + round(wire_size * 1e9 / self.internal_bytes_per_sec)
+
+    def response_path_ns(self, wire_size: int) -> int:
+        return self.cluster_rtt_ns // 2 + round(wire_size * 1e9 / self.internal_bytes_per_sec)
+
+    def cold_start_ns(self) -> int:
+        return self.cold_ns
+
+    def max_payload(self) -> int:
+        return self.payload_cap

@@ -1,0 +1,29 @@
+"""Data-center substrate: nodes, a SLURM-like batch system, utilization.
+
+This package backs two parts of the paper:
+
+* Fig. 2's motivation -- a synthetic Piz Daint-style workload is run
+  through the batch simulator and sampled at one-minute intervals,
+  reproducing the two observations rFaaS is built on: node utilization
+  in the 80-94 % band with only *short* idle windows, and ~75 % of node
+  memory idle.
+* The compute substrate for rFaaS itself -- spot executors pin worker
+  threads to :class:`Node` cores and draw from node memory.
+"""
+
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.slurm import BatchJob, BatchScheduler
+from repro.cluster.trace_gen import PizDaintWorkload, WorkloadConfig
+from repro.cluster.utilization import UtilizationSample, UtilizationSampler, idle_windows
+
+__all__ = [
+    "BatchJob",
+    "BatchScheduler",
+    "Node",
+    "NodeSpec",
+    "PizDaintWorkload",
+    "UtilizationSample",
+    "UtilizationSampler",
+    "WorkloadConfig",
+    "idle_windows",
+]

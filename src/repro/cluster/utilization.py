@@ -1,0 +1,102 @@
+"""Utilization sampling and idle-window analysis (Fig. 2).
+
+The paper's measurement method: query SLURM once a minute for a week.
+``UtilizationSampler`` is that query loop; :func:`idle_windows`
+extracts the durations of contiguous periods during which at least
+*threshold* nodes sat idle -- the windows rFaaS wants to harvest, which
+Fig. 2a shows are plentiful but short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.slurm import BatchScheduler
+from repro.sim.clock import secs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+@dataclass
+class UtilizationSample:
+    time_ns: int
+    busy_nodes: int
+    total_nodes: int
+    memory_utilization: float
+
+    @property
+    def node_utilization(self) -> float:
+        return self.busy_nodes / self.total_nodes
+
+    @property
+    def idle_nodes(self) -> int:
+        return self.total_nodes - self.busy_nodes
+
+
+class UtilizationSampler:
+    """Samples a :class:`BatchScheduler` at a fixed interval."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        scheduler: BatchScheduler,
+        interval_ns: int = secs(60),
+        until_ns: int | None = None,
+    ) -> None:
+        self.env = env
+        self.scheduler = scheduler
+        self.interval_ns = interval_ns
+        self.until_ns = until_ns
+        self.samples: list[UtilizationSample] = []
+        env.process(self._loop(), name="utilization-sampler")
+
+    def _loop(self):
+        while self.until_ns is None or self.env.now < self.until_ns:
+            self.samples.append(
+                UtilizationSample(
+                    time_ns=self.env.now,
+                    busy_nodes=self.scheduler.busy_nodes,
+                    total_nodes=self.scheduler.total_nodes,
+                    memory_utilization=self.scheduler.memory_utilization,
+                )
+            )
+            yield self.env.timeout(self.interval_ns)
+
+    # -- aggregates ------------------------------------------------------
+
+    def mean_node_utilization(self) -> float:
+        return sum(s.node_utilization for s in self.samples) / len(self.samples)
+
+    def mean_memory_utilization(self) -> float:
+        return sum(s.memory_utilization for s in self.samples) / len(self.samples)
+
+    def mean_idle_nodes(self) -> float:
+        return sum(s.idle_nodes for s in self.samples) / len(self.samples)
+
+
+def idle_windows(samples: list[UtilizationSample], threshold_nodes: int = 1) -> list[int]:
+    """Durations (ns) of runs of samples with >= *threshold_nodes* idle.
+
+    This is the quantity behind the paper's observation that
+    "idle nodes are available for a short time": harvesting windows
+    exist in almost every sample but each one is brief.
+    """
+    if not samples:
+        return []
+    windows: list[int] = []
+    run_start: int | None = None
+    previous_time = samples[0].time_ns
+    for sample in samples:
+        if sample.idle_nodes >= threshold_nodes:
+            if run_start is None:
+                run_start = sample.time_ns
+        else:
+            if run_start is not None:
+                windows.append(previous_time - run_start)
+                run_start = None
+        previous_time = sample.time_ns
+    if run_start is not None:
+        windows.append(samples[-1].time_ns - run_start)
+    return windows

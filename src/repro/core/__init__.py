@@ -1,0 +1,83 @@
+"""rFaaS core: the paper's primary contribution.
+
+The pieces map one-to-one onto Fig. 4 of the paper:
+
+* :mod:`repro.core.resource_manager` -- grants **leases** on spot
+  executors, replicates round-robin, verifies executors via heartbeats,
+  and hosts the **billing database** updated with RDMA fetch-and-add.
+* :mod:`repro.core.executor` -- the **spot executor**: a lightweight
+  allocator on an idle node that creates sandboxes, spawns user-code
+  executor processes, polices idle timeouts, and accounts resources.
+* :mod:`repro.core.worker` -- executor **worker threads**: each one is
+  a function instance with its own QP, switching between *hot*
+  (busy-polling) and *warm* (blocking-wait) invocation modes.
+* :mod:`repro.core.invoker` -- the client library (`rfaas::invoker`):
+  lease acquisition and caching, RDMA buffer management with the
+  12-byte result header, future-based submission, rejection/redirect.
+* :mod:`repro.core.deployment` -- wiring helper that builds a whole
+  cluster (fabric + managers + spot executors + clients) in one call.
+"""
+
+from repro.core.config import ColdStartBreakdown, RFaaSConfig, RFaaSTimings
+from repro.core.functions import CodePackage, FunctionSpec
+from repro.core.leases import Lease, LeaseState
+from repro.core.billing import BillingAccount, BillingDatabase, BillingRates
+from repro.core.sandbox import BARE_METAL, DOCKER, SANDBOX_PROFILES, SandboxProfile
+from repro.core.protocol import (
+    HEADER_BYTES,
+    pack_request_imm,
+    pack_response_imm,
+    unpack_request_imm,
+    unpack_response_imm,
+)
+from repro.core.errors import (
+    AllocationError,
+    InvocationRejected,
+    InvocationTimeout,
+    LeaseExpired,
+    RFaaSError,
+)
+from repro.core.executor import SpotExecutor
+from repro.core.resource_manager import ResourceManager
+from repro.core.invoker import InvocationResult, Invoker, RemoteFuture
+from repro.core.deployment import Deployment
+from repro.core.workflows import Stage, Workflow, WorkflowError, WorkflowRun, WorkflowRunner, chain
+
+__all__ = [
+    "AllocationError",
+    "BARE_METAL",
+    "BillingAccount",
+    "BillingDatabase",
+    "BillingRates",
+    "CodePackage",
+    "ColdStartBreakdown",
+    "DOCKER",
+    "Deployment",
+    "FunctionSpec",
+    "HEADER_BYTES",
+    "InvocationRejected",
+    "InvocationTimeout",
+    "InvocationResult",
+    "Invoker",
+    "Lease",
+    "LeaseState",
+    "RFaaSConfig",
+    "RFaaSError",
+    "RFaaSTimings",
+    "LeaseExpired",
+    "RemoteFuture",
+    "ResourceManager",
+    "SANDBOX_PROFILES",
+    "SandboxProfile",
+    "SpotExecutor",
+    "Stage",
+    "Workflow",
+    "WorkflowError",
+    "WorkflowRun",
+    "WorkflowRunner",
+    "chain",
+    "pack_request_imm",
+    "pack_response_imm",
+    "unpack_request_imm",
+    "unpack_response_imm",
+]

@@ -1,0 +1,98 @@
+"""Function registry and code packages.
+
+A :class:`FunctionSpec` is the reproduction's version of Listing 1's
+``uint32_t f(void* in, uint32_t size, void* out)``: a real Python
+callable from input bytes to output bytes, plus a *cost model* giving
+the virtual-time duration of the computation on the paper's hardware.
+The callable runs for real (correctness is checked in tests); the cost
+model is what the simulated clock charges.
+
+A :class:`CodePackage` bundles functions the way rFaaS ships a shared
+library inside the container image: functions are addressed by index
+(the low 16 bits of the request immediate) and the package has a
+transfer size -- the paper's no-op library is 7.88 kB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Real computation: input payload -> output payload.
+Handler = Callable[[bytes], bytes]
+#: Virtual-time cost model: input size in bytes -> compute ns.
+CostModel = Callable[[int], int]
+
+
+def _zero_cost(_size: int) -> int:
+    return 0
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One deployable function."""
+
+    name: str
+    handler: Handler
+    #: Simulated compute time as a function of the input size.
+    cost_ns: CostModel = _zero_cost
+    #: Output size for *virtual* payloads (no real bytes to run the
+    #: handler on).  Defaults to echo semantics (output size == input).
+    output_size: Callable[[int], int] = lambda size: size
+
+    def execute(self, payload: Optional[bytes], payload_size: int) -> tuple[Optional[bytes], int]:
+        """Run the function; returns (output payload or None, output size).
+
+        ``payload is None`` means the invocation used virtual buffers;
+        only sizes flow then.
+        """
+        if payload is None:
+            return None, self.output_size(payload_size)
+        output = self.handler(payload)
+        return output, len(output)
+
+
+def echo_function(name: str = "echo") -> FunctionSpec:
+    """The paper's no-op benchmark function: returns its input."""
+    return FunctionSpec(name=name, handler=lambda data: data)
+
+
+@dataclass
+class CodePackage:
+    """A deployable bundle of functions (the 'shared library')."""
+
+    functions: list[FunctionSpec] = field(default_factory=list)
+    #: Size of the code artifact shipped during cold start.  The
+    #: paper's benchmark library is 7.88 kB.
+    size_bytes: int = 7_880
+    name: str = "package"
+    #: Rebuilds the package from scratch.  Packages with *stateful*
+    #: functions (e.g. the Jacobi matrix cache) must set this so every
+    #: allocation gets its own sandbox state -- exactly like starting a
+    #: fresh container.  Stateless packages may leave it None.
+    factory: Optional[Callable[[], "CodePackage"]] = None
+
+    def fresh(self) -> "CodePackage":
+        """A per-allocation instance (self when stateless)."""
+        return self.factory() if self.factory is not None else self
+
+    def add(self, spec: FunctionSpec) -> int:
+        """Register *spec*; returns its function index."""
+        if any(existing.name == spec.name for existing in self.functions):
+            raise ValueError(f"duplicate function name {spec.name!r}")
+        self.functions.append(spec)
+        return len(self.functions) - 1
+
+    def index_of(self, name: str) -> int:
+        for index, spec in enumerate(self.functions):
+            if spec.name == name:
+                return index
+        raise KeyError(f"no function named {name!r} in package {self.name!r}")
+
+    def by_index(self, index: int) -> Optional[FunctionSpec]:
+        if 0 <= index < len(self.functions):
+            return self.functions[index]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.functions)

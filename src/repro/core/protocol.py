@@ -1,0 +1,89 @@
+"""The rFaaS wire protocol.
+
+Invocation request (client -> worker, one RDMA WRITE_WITH_IMM):
+
+* payload layout in the worker's input buffer::
+
+      [ 12-byte header | function payload ]
+
+  The header is the client's *result destination*: an 8-byte address
+  and a 4-byte rkey of a buffer the worker may WRITE into.  This is the
+  twelve-byte header of Sec. IV-A -- it is what makes the response a
+  single zero-copy RDMA write, and what pushes a 128-byte payload past
+  the inline threshold in the request direction only (the 630 ns bump
+  in Fig. 8).
+
+* the 32-bit immediate value carries ``(invocation_id << 16) | fn_index``.
+
+Invocation response (worker -> client, one RDMA WRITE_WITH_IMM into the
+buffer named by the header): the CQE's ``byte_len`` is the output size,
+and the immediate carries ``(invocation_id << 16) | status``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any
+
+#: Result-destination header: u64 address + u32 rkey.
+HEADER_BYTES = 12
+_HEADER_STRUCT = struct.Struct("<QI")
+
+#: Response status codes (low 16 bits of the response immediate).
+STATUS_OK = 0
+STATUS_REJECTED = 1
+STATUS_FUNCTION_NOT_FOUND = 2
+STATUS_FAILED = 3
+
+_U16 = 0xFFFF
+
+
+def pack_header(result_addr: int, result_rkey: int) -> bytes:
+    """The 12-byte result header prepended to every invocation payload."""
+    return _HEADER_STRUCT.pack(result_addr, result_rkey)
+
+
+def unpack_header(data: bytes) -> tuple[int, int]:
+    if len(data) < HEADER_BYTES:
+        raise ValueError(f"header needs {HEADER_BYTES} bytes, got {len(data)}")
+    return _HEADER_STRUCT.unpack_from(data)
+
+
+def pack_request_imm(invocation_id: int, fn_index: int) -> int:
+    if not 0 <= invocation_id <= _U16:
+        raise ValueError(f"invocation_id {invocation_id} out of u16 range")
+    if not 0 <= fn_index <= _U16:
+        raise ValueError(f"fn_index {fn_index} out of u16 range")
+    return (invocation_id << 16) | fn_index
+
+
+def unpack_request_imm(imm: int) -> tuple[int, int]:
+    return (imm >> 16) & _U16, imm & _U16
+
+
+def pack_response_imm(invocation_id: int, status: int = STATUS_OK) -> int:
+    if not 0 <= invocation_id <= _U16:
+        raise ValueError(f"invocation_id {invocation_id} out of u16 range")
+    if not 0 <= status <= _U16:
+        raise ValueError(f"status {status} out of u16 range")
+    return (invocation_id << 16) | status
+
+
+def unpack_response_imm(imm: int) -> tuple[int, int]:
+    return (imm >> 16) & _U16, imm & _U16
+
+
+# -- control-plane message serialization --------------------------------------
+#
+# Control messages (lease requests, allocation submissions, heartbeats)
+# travel as SEND payloads; they are ordinary Python dataclasses/dicts
+# serialized with pickle.  Only sizes matter for timing.
+
+
+def encode_control(message: Any) -> bytes:
+    return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_control(data: bytes) -> Any:
+    return pickle.loads(data)

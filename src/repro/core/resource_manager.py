@@ -1,0 +1,307 @@
+"""The resource manager: leases, heartbeats, billing, replication.
+
+The manager is involved **only at cold start** (Sec. III-B): it grants
+leases over its pool of spot executors and gets out of the invocation
+path.  It heartbeats its executors (Sec. III-A) and, when one dies,
+terminates its leases and announces the termination to the affected
+clients for fast reclamation.  Deployments replicate managers by giving
+each a disjoint slice of executors (Sec. III-D, horizontal scaling);
+the client library round-robins across them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.billing import BillingDatabase
+from repro.core.config import RFaaSConfig
+from repro.core.leases import Lease, LeaseState
+from repro.core.rpc import RpcConnection, rpc_connect, rpc_listen
+from repro.sim.events import AnyOf
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rdma.device import NIC
+    from repro.sim.core import Environment
+
+
+@dataclass
+class ExecutorRecord:
+    """Manager-side view of one registered spot executor."""
+
+    name: str
+    host: str
+    port: int
+    cores: int
+    memory_bytes: int
+    free_cores: int
+    free_memory: int
+    alive: bool = True
+    missed_heartbeats: int = 0
+    conn: Optional[RpcConnection] = None
+    leases: list[Lease] = field(default_factory=list)
+
+
+class ResourceManager:
+    """One resource-manager instance."""
+
+    MANAGER_PORT = 9_000
+
+    def __init__(
+        self,
+        nic: "NIC",
+        config: Optional[RFaaSConfig] = None,
+        port: int = MANAGER_PORT,
+        name: Optional[str] = None,
+    ) -> None:
+        self.nic = nic
+        self.env: "Environment" = nic.env
+        self.config = config or RFaaSConfig()
+        self.port = port
+        self.name = name or f"manager-{nic.name}"
+        self.billing = BillingDatabase(nic)
+        self.executors: dict[str, ExecutorRecord] = {}
+        self._rr_index = 0
+        self.leases: dict[int, Lease] = {}
+        #: client name -> RpcConnection, for termination announcements.
+        self._client_conns: dict[str, RpcConnection] = {}
+        self.alive = True
+        self._listener = rpc_listen(nic, port, self._handle_rpc, name=f"{self.name}-rpc")
+        self._heartbeater = self.env.process(self._heartbeat_loop(), name=f"{self.name}-hb")
+
+    # -- RPC dispatch -------------------------------------------------------
+
+    def _handle_rpc(self, message: Any, connection: RpcConnection):
+        kind = message.get("type")
+        if kind == "register_executor":
+            return self._do_register(message, connection)
+        if kind == "lease_request":
+            return self._do_lease(message, connection)
+        if kind == "lease_release":
+            return self._do_release(message)
+        if kind == "lease_renew":
+            return self._do_renew(message)
+        if kind == "resources_freed":
+            self._on_resources_freed(message)
+            return None  # one-way
+        if kind == "deregister_executor":
+            record = self.executors.get(message.get("name", ""))
+            if record is not None:
+                self._declare_dead(record, reason="retired")
+            return None  # one-way
+        if kind == "billing_query":
+            return {"account": self.billing.read_account(message["tenant"]).__dict__}
+        return {"error": f"unknown message type {kind!r}"}
+
+    # -- executor registration & heartbeats ------------------------------------
+
+    def _do_register(self, message: Any, connection: RpcConnection):
+        record = ExecutorRecord(
+            name=message["name"],
+            host=message["host"],
+            port=message["port"],
+            cores=message["cores"],
+            memory_bytes=message["memory_bytes"],
+            free_cores=message["cores"],
+            free_memory=message["memory_bytes"],
+        )
+        self.executors[record.name] = record
+        # Connect back for heartbeats (manager -> executor pings).
+        yield from self._connect_executor(record)
+        return {"type": "registered", "manager": self.name}
+
+    def _connect_executor(self, record: ExecutorRecord):
+        record.conn = yield from rpc_connect(self.nic, record.host, record.port)
+
+    def _heartbeat_loop(self):
+        from repro.sim.process import Interrupt
+
+        try:
+            yield from self._heartbeat_loop_inner()
+        except Interrupt:
+            return
+
+    def _heartbeat_loop_inner(self):
+        env = self.env
+        cfg = self.config
+        while self.alive:
+            yield env.timeout(cfg.heartbeat_interval_ns)
+            for record in list(self.executors.values()):
+                if not record.alive or record.conn is None:
+                    continue
+                response = yield from self._ping(record)
+                if response is None:
+                    record.missed_heartbeats += 1
+                    if record.missed_heartbeats >= cfg.heartbeat_misses:
+                        self._declare_dead(record)
+                else:
+                    record.missed_heartbeats = 0
+
+    def _ping(self, record: ExecutorRecord):
+        """One ping with timeout; returns the pong or None."""
+        env = self.env
+        record.conn.notify({"type": "ping"})
+        arrival = record.conn.qp.recv_cq.arrival_event()
+        deadline = env.timeout(self.config.heartbeat_interval_ns)
+        yield AnyOf(env, [arrival, deadline])
+        if not arrival.processed and len(record.conn.qp.recv_cq) == 0:
+            return None
+        response = yield from record.conn._receive(blocking=False)
+        return response
+
+    def _declare_dead(self, record: ExecutorRecord, reason: str = "failed") -> None:
+        """Executor gone (failure or retirement): reclaim, terminate
+        leases, announce to the affected clients."""
+        record.alive = False
+        for lease in record.leases:
+            if lease.state is LeaseState.ACTIVE:
+                lease.terminate()
+                self.leases.pop(lease.lease_id, None)
+                client_conn = self._client_conns.get(lease.client)
+                if client_conn is not None and client_conn.alive:
+                    client_conn.notify(
+                        {
+                            "type": "lease_terminated",
+                            "lease_id": lease.lease_id,
+                            "reason": f"executor {record.name} {reason}",
+                        }
+                    )
+        record.leases.clear()
+
+    # -- leases ------------------------------------------------------------------
+
+    def _do_lease(self, message: Any, connection: RpcConnection):
+        """Grant a lease: the only centralized step in rFaaS."""
+        env = self.env
+        cfg = self.config
+        yield env.timeout(cfg.timings.manager_decision_ns)
+        client = message["client"]
+        self._client_conns[client] = connection
+        cores = int(message["cores"])
+        memory_bytes = int(message["memory_bytes"])
+        timeout_ns = int(message.get("timeout_ns") or cfg.lease_timeout_ns)
+
+        record = self._pick_executor(cores, memory_bytes)
+        if record is None:
+            return {"type": "lease_denied", "error": "no executor with sufficient capacity"}
+
+        billing_addr, billing_rkey = self.billing.open_account(client)
+        lease = Lease(
+            client=client,
+            executor_host=record.host,
+            executor_port=record.port,
+            cores=cores,
+            memory_bytes=memory_bytes,
+            issued_ns=env.now,
+            timeout_ns=timeout_ns,
+            billing_addr=billing_addr,
+            billing_rkey=billing_rkey,
+            manager_host=self.nic.name,
+        )
+        record.free_cores -= cores
+        record.free_memory -= memory_bytes
+        record.leases.append(lease)
+        self.leases[lease.lease_id] = lease
+        env.process(self._expire_later(lease, record), name=f"lease{lease.lease_id}-expiry")
+        from repro.core.leases import sign_lease
+
+        return {
+            "type": "lease_granted",
+            "token": sign_lease(
+                cfg.cluster_secret, lease.lease_id, client, cores, memory_bytes
+            ),
+            "lease_id": lease.lease_id,
+            "executor_host": record.host,
+            "executor_port": record.port,
+            "executor_name": record.name,
+            "cores": cores,
+            "memory_bytes": memory_bytes,
+            "timeout_ns": timeout_ns,
+            "billing_addr": billing_addr,
+            "billing_rkey": billing_rkey,
+        }
+
+    def _pick_executor(self, cores: int, memory_bytes: int) -> Optional[ExecutorRecord]:
+        """Round-robin over executors with capacity (Sec. III-D)."""
+        names = sorted(self.executors)
+        if not names:
+            return None
+        for step in range(len(names)):
+            record = self.executors[names[(self._rr_index + step) % len(names)]]
+            if not record.alive:
+                continue
+            fits_cores = self.config.allow_oversubscription or record.free_cores >= cores
+            if fits_cores and record.free_memory >= memory_bytes:
+                self._rr_index = (self._rr_index + step + 1) % len(names)
+                return record
+        return None
+
+    def _expire_later(self, lease: Lease, record: ExecutorRecord):
+        # Renewals push expiry_ns forward; keep sleeping until a check
+        # finds the lease actually past its (possibly renewed) expiry.
+        while True:
+            remaining = lease.expiry_ns - self.env.now
+            if remaining > 0:
+                yield self.env.timeout(remaining)
+            if lease.state is not LeaseState.ACTIVE:
+                return
+            if self.env.now >= lease.expiry_ns:
+                break
+        lease.expire()
+        self._return_capacity(record, lease)
+        client_conn = self._client_conns.get(lease.client)
+        if client_conn is not None and client_conn.alive:
+            client_conn.notify(
+                {"type": "lease_terminated", "lease_id": lease.lease_id, "reason": "expired"}
+            )
+        # Fast resource reclamation: tell the executor to tear down too.
+        if record.conn is not None and record.conn.alive and record.alive:
+            record.conn.notify({"type": "lease_expired", "lease_id": lease.lease_id})
+
+    def _do_renew(self, message: Any):
+        """Extend an active lease (restarts its clock from now)."""
+        lease = self.leases.get(int(message["lease_id"]))
+        if lease is None or lease.state is not LeaseState.ACTIVE:
+            return {"type": "renew_denied", "error": "lease not active"}
+        timeout_ns = message.get("timeout_ns")
+        lease.renew(self.env.now, int(timeout_ns) if timeout_ns else None)
+        return {
+            "type": "lease_renewed",
+            "lease_id": lease.lease_id,
+            "expiry_ns": lease.expiry_ns,
+        }
+
+    def _do_release(self, message: Any):
+        lease = self.leases.get(int(message["lease_id"]))
+        if lease is None:
+            return {"error": "unknown lease"}
+        lease.release()
+        for record in self.executors.values():
+            if lease in record.leases:
+                self._return_capacity(record, lease)
+                break
+        return {"type": "lease_released", "lease_id": lease.lease_id}
+
+    def _return_capacity(self, record: ExecutorRecord, lease: Lease) -> None:
+        if lease in record.leases:
+            record.leases.remove(lease)
+            record.free_cores += lease.cores
+            record.free_memory += lease.memory_bytes
+
+    def _on_resources_freed(self, message: Any) -> None:
+        # Executor-side teardown finished; capacity is already returned
+        # on release/expiry, so this is informational bookkeeping.
+        record = self.executors.get(message.get("name", ""))
+        if record is not None:
+            record.missed_heartbeats = 0
+
+    # -- introspection ----------------------------------------------------------
+
+    def active_leases(self) -> list[Lease]:
+        return [lease for lease in self.leases.values() if lease.state is LeaseState.ACTIVE]
+
+    def kill(self) -> None:
+        self.alive = False
+        if self._heartbeater.is_alive:
+            self._heartbeater.interrupt("manager killed")
+        self._listener.close()

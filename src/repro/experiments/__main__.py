@@ -1,0 +1,78 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig8
+    python -m repro.experiments fig13 --quick
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', 'report', or 'list'",
+    )
+    parser.add_argument(
+        "--out",
+        default="report.md",
+        help="output path for 'report' (default: report.md)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized sweeps instead of paper scale"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        help="also write each result as DIR/<experiment>.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(key) for key in EXPERIMENTS)
+        for key, experiment in EXPERIMENTS.items():
+            print(f"{key:<{width}}  {experiment.description}")
+        return 0
+
+    if args.experiment == "report":
+        from repro.experiments.report import write_report
+
+        path = write_report(args.out, quick=args.quick)
+        print(f"wrote {path}")
+        return 0
+
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use 'list' to see the available ids", file=sys.stderr)
+        return 2
+
+    for target in targets:
+        started = time.perf_counter()
+        result = run_experiment(target, quick=args.quick)
+        result.table().show()
+        if args.json:
+            from repro.experiments.io import save_result
+
+            written = save_result(result, f"{args.json}/{target}.json", target)
+            print(f"[wrote {written}]")
+        print(f"[{target}: {time.perf_counter() - started:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Shared measurement plumbing for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.stats import SummaryStats, summarize
+from repro.core.config import RFaaSConfig
+from repro.core.deployment import Deployment
+from repro.core.functions import CodePackage
+from repro.workloads.noop import noop_package
+
+
+@dataclass
+class RfaasLatencyRun:
+    """Median/p99 RTTs of repeated invocations on one configuration."""
+
+    payload_size: int
+    sandbox: str
+    mode: str  # "hot" | "warm"
+    stats: SummaryStats
+
+
+def measure_rfaas_rtts(
+    payload_size: int,
+    *,
+    sandbox: str = "bare-metal",
+    mode: str = "hot",
+    repetitions: int = 30,
+    workers: int = 1,
+    package: Optional[CodePackage] = None,
+    fn: str = "echo",
+    payload: Optional[bytes] = None,
+    config: Optional[RFaaSConfig] = None,
+    confidence: float = 0.99,
+) -> RfaasLatencyRun:
+    """One warmed-up single-client measurement series (Fig. 8 style).
+
+    ``mode='hot'`` keeps workers busy-polling; ``mode='warm'`` forces
+    blocking-wait on every invocation.
+    """
+    if mode not in ("hot", "warm"):
+        raise ValueError(f"unknown mode {mode!r}")
+    hot_timeout = None if mode == "hot" else 0
+    dep = Deployment.build(executors=max(1, -(-workers // 36)), clients=1, config=config)
+    dep.settle()
+    invoker = dep.new_invoker()
+    package = package or noop_package()
+    data = payload if payload is not None else bytes(payload_size)
+
+    def driver():
+        yield from invoker.allocate(
+            package,
+            workers=workers,
+            sandbox=sandbox,
+            hot_timeout_ns=hot_timeout,
+            worker_buffer_bytes=max(payload_size * 2 + 64, 4096),
+        )
+        in_buf = invoker.alloc_input(max(payload_size, 64))
+        out_buf = invoker.alloc_output(max(payload_size, 64))
+        in_buf.write(data)
+        rtts = []
+        # One untimed warm-up settles buffers and modes.
+        warmup = invoker.submit(fn, in_buf, payload_size, out_buf)
+        yield warmup.wait()
+        for _ in range(repetitions):
+            future = invoker.submit(fn, in_buf, payload_size, out_buf)
+            result = yield future.wait()
+            rtts.append(result.rtt_ns)
+            if mode == "warm":
+                # Let the worker roll back to blocking between calls.
+                yield dep.env.timeout(1)
+        return rtts
+
+    rtts = dep.run(driver())
+    return RfaasLatencyRun(
+        payload_size=payload_size,
+        sandbox=sandbox,
+        mode=mode,
+        stats=summarize(rtts, confidence),
+    )

@@ -1,0 +1,133 @@
+"""Concurrency scaling: where decentralization pays (extension).
+
+Fig. 1 compares single-client latency; this experiment sweeps the
+number of closed-loop clients and measures per-invocation latency and
+aggregate throughput on:
+
+* **rFaaS** -- every client holds leases on its own workers; there is
+  no shared control-plane component on the invocation path, so latency
+  stays flat and throughput scales with clients,
+* **OpenWhisk (queued)** -- the single Kafka broker saturates at a few
+  dozen invocations/s; latency grows linearly with clients,
+* **Nightcore (queued)** -- the lean gateway holds on much longer but
+  is still a shared chokepoint,
+* **Lambda (queued)** -- scales horizontally but every call pays the
+  cloud's fixed tens-of-milliseconds path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.reporting import Table, format_ns
+from repro.analysis.stats import median
+from repro.baselines.queueing import queued_lambda, queued_nightcore, queued_openwhisk
+from repro.core.deployment import Deployment
+from repro.sim.core import Environment
+from repro.workloads.noop import noop_package
+
+DEFAULT_CLIENTS = (1, 4, 16, 64)
+PAYLOAD = 1_024
+CALLS_PER_CLIENT = 20
+
+
+@dataclass
+class ConcurrencyResult:
+    client_counts: tuple[int, ...]
+    #: platform -> {clients: median latency ns}
+    latency: dict[str, dict[int, float]] = field(default_factory=dict)
+    #: platform -> {clients: aggregate invocations/s}
+    throughput: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def latency_inflation(self, platform: str) -> float:
+        series = self.latency[platform]
+        return series[max(self.client_counts)] / series[min(self.client_counts)]
+
+    def table(self) -> Table:
+        table = Table(
+            "Concurrency scaling -- median latency (aggregate throughput/s)",
+            ["platform"] + [f"c={c}" for c in self.client_counts],
+        )
+        for platform in self.latency:
+            cells = [platform]
+            for clients in self.client_counts:
+                lat = format_ns(self.latency[platform][clients])
+                thr = self.throughput[platform][clients]
+                cells.append(f"{lat} ({thr:,.0f}/s)")
+            table.add_row(*cells)
+        return table
+
+
+def _measure_rfaas(clients: int, calls: int) -> tuple[float, float]:
+    executors = max(1, -(-clients // 36))
+    dep = Deployment.build(executors=executors, clients=1)
+    dep.settle()
+    rtts: list[int] = []
+    finished = []
+
+    def client_main(index: int):
+        invoker = dep.new_invoker(name=f"c{index}")
+        yield from invoker.allocate(noop_package(), workers=1)
+        in_buf = invoker.alloc_input(PAYLOAD)
+        in_buf.write(bytes(PAYLOAD))
+        out_buf = invoker.alloc_output(PAYLOAD)
+        for _ in range(calls):
+            future = invoker.submit("echo", in_buf, PAYLOAD, out_buf)
+            result = yield future.wait()
+            rtts.append(result.rtt_ns)
+        finished.append(dep.env.now)
+
+    def supervisor():
+        processes = [
+            dep.env.process(client_main(index), name=f"client{index}")
+            for index in range(clients)
+        ]
+        for process in processes:
+            yield process
+        return None
+
+    start = dep.env.now
+    dep.run(supervisor())
+    elapsed = max(finished) - start
+    return median(rtts), clients * calls / (elapsed / 1e9)
+
+
+def _measure_queued(factory: Callable, clients: int, calls: int) -> tuple[float, float]:
+    env = Environment()
+    platform = factory(env)
+    rtts: list[int] = []
+    finished: list[int] = []
+
+    def client_main():
+        for _ in range(calls):
+            rtt = yield from platform.invoke(PAYLOAD)
+            rtts.append(rtt)
+        finished.append(env.now)
+
+    for _ in range(clients):
+        env.process(client_main())
+    env.run()
+    elapsed = max(finished)
+    return median(rtts), clients * calls / (elapsed / 1e9)
+
+
+def run_concurrency(
+    client_counts: tuple[int, ...] = DEFAULT_CLIENTS,
+    calls_per_client: int = CALLS_PER_CLIENT,
+) -> ConcurrencyResult:
+    result = ConcurrencyResult(client_counts=tuple(client_counts))
+    platforms = {
+        "rfaas": lambda c: _measure_rfaas(c, calls_per_client),
+        "openwhisk-queued": lambda c: _measure_queued(queued_openwhisk, c, calls_per_client),
+        "nightcore-queued": lambda c: _measure_queued(queued_nightcore, c, calls_per_client),
+        "aws-lambda-queued": lambda c: _measure_queued(queued_lambda, c, calls_per_client),
+    }
+    for name, measure in platforms.items():
+        result.latency[name] = {}
+        result.throughput[name] = {}
+        for clients in client_counts:
+            latency, throughput = measure(clients)
+            result.latency[name][clients] = latency
+            result.throughput[name][clients] = throughput
+    return result

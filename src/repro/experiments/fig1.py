@@ -1,0 +1,102 @@
+"""Fig. 1 / Sec. V-C: rFaaS vs AWS Lambda, OpenWhisk, Nightcore.
+
+The no-op echo over payloads 1 kB .. 5 MB.  Baselines receive base64
+payloads (their APIs cannot take raw bytes); OpenWhisk is capped at
+125 kB by its argv input path.  Expected speedup bands from the paper:
+Lambda 695-3692x, OpenWhisk 5904-22406x, Nightcore 23-39x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.reporting import Table, format_bytes, format_ns
+from repro.analysis.stats import summarize
+from repro.baselines import AwsLambda, Nightcore, OpenWhisk
+from repro.experiments.common import measure_rfaas_rtts
+from repro.sim.core import Environment
+
+DEFAULT_SIZES = (1_000, 10_000, 100_000, 1_000_000, 5_000_000)
+
+_PLATFORMS = {
+    "aws-lambda": AwsLambda,
+    "openwhisk": OpenWhisk,
+    "nightcore": Nightcore,
+}
+
+
+@dataclass
+class Fig1Result:
+    sizes: tuple[int, ...]
+    #: series -> {size: median ns}; missing sizes = over platform cap.
+    series: dict[str, dict[int, float]] = field(default_factory=dict)
+    p99: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def speedups(self, platform: str) -> dict[int, float]:
+        """rFaaS speedup per size (only where the platform has data)."""
+        return {
+            size: self.series[platform][size] / self.series["rfaas"][size]
+            for size in self.sizes
+            if size in self.series[platform]
+        }
+
+    def speedup_range(self, platform: str) -> tuple[float, float]:
+        values = list(self.speedups(platform).values())
+        return min(values), max(values)
+
+    def table(self) -> Table:
+        table = Table(
+            "Fig. 1 -- platform comparison, no-op echo (median RTT)",
+            ["size", "rfaas"] + [f"{p} (speedup)" for p in _PLATFORMS],
+        )
+        for size in self.sizes:
+            cells = [format_bytes(size), format_ns(self.series["rfaas"][size])]
+            for platform in _PLATFORMS:
+                if size in self.series[platform]:
+                    rtt = self.series[platform][size]
+                    speedup = rtt / self.series["rfaas"][size]
+                    cells.append(f"{format_ns(rtt)} ({speedup:,.0f}x)")
+                else:
+                    cells.append("over cap")
+            table.add_row(*cells)
+        return table
+
+
+def _measure_platform(platform_cls, size: int, repetitions: int) -> Optional[float]:
+    env = Environment()
+    platform = platform_cls(env)
+    rtts: list[int] = []
+
+    def driver():
+        try:
+            # First invocation is cold; it is discarded.
+            yield from platform.invoke("echo", None, size, compute_ns=0)
+            for _ in range(repetitions):
+                result = yield from platform.invoke("echo", None, size, compute_ns=0)
+                rtts.append(result.rtt_ns)
+        except ValueError:
+            rtts.clear()
+
+    env.process(driver())
+    env.run()
+    if not rtts:
+        return None
+    return summarize(rtts).median
+
+
+def run_fig1(sizes: tuple[int, ...] = DEFAULT_SIZES, repetitions: int = 15) -> Fig1Result:
+    result = Fig1Result(sizes=tuple(sizes))
+    result.series["rfaas"] = {}
+    result.p99["rfaas"] = {}
+    for size in sizes:
+        run = measure_rfaas_rtts(size, mode="hot", repetitions=repetitions)
+        result.series["rfaas"][size] = run.stats.median
+        result.p99["rfaas"][size] = run.stats.p99
+    for name, platform_cls in _PLATFORMS.items():
+        result.series[name] = {}
+        for size in sizes:
+            median = _measure_platform(platform_cls, size, repetitions)
+            if median is not None:
+                result.series[name][size] = median
+    return result

@@ -1,0 +1,129 @@
+"""Fig. 11: real serverless functions -- thumbnailer & ResNet inference.
+
+Both SeBS benchmarks run on rFaaS (Docker executors, as deployed in the
+paper) and on the AWS Lambda model, with identical compute-cost models,
+so the gap isolates the invocation path: raw RDMA payloads vs
+base64-over-HTTP through the cloud control plane.
+
+Inputs match the paper: 97 kB / 3.6 MB images for the thumbnailer,
+53 kB / 230 kB for recognition; 100 repetitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import Table, format_bytes, format_ns
+from repro.analysis.stats import SummaryStats, summarize
+from repro.baselines import AwsLambda
+from repro.core.deployment import Deployment
+from repro.sim.core import Environment
+from repro.workloads.images import image_for_payload_size
+from repro.workloads.resnet import inference_cost_ns, resnet_package
+from repro.workloads.thumbnailer import thumbnail_cost_ns, thumbnailer_package
+
+CASES = {
+    "thumbnailer-small": ("thumbnailer", 97_000),
+    "thumbnailer-large": ("thumbnailer", 3_600_000),
+    "recognition-small": ("image-recognition", 53_000),
+    "recognition-large": ("image-recognition", 230_000),
+}
+
+
+@dataclass
+class Fig11Result:
+    #: case -> platform -> stats
+    stats: dict[str, dict[str, SummaryStats]] = field(default_factory=dict)
+
+    def speedup(self, case: str) -> float:
+        return self.stats[case]["aws-lambda"].median / self.stats[case]["rfaas"].median
+
+    def table(self) -> Table:
+        table = Table(
+            "Fig. 11 -- SeBS functions (median RTT)",
+            ["case", "input", "rfaas", "aws-lambda", "speedup"],
+        )
+        for case, (_, size) in CASES.items():
+            table.add_row(
+                case,
+                format_bytes(size),
+                format_ns(self.stats[case]["rfaas"].median),
+                format_ns(self.stats[case]["aws-lambda"].median),
+                f"{self.speedup(case):.1f}x",
+            )
+        return table
+
+
+def _package_for(function: str):
+    return thumbnailer_package() if function == "thumbnailer" else resnet_package()
+
+
+def _rfaas_case(function: str, size: int, repetitions: int) -> SummaryStats:
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    invoker = dep.new_invoker()
+    package = _package_for(function)
+    image = image_for_payload_size(size)
+    payload = image.encode()
+
+    def driver():
+        yield from invoker.allocate(
+            package,
+            workers=1,
+            sandbox="docker",
+            worker_buffer_bytes=2 * len(payload) + 64,
+        )
+        in_buf = invoker.alloc_input(len(payload))
+        out_buf = invoker.alloc_output(len(payload))
+        in_buf.write(payload)
+        rtts = []
+        warmup = invoker.submit(function, in_buf, len(payload), out_buf)
+        yield warmup.wait()
+        for _ in range(repetitions):
+            future = invoker.submit(function, in_buf, len(payload), out_buf)
+            result = yield future.wait()
+            assert result.ok
+            rtts.append(result.rtt_ns)
+        return rtts
+
+    return summarize(dep.run(driver()), confidence=0.95)
+
+
+def _lambda_case(function: str, size: int, repetitions: int) -> SummaryStats:
+    env = Environment()
+    platform = AwsLambda(env)
+    image = image_for_payload_size(size)
+    payload = image.encode()
+    # Same real kernel and same cost model as the rFaaS deployment, so
+    # the measured gap is purely the invocation path.
+    spec = _package_for(function).by_index(0)
+    cost = (
+        thumbnail_cost_ns(len(payload))
+        if function == "thumbnailer"
+        else inference_cost_ns(len(payload))
+    )
+    rtts: list[int] = []
+
+    def driver():
+        yield from platform.invoke(
+            function, payload, len(payload), handler=spec.handler, compute_ns=cost
+        )
+        for _ in range(repetitions):
+            result = yield from platform.invoke(
+                function, payload, len(payload), handler=spec.handler, compute_ns=cost
+            )
+            rtts.append(result.rtt_ns)
+
+    env.process(driver())
+    env.run()
+    return summarize(rtts, confidence=0.95)
+
+
+def run_fig11(repetitions: int = 20) -> Fig11Result:
+    result = Fig11Result()
+    for case, (function, size) in CASES.items():
+        result.stats[case] = {
+            "rfaas": _rfaas_case(function, size, repetitions),
+            "aws-lambda": _lambda_case(function, size, repetitions),
+        }
+    return result

@@ -1,0 +1,61 @@
+"""Fig. 12: Black-Scholes parallel offloading.
+
+OpenMP vs rFaaS (entire work offloaded) vs OpenMP+rFaaS (half/half) on
+the PARSEC workload (229 MB in, 38 MB out).  The paper's takeaways:
+
+* offloading scales efficiently until per-thread work approaches the
+  ~20 ms network transmission time of the inputs,
+* the hybrid beats both at every worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import Table, format_ns
+from repro.hpc.apps import BlackScholesScenario
+from repro.sim.clock import ms
+from repro.workloads.black_scholes import PAPER_NUM_OPTIONS
+
+DEFAULT_WORKERS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class Fig12Result:
+    workers: tuple[int, ...]
+    n_options: int
+    series: dict[str, dict[int, int]] = field(default_factory=dict)
+
+    @property
+    def transfer_wall_ns(self) -> int:
+        """The ~20 ms it takes the inputs to cross the client link."""
+        from repro.rdma.latency import LatencyModel
+        from repro.workloads.black_scholes import BYTES_PER_OPTION
+
+        return LatencyModel().serialization_ns(self.n_options * BYTES_PER_OPTION)
+
+    def table(self) -> Table:
+        table = Table(
+            "Fig. 12 -- Black-Scholes offloading (runtime)",
+            ["workers", "openmp", "rfaas", "openmp+rfaas"],
+        )
+        for w in self.workers:
+            table.add_row(
+                w,
+                format_ns(self.series["openmp"][w]),
+                format_ns(self.series["rfaas"][w]),
+                format_ns(self.series["openmp+rfaas"][w]),
+            )
+        return table
+
+
+def run_fig12(
+    workers: tuple[int, ...] = DEFAULT_WORKERS,
+    n_options: int = PAPER_NUM_OPTIONS,
+) -> Fig12Result:
+    scenario = BlackScholesScenario(n_options=n_options)
+    result = Fig12Result(workers=tuple(workers), n_options=n_options)
+    result.series["openmp"] = {w: scenario.openmp_ns(w) for w in workers}
+    result.series["rfaas"] = {w: scenario.rfaas_ns(w) for w in workers}
+    result.series["openmp+rfaas"] = {w: scenario.hybrid_ns(w) for w in workers}
+    return result

@@ -1,0 +1,62 @@
+"""Fig. 13: HPC applications -- MPI GEMM (a) and Jacobi (b).
+
+Per-rank kernels on two 36-core MPI nodes, optionally accelerated by
+one rFaaS function per rank on separate executor nodes.  Expected
+speedup bands from the paper: 1.88-1.94x (GEMM), 1.7-2.2x (Jacobi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import Table, format_ns
+from repro.hpc.apps import GemmScenario, JacobiScenario
+
+DEFAULT_RANKS = (2, 4, 8, 18, 36)
+
+
+@dataclass
+class Fig13Result:
+    ranks: tuple[int, ...]
+    gemm: dict[str, dict[int, int]] = field(default_factory=dict)
+    jacobi: dict[str, dict[int, int]] = field(default_factory=dict)
+
+    def gemm_speedup(self, ranks: int) -> float:
+        return self.gemm["mpi"][ranks] / self.gemm["mpi+rfaas"][ranks]
+
+    def jacobi_speedup(self, ranks: int) -> float:
+        return self.jacobi["mpi"][ranks] / self.jacobi["mpi+rfaas"][ranks]
+
+    def table(self) -> Table:
+        table = Table(
+            "Fig. 13 -- MPI applications (median kernel time across ranks)",
+            ["ranks", "gemm mpi", "gemm +rfaas", "speedup", "jacobi mpi", "jacobi +rfaas", "speedup"],
+        )
+        for p in self.ranks:
+            table.add_row(
+                p,
+                format_ns(self.gemm["mpi"][p]),
+                format_ns(self.gemm["mpi+rfaas"][p]),
+                f"{self.gemm_speedup(p):.2f}x",
+                format_ns(self.jacobi["mpi"][p]),
+                format_ns(self.jacobi["mpi+rfaas"][p]),
+                f"{self.jacobi_speedup(p):.2f}x",
+            )
+        return table
+
+
+def run_fig13(
+    ranks: tuple[int, ...] = DEFAULT_RANKS,
+    gemm_n: int = 4096,
+    gemm_repetitions: int = 3,
+    jacobi_n: int = 2000,
+    jacobi_iterations: int = 500,
+) -> Fig13Result:
+    result = Fig13Result(ranks=tuple(ranks))
+    gemm = GemmScenario(n=gemm_n, repetitions=gemm_repetitions)
+    jacobi = JacobiScenario(n=jacobi_n, iterations=jacobi_iterations)
+    result.gemm["mpi"] = {p: gemm.mpi_ns(p) for p in ranks}
+    result.gemm["mpi+rfaas"] = {p: gemm.mpi_rfaas_ns(p) for p in ranks}
+    result.jacobi["mpi"] = {p: jacobi.mpi_ns(p) for p in ranks}
+    result.jacobi["mpi+rfaas"] = {p: jacobi.mpi_rfaas_ns(p) for p in ranks}
+    return result

@@ -1,0 +1,69 @@
+"""Fig. 8: RTT of the no-op function vs raw RDMA and TCP.
+
+Series: rFaaS hot/warm x bare-metal/Docker, ``ib_write_lat`` RDMA
+baseline, netperf TCP baseline; sizes 2 B .. 64 KiB.
+
+Headline checks (Sec. V-A):
+
+* hot overhead over RDMA ~326 ns (bare-metal), +~50 ns with Docker,
+* the 630 ns bump where the 12-byte header defeats inlining (128 B),
+* warm overhead ~4.67 us, +~650 ns with Docker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import Table, format_bytes, format_ns
+from repro.experiments.common import measure_rfaas_rtts
+from repro.rdma.microbench import ib_write_lat
+from repro.tcp.netperf import netperf_rr
+
+DEFAULT_SIZES = (2, 16, 64, 128, 256, 1024, 4096, 16384, 65536)
+
+
+@dataclass
+class Fig8Result:
+    sizes: tuple[int, ...]
+    #: series name -> {size: median RTT ns}
+    series: dict[str, dict[int, float]] = field(default_factory=dict)
+    #: series name -> {size: p99 RTT ns}
+    p99: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def overhead_vs_rdma(self, name: str, size: int) -> float:
+        return self.series[name][size] - self.series["rdma"][size]
+
+    def table(self) -> Table:
+        table = Table(
+            "Fig. 8 -- no-op invocation RTT (median, simulated)",
+            ["size"] + list(self.series),
+        )
+        for size in self.sizes:
+            table.add_row(
+                format_bytes(size),
+                *[format_ns(self.series[name][size]) for name in self.series],
+            )
+        return table
+
+
+def run_fig8(sizes: tuple[int, ...] = DEFAULT_SIZES, repetitions: int = 20) -> Fig8Result:
+    result = Fig8Result(sizes=tuple(sizes))
+    for name in ("rdma", "tcp", "hot", "hot-docker", "warm", "warm-docker"):
+        result.series[name] = {}
+        result.p99[name] = {}
+
+    for size in sizes:
+        rdma = ib_write_lat(size, iterations=repetitions)
+        result.series["rdma"][size] = rdma.median_ns
+        result.p99["rdma"][size] = rdma.median_ns
+        tcp = netperf_rr(size, iterations=repetitions)
+        result.series["tcp"][size] = tcp.mean_ns
+        result.p99["tcp"][size] = tcp.mean_ns
+        for mode in ("hot", "warm"):
+            for sandbox, suffix in (("bare-metal", ""), ("docker", "-docker")):
+                run = measure_rfaas_rtts(
+                    size, sandbox=sandbox, mode=mode, repetitions=repetitions
+                )
+                result.series[f"{mode}{suffix}"][size] = run.stats.median
+                result.p99[f"{mode}{suffix}"][size] = run.stats.p99
+    return result

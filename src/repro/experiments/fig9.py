@@ -1,0 +1,78 @@
+"""Fig. 9: cold invocation breakdown, bare-metal (a) vs Docker (b).
+
+Repeated cold starts of the 7.88 kB no-op package; every run tears the
+allocation down so the next one is cold again.  Expected: worker
+creation dominates; every other step is single-digit milliseconds;
+totals ~25 ms bare-metal and ~2.7 s Docker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import Table, format_ns
+from repro.analysis.stats import median
+from repro.core.config import ColdStartBreakdown
+from repro.core.deployment import Deployment
+from repro.workloads.noop import noop_package
+
+STEPS = (
+    "connect_manager",
+    "lease_grant",
+    "connect_allocator",
+    "submit_code",
+    "spawn_workers",
+    "connect_workers",
+    "first_invocation",
+)
+
+
+@dataclass
+class Fig9Result:
+    #: sandbox -> step -> median ns
+    breakdowns: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def total_ns(self, sandbox: str) -> float:
+        return sum(self.breakdowns[sandbox].values())
+
+    def dominant_step(self, sandbox: str) -> str:
+        steps = self.breakdowns[sandbox]
+        return max(steps, key=steps.get)
+
+    def table(self) -> Table:
+        table = Table("Fig. 9 -- cold start breakdown (median)", ["step", *self.breakdowns])
+        for step in STEPS:
+            table.add_row(step, *[format_ns(self.breakdowns[s][step]) for s in self.breakdowns])
+        table.add_row("TOTAL", *[format_ns(self.total_ns(s)) for s in self.breakdowns])
+        return table
+
+
+def _cold_starts(sandbox: str, repetitions: int) -> dict[str, float]:
+    samples: dict[str, list[int]] = {step: [] for step in STEPS}
+    for _ in range(repetitions):
+        dep = Deployment.build(executors=1, clients=1)
+        dep.settle()
+        invoker = dep.new_invoker()
+        package = noop_package()
+
+        def driver():
+            breakdown: ColdStartBreakdown = yield from invoker.allocate(
+                package, workers=1, sandbox=sandbox
+            )
+            start = dep.env.now
+            output = yield from invoker.invoke("echo", b"cold")
+            assert output == b"cold"
+            breakdown.first_invocation = dep.env.now - start
+            return breakdown
+
+        breakdown = dep.run(driver())
+        for step, value in breakdown.as_dict().items():
+            samples[step].append(value)
+    return {step: median(values) for step, values in samples.items()}
+
+
+def run_fig9(repetitions: int = 5) -> Fig9Result:
+    result = Fig9Result()
+    for sandbox in ("bare-metal", "docker"):
+        result.breakdowns[sandbox] = _cold_starts(sandbox, repetitions)
+    return result

@@ -1,0 +1,54 @@
+"""Result serialization: persist experiment outputs as JSON.
+
+Every harness returns a small dataclass tree of numbers; this module
+flattens them into JSON so sweeps can be archived, diffed across code
+versions, or plotted elsewhere.  Non-JSON keys (int-keyed series,
+tuple keys) are stringified deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a harness result into JSON-safe data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+            if not field.name.startswith("_")
+        }
+    if isinstance(value, dict):
+        return {_key(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if hasattr(value, "__dict__"):
+        return {
+            key: to_jsonable(item)
+            for key, item in vars(value).items()
+            if not key.startswith("_")
+        }
+    return repr(value)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def save_result(result: Any, path: str | Path, experiment_id: str = "") -> Path:
+    """Write *result* as pretty JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"experiment": experiment_id, "result": to_jsonable(result)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,86 @@
+"""Lease ablation: decentralized leases vs per-invocation scheduling.
+
+The core architectural claim (Sec. III-B): moving the resource manager
+out of the invocation path is what makes microsecond invocations
+possible.  This ablation measures the same invocation stream in two
+modes:
+
+* **leases (rFaaS)** -- manager contacted once, then direct RDMA;
+* **centralized** -- every invocation first performs a placement RPC at
+  the manager (what OpenWhisk/Lambda-style control planes do on every
+  call), then runs the identical data path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import Table, format_ns
+from repro.analysis.stats import median
+from repro.core.deployment import Deployment
+from repro.workloads.noop import noop_package
+
+
+@dataclass
+class LeaseAblationResult:
+    lease_rtt_ns: float
+    centralized_rtt_ns: float
+    invocations: int
+
+    @property
+    def slowdown(self) -> float:
+        return self.centralized_rtt_ns / self.lease_rtt_ns
+
+    def table(self) -> Table:
+        table = Table(
+            "Lease ablation -- scheduling on vs off the invocation path",
+            ["mode", "median RTT", "relative"],
+        )
+        table.add_row("leases (rFaaS)", format_ns(self.lease_rtt_ns), "1.0x")
+        table.add_row(
+            "centralized placement", format_ns(self.centralized_rtt_ns), f"{self.slowdown:.1f}x"
+        )
+        return table
+
+
+def run_leases(invocations: int = 25) -> LeaseAblationResult:
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    invoker = dep.new_invoker()
+
+    def driver():
+        yield from invoker.allocate(noop_package(), workers=1)
+        in_buf = invoker.alloc_input(64)
+        out_buf = invoker.alloc_output(64)
+        in_buf.write(b"xx")
+
+        lease_rtts = []
+        for _ in range(invocations):
+            future = invoker.submit("echo", in_buf, 2, out_buf)
+            result = yield future.wait()
+            lease_rtts.append(result.rtt_ns)
+
+        # Centralized mode: a placement RPC precedes every invocation.
+        manager_client = next(iter(invoker._manager_clients.values()))
+        central_rtts = []
+        for _ in range(invocations):
+            start = dep.env.now
+            response = yield from manager_client.request(
+                {
+                    "type": "lease_request",
+                    "client": invoker.name,
+                    "cores": 0,
+                    "memory_bytes": 0,
+                    "timeout_ns": 1,
+                }
+            )
+            assert response.get("type") == "lease_granted"
+            future = invoker.submit("echo", in_buf, 2, out_buf)
+            yield future.wait()
+            central_rtts.append(dep.env.now - start)
+        return median(lease_rtts), median(central_rtts)
+
+    lease_rtt, central_rtt = dep.run(driver())
+    return LeaseAblationResult(
+        lease_rtt_ns=lease_rtt, centralized_rtt_ns=central_rtt, invocations=invocations
+    )

@@ -1,0 +1,75 @@
+"""Modularity ablation (Sec. III-F): rFaaS on software RDMA.
+
+"In addition, software virtualization can be employed in data centers
+without high-speed networks, offering RDMA semantics at the cost of
+higher overheads."  This harness runs the identical rFaaS stack on a
+SoftRoCE-like latency model and quantifies that cost: the platform
+works unmodified, invocations just move from ~4 us to tens of us.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import Table, format_bytes, format_ns
+from repro.analysis.stats import median
+from repro.core.deployment import Deployment
+from repro.rdma.latency import LatencyModel
+from repro.workloads.noop import noop_package
+
+DEFAULT_SIZES = (64, 1024, 65536, 1_000_000)
+
+
+@dataclass
+class SoftRoceResult:
+    sizes: tuple[int, ...]
+    hardware: dict[int, float]
+    software: dict[int, float]
+
+    def slowdown(self, size: int) -> float:
+        return self.software[size] / self.hardware[size]
+
+    def table(self) -> Table:
+        table = Table(
+            "Sec. III-F ablation -- rFaaS on hardware RDMA vs SoftRoCE",
+            ["payload", "hardware RDMA", "SoftRoCE", "slowdown"],
+        )
+        for size in self.sizes:
+            table.add_row(
+                format_bytes(size),
+                format_ns(self.hardware[size]),
+                format_ns(self.software[size]),
+                f"{self.slowdown(size):.1f}x",
+            )
+        return table
+
+
+def _measure(model: LatencyModel, size: int, repetitions: int) -> float:
+    dep = Deployment.build(executors=1, clients=1, latency_model=model)
+    dep.settle()
+    invoker = dep.new_invoker()
+    package = noop_package()
+
+    def driver():
+        yield from invoker.allocate(
+            package, workers=1, worker_buffer_bytes=2 * size + 64
+        )
+        in_buf = invoker.alloc_input(size)
+        out_buf = invoker.alloc_output(size)
+        in_buf.write(bytes(size))
+        rtts = []
+        warmup = invoker.submit("echo", in_buf, size, out_buf)
+        yield warmup.wait()
+        for _ in range(repetitions):
+            future = invoker.submit("echo", in_buf, size, out_buf)
+            result = yield future.wait()
+            rtts.append(result.rtt_ns)
+        return rtts
+
+    return median(dep.run(driver()))
+
+
+def run_softroce(sizes: tuple[int, ...] = DEFAULT_SIZES, repetitions: int = 10) -> SoftRoceResult:
+    hardware = {size: _measure(LatencyModel(), size, repetitions) for size in sizes}
+    software = {size: _measure(LatencyModel.soft_roce(), size, repetitions) for size in sizes}
+    return SoftRoceResult(sizes=tuple(sizes), hardware=hardware, software=software)

@@ -1,0 +1,137 @@
+"""The SeBS-style suite experiment: five real functions, two platforms.
+
+Generalizes Fig. 11 across the whole workload suite (thumbnailer,
+ResNet inference, compression, graph BFS, graph PageRank), running each
+real function on rFaaS (Docker executors) and on the AWS Lambda model
+with identical compute cost.  The per-function speedup tracks how
+data-movement-bound the function is -- exactly the paper's Sec. VII
+workload taxonomy ("data-intensive workloads will benefit").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import Table, format_bytes, format_ns
+from repro.analysis.stats import median
+from repro.baselines import AwsLambda
+from repro.core.deployment import Deployment
+from repro.core.functions import CodePackage
+from repro.sim.core import Environment
+from repro.workloads.images import image_for_payload_size
+from repro.workloads.resnet import resnet_package
+from repro.workloads.sebs_extra import pack_graph, random_graph, sebs_extra_package
+from repro.workloads.thumbnailer import thumbnailer_package
+
+
+@dataclass
+class SuiteCase:
+    name: str
+    package_factory: object
+    fn: str
+    payload: bytes
+    out_capacity: int
+
+
+def default_cases() -> list[SuiteCase]:
+    image = image_for_payload_size(200_000)
+    reco = image_for_payload_size(53_000)
+    n, m = 2_000, 20_000
+    graph = pack_graph(n, random_graph(n, m, seed=12), arg=0)
+    graph_pr = pack_graph(n, random_graph(n, m, seed=12), arg=20)
+    text = bytes(range(256)) * 800  # 204.8 kB, mildly compressible
+    return [
+        SuiteCase("thumbnailer", thumbnailer_package, "thumbnailer", image.encode(), 1 << 20),
+        SuiteCase("recognition", resnet_package, "image-recognition", reco.encode(), 64),
+        SuiteCase("compression", sebs_extra_package, "compression", text, len(text) * 2),
+        SuiteCase("graph-bfs", sebs_extra_package, "graph-bfs", graph, 4 * n),
+        SuiteCase("graph-pagerank", sebs_extra_package, "graph-pagerank", graph_pr, 8 * n),
+    ]
+
+
+@dataclass
+class SuiteResult:
+    #: case -> platform -> median RTT ns
+    medians: dict[str, dict[str, float]] = field(default_factory=dict)
+    payload_sizes: dict[str, int] = field(default_factory=dict)
+
+    def speedup(self, case: str) -> float:
+        return self.medians[case]["aws-lambda"] / self.medians[case]["rfaas"]
+
+    def table(self) -> Table:
+        table = Table(
+            "SeBS-style suite -- rFaaS vs AWS Lambda (median RTT)",
+            ["function", "input", "rfaas", "aws-lambda", "speedup"],
+        )
+        for case, platforms in self.medians.items():
+            table.add_row(
+                case,
+                format_bytes(self.payload_sizes[case]),
+                format_ns(platforms["rfaas"]),
+                format_ns(platforms["aws-lambda"]),
+                f"{self.speedup(case):.1f}x",
+            )
+        return table
+
+
+def _rfaas_case(case: SuiteCase, repetitions: int) -> float:
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    invoker = dep.new_invoker()
+    package: CodePackage = case.package_factory()
+
+    def driver():
+        yield from invoker.allocate(
+            package,
+            workers=1,
+            sandbox="docker",
+            worker_buffer_bytes=2 * max(len(case.payload), case.out_capacity) + 64,
+        )
+        in_buf = invoker.alloc_input(len(case.payload))
+        in_buf.write(case.payload)
+        out_buf = invoker.alloc_output(case.out_capacity)
+        warmup = invoker.submit(case.fn, in_buf, len(case.payload), out_buf)
+        yield warmup.wait()
+        rtts = []
+        for _ in range(repetitions):
+            future = invoker.submit(case.fn, in_buf, len(case.payload), out_buf)
+            result = yield future.wait()
+            assert result.ok
+            rtts.append(result.rtt_ns)
+        return rtts
+
+    return median(dep.run(driver()))
+
+
+def _lambda_case(case: SuiteCase, repetitions: int) -> float:
+    env = Environment()
+    platform = AwsLambda(env)
+    package: CodePackage = case.package_factory()
+    spec = package.by_index(package.index_of(case.fn))
+    cost = spec.cost_ns(len(case.payload))
+    rtts: list[int] = []
+
+    def driver():
+        yield from platform.invoke(
+            case.fn, case.payload, len(case.payload), handler=spec.handler, compute_ns=cost
+        )
+        for _ in range(repetitions):
+            result = yield from platform.invoke(
+                case.fn, case.payload, len(case.payload), handler=spec.handler, compute_ns=cost
+            )
+            rtts.append(result.rtt_ns)
+
+    env.process(driver())
+    env.run()
+    return median(rtts)
+
+
+def run_suite(repetitions: int = 10) -> SuiteResult:
+    result = SuiteResult()
+    for case in default_cases():
+        result.payload_sizes[case.name] = len(case.payload)
+        result.medians[case.name] = {
+            "rfaas": _rfaas_case(case, repetitions),
+            "aws-lambda": _lambda_case(case, repetitions),
+        }
+    return result

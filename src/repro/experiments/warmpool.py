@@ -1,0 +1,71 @@
+"""Warm-pool ablation (Sec. V-B): bypassing container startup.
+
+The paper: "the user's function can be deployed as a code package like
+in many other FaaS platforms, allowing executor managers to keep a pool
+of generic and ready containers and bypass the container startup
+latency" -- and cites 125 ms fast-microVM boots [30] as the achievable
+floor.  This harness measures Docker cold starts with and without the
+pool and checks the floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import Table, format_ns
+from repro.analysis.stats import median
+from repro.core.config import ColdStartBreakdown, RFaaSConfig
+from repro.core.deployment import Deployment
+from repro.sim.clock import ms, secs
+from repro.workloads.noop import noop_package
+
+
+@dataclass
+class WarmPoolResult:
+    cold_ns: float
+    pooled_ns: float
+    pool_hits: int
+
+    @property
+    def improvement(self) -> float:
+        return self.cold_ns / self.pooled_ns
+
+    def table(self) -> Table:
+        table = Table(
+            "Sec. V-B ablation -- Docker cold starts with a warm pool",
+            ["path", "median cold start", "relative"],
+        )
+        table.add_row("container boot", format_ns(self.cold_ns), "1.0x")
+        table.add_row(
+            "warm pool attach", format_ns(self.pooled_ns), f"{1 / self.improvement:.3f}x"
+        )
+        return table
+
+
+def _cold_start(config: RFaaSConfig, repetitions: int) -> tuple[float, int]:
+    samples = []
+    hits = 0
+    for _ in range(repetitions):
+        dep = Deployment.build(executors=1, clients=1, config=config)
+        dep.settle()
+        if config.warm_pool_size > 0:
+            # Let the pool boot before the client arrives.
+            dep.env.run(until=dep.env.now + secs(6))
+        invoker = dep.new_invoker()
+        package = noop_package()
+
+        def driver():
+            breakdown: ColdStartBreakdown = yield from invoker.allocate(
+                package, workers=1, sandbox="docker"
+            )
+            return breakdown.total
+
+        samples.append(dep.run(driver()))
+        hits += dep.executors[0].pool_hits
+    return median(samples), hits
+
+
+def run_warmpool(repetitions: int = 3) -> WarmPoolResult:
+    cold, _ = _cold_start(RFaaSConfig(), repetitions)
+    pooled, hits = _cold_start(RFaaSConfig(warm_pool_size=2), repetitions)
+    return WarmPoolResult(cold_ns=cold, pooled_ns=pooled, pool_hits=hits)

@@ -1,0 +1,35 @@
+"""HPC substrate: mini-MPI, an OpenMP fork-join model, and the hybrid
+MPI+rFaaS application drivers behind Figs. 12 and 13.
+
+The mini-MPI runtime runs ranks as simulated processes communicating
+over the same fabric as rFaaS -- which is the whole point of Fig. 13's
+setup: MPI traffic and serverless offload traffic *share* the network,
+and the reproduction shows (as the paper does) that acceleration
+survives that sharing.
+"""
+
+from repro.hpc.mpi import ANY_SOURCE, ANY_TAG, MpiJob, RankContext
+from repro.hpc.openmp import OpenMPModel, openmp_parallel_for_ns
+from repro.hpc.apps import (
+    BlackScholesScenario,
+    GemmScenario,
+    JacobiScenario,
+    run_blackscholes,
+    run_gemm,
+    run_jacobi,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BlackScholesScenario",
+    "GemmScenario",
+    "JacobiScenario",
+    "MpiJob",
+    "OpenMPModel",
+    "RankContext",
+    "openmp_parallel_for_ns",
+    "run_blackscholes",
+    "run_gemm",
+    "run_jacobi",
+]

@@ -1,0 +1,284 @@
+"""Application drivers for the paper's HPC use-cases (Figs. 12, 13).
+
+Each scenario builds its own small cluster, runs the baseline and the
+rFaaS-accelerated variant, and returns runtimes in virtual nanoseconds.
+Payloads are *virtual* (size-only) at benchmark scale -- the cost
+models and the shared fabric produce the timing -- while the same code
+paths run with real bytes at small scale in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.deployment import Deployment
+from repro.core.config import RFaaSConfig
+from repro.hpc.mpi import MpiJob
+from repro.hpc.openmp import openmp_parallel_for_ns
+from repro.sim.clock import GiB
+from repro.workloads import black_scholes as bs
+from repro.workloads import gemm as gemm_mod
+from repro.workloads import jacobi as jacobi_mod
+from repro.workloads.black_scholes import bs_package
+from repro.workloads.gemm import gemm_package
+from repro.workloads.jacobi import jacobi_package
+from repro.core import protocol
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12: Black-Scholes offloading (OpenMP vs rFaaS vs OpenMP+rFaaS)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BlackScholesScenario:
+    """The PARSEC offload experiment: 229 MB in, 38 MB out."""
+
+    n_options: int = bs.PAPER_NUM_OPTIONS
+    config: Optional[RFaaSConfig] = None
+
+    @property
+    def total_compute_ns(self) -> int:
+        return self.n_options * bs.COST_PER_OPTION_NS
+
+    def openmp_ns(self, threads: int) -> int:
+        """Local OpenMP baseline (analytic: balanced parallel-for)."""
+        return openmp_parallel_for_ns(self.total_compute_ns, threads)
+
+    def rfaas_ns(self, workers: int, fraction: float = 1.0) -> int:
+        """Offload *fraction* of the options to *workers* functions."""
+        options = int(self.n_options * fraction)
+        if options == 0:
+            return 0
+        executors = -(-workers // 36)
+        dep = Deployment.build(executors=executors, clients=1, config=self.config)
+        dep.settle()
+        invoker = dep.new_invoker()
+        package = bs_package()
+
+        def driver():
+            chunk = -(-options // workers)
+            buffer_bytes = chunk * bs.BYTES_PER_OPTION + 64
+            remaining = workers
+            while remaining > 0:
+                batch = min(remaining, 36)
+                yield from invoker.allocate(
+                    package,
+                    workers=batch,
+                    memory_bytes=4 * GiB,
+                    worker_buffer_bytes=buffer_bytes,
+                    virtual_buffers=True,
+                )
+                remaining -= batch
+            in_bufs = []
+            out_bufs = []
+            for _ in range(workers):
+                in_bufs.append(invoker.alloc_input(chunk * bs.BYTES_PER_OPTION, virtual=True))
+                out_bufs.append(invoker.alloc_output(chunk * bs.BYTES_PER_PRICE, virtual=True))
+            start = dep.env.now
+            futures = []
+            dispatched = 0
+            for index in range(workers):
+                count = min(chunk, options - dispatched)
+                if count <= 0:
+                    break
+                dispatched += count
+                futures.append(
+                    invoker.submit(
+                        "black-scholes",
+                        in_bufs[index],
+                        count * bs.BYTES_PER_OPTION,
+                        out_bufs[index],
+                        worker=index,
+                    )
+                )
+            for future in futures:
+                yield future.wait()
+            return dep.env.now - start
+
+        return dep.run(driver())
+
+    def hybrid_ns(self, threads: int) -> int:
+        """OpenMP half + rFaaS half with equal parallelism (the paper's
+        'OpenMP + rFaaS' series); runtime is the slower half."""
+        local = openmp_parallel_for_ns(self.total_compute_ns // 2, threads)
+        remote = self.rfaas_ns(threads, fraction=0.5)
+        return max(local, remote)
+
+
+def run_blackscholes(workers_list: list[int], n_options: int = bs.PAPER_NUM_OPTIONS):
+    """The Fig. 12 sweep; returns {series: {workers: runtime_ns}}."""
+    scenario = BlackScholesScenario(n_options=n_options)
+    return {
+        "openmp": {w: scenario.openmp_ns(w) for w in workers_list},
+        "rfaas": {w: scenario.rfaas_ns(w) for w in workers_list},
+        "openmp+rfaas": {w: scenario.hybrid_ns(w) for w in workers_list},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13a: MPI matrix-matrix multiplication
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GemmScenario:
+    """Per-rank n x n GEMM, half offloadable to one rFaaS function."""
+
+    n: int = 4096
+    repetitions: int = 5
+    config: Optional[RFaaSConfig] = None
+
+    def mpi_ns(self, ranks: int) -> int:
+        """Baseline: every rank computes the full GEMM; median across
+        ranks of the mean kernel time."""
+        dep = Deployment.build(executors=0, managers=1, clients=2, config=self.config)
+        job = MpiJob(dep.fabric, dep.client_nodes, ranks)
+
+        def rank_main(ctx):
+            times = []
+            for _ in range(self.repetitions):
+                start = ctx.env.now
+                yield from ctx.compute(gemm_mod.gemm_cost_ns(self.n))
+                times.append(ctx.env.now - start)
+            return sum(times) / len(times)
+
+        def driver():
+            results = yield from job.run(rank_main)
+            return results
+
+        per_rank = dep.run(driver())
+        return _median(per_rank)
+
+    def mpi_rfaas_ns(self, ranks: int) -> int:
+        """Each rank computes the top half locally while its function
+        computes the bottom half (A, B shipped every repetition)."""
+        executors = max(1, -(-ranks // 36))
+        dep = Deployment.build(executors=executors, clients=2, config=self.config)
+        dep.settle()
+        job = MpiJob(dep.fabric, dep.client_nodes, ranks)
+        payload_size = 16 * self.n * self.n + 16
+        result_size = 8 * (self.n // 2) * self.n
+
+        def rank_main(ctx):
+            invoker = dep.new_invoker(
+                client_index=dep.client_nodes.index(ctx.node),
+                name=f"rank{ctx.rank}",
+            )
+            yield from invoker.allocate(
+                gemm_package(),
+                workers=1,
+                memory_bytes=2 * GiB,
+                worker_buffer_bytes=payload_size + 64,
+                virtual_buffers=True,
+            )
+            in_buf = invoker.alloc_input(payload_size, virtual=True)
+            out_buf = invoker.alloc_output(result_size, virtual=True)
+            times = []
+            for _ in range(self.repetitions):
+                start = ctx.env.now
+                future = invoker.submit("gemm", in_buf, payload_size, out_buf)
+                yield from ctx.compute(gemm_mod.gemm_cost_ns(self.n, rows=self.n // 2))
+                yield future.wait()
+                times.append(ctx.env.now - start)
+            return sum(times) / len(times)
+
+        def driver():
+            return (yield from job.run(rank_main))
+
+        per_rank = dep.run(driver())
+        return _median(per_rank)
+
+
+def run_gemm(rank_counts: list[int], n: int = 4096, repetitions: int = 3):
+    """The Fig. 13a sweep; returns {series: {ranks: runtime_ns}}."""
+    scenario = GemmScenario(n=n, repetitions=repetitions)
+    return {
+        "mpi": {p: scenario.mpi_ns(p) for p in rank_counts},
+        "mpi+rfaas": {p: scenario.mpi_rfaas_ns(p) for p in rank_counts},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13b: MPI Jacobi solver with warm-sandbox caching
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JacobiScenario:
+    """Iterative solve: matrix cached remotely, only x travels."""
+
+    n: int = 2000
+    iterations: int = 1000
+    config: Optional[RFaaSConfig] = None
+
+    def mpi_ns(self, ranks: int) -> int:
+        dep = Deployment.build(executors=0, managers=1, clients=2, config=self.config)
+        job = MpiJob(dep.fabric, dep.client_nodes, ranks)
+
+        def rank_main(ctx):
+            start = ctx.env.now
+            for _ in range(self.iterations):
+                yield from ctx.compute(jacobi_mod.jacobi_iteration_cost_ns(self.n))
+            return ctx.env.now - start
+
+        per_rank = dep.run(job.run(rank_main))
+        return _median(per_rank)
+
+    def mpi_rfaas_ns(self, ranks: int) -> int:
+        executors = max(1, -(-ranks // 36))
+        dep = Deployment.build(executors=executors, clients=2, config=self.config)
+        dep.settle()
+        job = MpiJob(dep.fabric, dep.client_nodes, ranks)
+        setup_size = jacobi_mod.setup_bytes(self.n)
+        iterate_size = jacobi_mod.iterate_bytes(self.n)
+        half_result = 8 * (self.n // 2)
+
+        def rank_main(ctx):
+            invoker = dep.new_invoker(
+                client_index=dep.client_nodes.index(ctx.node),
+                name=f"rank{ctx.rank}",
+            )
+            yield from invoker.allocate(
+                jacobi_package(),
+                workers=1,
+                memory_bytes=2 * GiB,
+                worker_buffer_bytes=setup_size + 64,
+                virtual_buffers=True,
+            )
+            in_setup = invoker.alloc_input(setup_size, virtual=True)
+            in_iter = invoker.alloc_input(iterate_size, virtual=True)
+            out_buf = invoker.alloc_output(half_result, virtual=True)
+            start = ctx.env.now
+            # First invocation ships the matrix; it is cached remotely.
+            future = invoker.submit("jacobi", in_setup, setup_size, out_buf)
+            yield from ctx.compute(jacobi_mod.jacobi_iteration_cost_ns(self.n, rows=self.n // 2))
+            yield future.wait()
+            for _ in range(self.iterations - 1):
+                future = invoker.submit("jacobi", in_iter, iterate_size, out_buf)
+                yield from ctx.compute(
+                    jacobi_mod.jacobi_iteration_cost_ns(self.n, rows=self.n // 2)
+                )
+                yield future.wait()
+            return ctx.env.now - start
+
+        per_rank = dep.run(job.run(rank_main))
+        return _median(per_rank)
+
+
+def run_jacobi(rank_counts: list[int], n: int = 2000, iterations: int = 100):
+    """The Fig. 13b sweep; returns {series: {ranks: runtime_ns}}."""
+    scenario = JacobiScenario(n=n, iterations=iterations)
+    return {
+        "mpi": {p: scenario.mpi_ns(p) for p in rank_counts},
+        "mpi+rfaas": {p: scenario.mpi_rfaas_ns(p) for p in rank_counts},
+    }
+
+
+def _median(values: list[float]) -> int:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return int(ordered[mid])
+    return int((ordered[mid - 1] + ordered[mid]) / 2)

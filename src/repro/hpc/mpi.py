@@ -1,0 +1,235 @@
+"""A miniature MPI on the DES kernel.
+
+Point-to-point messages move real payloads over the shared fabric with
+eager/rendezvous semantics; collectives (barrier, bcast, reduce,
+gather, allreduce) are built from point-to-point with the usual
+logarithmic algorithms.  Ranks are simulated processes pinned to nodes
+-- several ranks per node share that node's NIC, exactly like the
+paper's two 36-core MPI nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.cluster.node import Node
+from repro.rdma.fabric import Fabric
+from repro.sim.clock import us
+from repro.sim.resources import FilterStore
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Library overhead per message (matching, descriptor handling).
+MPI_OVERHEAD_NS = 500
+#: Messages above this use rendezvous (extra handshake round-trip).
+EAGER_THRESHOLD = 64 * 1024
+#: Same-node (shared-memory) copy bandwidth.
+SHM_BYTES_PER_SEC = 10e9
+SHM_LATENCY_NS = 300
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    nbytes: int
+    payload: Any
+
+
+class RankContext:
+    """What a rank's main function sees: its rank id and communication."""
+
+    def __init__(self, job: "MpiJob", rank: int, node: Node) -> None:
+        self.job = job
+        self.rank = rank
+        self.node = node
+        self.env = job.env
+        self._inbox: FilterStore = FilterStore(job.env)
+
+    @property
+    def size(self) -> int:
+        return self.job.size
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, dest: int, payload: Any = None, nbytes: int = 64, tag: int = 0):
+        """Generator: send to *dest*; returns when the send completes.
+
+        ``nbytes`` sets the wire size; ``payload`` (any object, often
+        real ``bytes``) is delivered intact for correctness checks.
+        """
+        if not 0 <= dest < self.job.size:
+            raise ValueError(f"bad destination rank {dest}")
+        env = self.env
+        peer = self.job.ranks[dest]
+        yield env.timeout(MPI_OVERHEAD_NS)
+        if peer.node is self.node:
+            yield env.timeout(SHM_LATENCY_NS + round(nbytes * 1e9 / SHM_BYTES_PER_SEC))
+        else:
+            fabric = self.job.fabric
+            if nbytes > EAGER_THRESHOLD:
+                # Rendezvous: RTS/CTS handshake before the bulk transfer.
+                yield from fabric.transfer(self.node.name, peer.node.name, 64, inline=True)
+                yield from fabric.transfer(peer.node.name, self.node.name, 64, inline=True)
+            yield from fabric.transfer(self.node.name, peer.node.name, nbytes, inline=False)
+        yield peer._inbox.put(_Message(self.rank, tag, nbytes, payload))
+
+    def isend(self, dest: int, payload: Any = None, nbytes: int = 64, tag: int = 0):
+        """Non-blocking send: returns the in-flight process (yieldable)."""
+        return self.env.process(
+            self.send(dest, payload, nbytes, tag), name=f"isend-{self.rank}->{dest}"
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator: returns the matching :class:`_Message`."""
+
+        def matches(message: _Message) -> bool:
+            return (source == ANY_SOURCE or message.source == source) and (
+                tag == ANY_TAG or message.tag == tag
+            )
+
+        message = yield self._inbox.get(matches)
+        return message
+
+    # -- compute helper ------------------------------------------------------
+
+    def compute(self, duration_ns: int):
+        """Generator: charge *duration_ns* of local compute time."""
+        if duration_ns > 0:
+            yield self.env.timeout(int(duration_ns))
+
+    # -- collectives ------------------------------------------------------------
+
+    def barrier(self, tag: int = -101):
+        """Dissemination barrier: ceil(log2(p)) rounds."""
+        size = self.job.size
+        if size == 1:
+            return
+            yield  # pragma: no cover
+        distance = 1
+        while distance < size:
+            dest = (self.rank + distance) % size
+            self.isend(dest, nbytes=16, tag=tag)
+            yield from self.recv(source=(self.rank - distance) % size, tag=tag)
+            distance *= 2
+
+    def bcast(self, value: Any, root: int = 0, nbytes: int = 64, tag: int = -102):
+        """Binomial-tree broadcast; returns the value on every rank."""
+        size = self.job.size
+        if size == 1:
+            return value
+        relative = (self.rank - root) % size
+        # Receive phase: a non-root rank receives at its lowest set bit.
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                source = (relative - mask + root) % size
+                message = yield from self.recv(source=source, tag=tag)
+                value = message.payload
+                break
+            mask *= 2
+        # Send phase: forward to relative+m for m below the receive bit
+        # (for the root, below the tree's top).
+        mask //= 2
+        while mask > 0:
+            child = relative + mask
+            if child < size:
+                dest = (child + root) % size
+                yield from self.send(dest, payload=value, nbytes=nbytes, tag=tag)
+            mask //= 2
+        return value
+
+    def gather(self, value: Any, root: int = 0, nbytes: int = 64, tag: int = -103):
+        """Returns the list of values at *root*, None elsewhere."""
+        if self.rank == root:
+            values: list[Any] = [None] * self.job.size
+            values[root] = value
+            for _ in range(self.job.size - 1):
+                message = yield from self.recv(tag=tag)
+                values[message.source] = message.payload
+            return values
+        yield from self.send(root, payload=value, nbytes=nbytes, tag=tag)
+        return None
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any], nbytes: int = 64):
+        """gather-to-0 + bcast (latency-equivalent for small values)."""
+        accumulated = yield from self.reduce(value, op, root=0, nbytes=nbytes, tag=-104)
+        result = yield from self.bcast(accumulated, root=0, nbytes=nbytes, tag=-105)
+        return result
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any],
+        root: int = 0,
+        nbytes: int = 64,
+        tag: int = -106,
+    ):
+        """Reduction to *root* in rank order; None elsewhere."""
+        values = yield from self.gather(value, root=root, nbytes=nbytes, tag=tag)
+        if self.rank != root:
+            return None
+        accumulated = values[0]
+        for other in values[1:]:
+            accumulated = op(accumulated, other)
+        return accumulated
+
+    def scatter(self, values: Any, root: int = 0, nbytes: int = 64, tag: int = -107):
+        """Root distributes ``values[i]`` to rank i; returns own share."""
+        if self.rank == root:
+            if len(values) != self.job.size:
+                raise ValueError(
+                    f"scatter needs {self.job.size} values, got {len(values)}"
+                )
+            for dest in range(self.job.size):
+                if dest != root:
+                    yield from self.send(dest, payload=values[dest], nbytes=nbytes, tag=tag)
+            return values[root]
+        message = yield from self.recv(source=root, tag=tag)
+        return message.payload
+
+    def alltoall(self, values: Any, nbytes: int = 64, tag: int = -108):
+        """Every rank sends ``values[j]`` to rank j; returns the list
+        received (own slot kept in place)."""
+        size = self.job.size
+        if len(values) != size:
+            raise ValueError(f"alltoall needs {size} values, got {len(values)}")
+        received: list[Any] = [None] * size
+        received[self.rank] = values[self.rank]
+        for dest in range(size):
+            if dest != self.rank:
+                self.isend(dest, payload=values[dest], nbytes=nbytes, tag=tag)
+        for _ in range(size - 1):
+            message = yield from self.recv(tag=tag)
+            received[message.source] = message.payload
+        return received
+
+
+class MpiJob:
+    """Launches *size* ranks over a list of nodes (round-robin blocks)."""
+
+    def __init__(self, fabric: Fabric, nodes: list[Node], size: int) -> None:
+        if not nodes:
+            raise ValueError("need at least one node")
+        self.fabric = fabric
+        self.env = fabric.env
+        self.size = size
+        per_node = -(-size // len(nodes))  # ceil: block distribution
+        self.ranks = [
+            RankContext(self, rank, nodes[min(rank // per_node, len(nodes) - 1)])
+            for rank in range(size)
+        ]
+
+    def run(self, main: Callable[[RankContext], Any]):
+        """Process generator: run ``main(ctx)`` on every rank, return
+        the list of per-rank return values."""
+        processes = [
+            self.env.process(main(ctx), name=f"rank{ctx.rank}") for ctx in self.ranks
+        ]
+        results = []
+        for process in processes:
+            value = yield process
+            results.append(value)
+        return results

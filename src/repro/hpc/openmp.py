@@ -1,0 +1,58 @@
+"""An OpenMP fork-join model (the Fig. 12 local baseline).
+
+A parallel-for over a perfectly divisible workload costs the slowest
+thread's share plus fork/join overhead; the team holds real cores on
+its node for the duration, so co-located work contends honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.node import Node
+from repro.sim.clock import us
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+#: Fork + join + barrier cost per parallel region.
+FORK_JOIN_NS = us(5)
+
+
+def openmp_parallel_for_ns(total_work_ns: int, threads: int, overhead_ns: int = FORK_JOIN_NS) -> int:
+    """Analytic runtime of a balanced parallel-for (static schedule)."""
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    per_thread = -(-int(total_work_ns) // threads)  # ceil
+    return per_thread + (overhead_ns if threads > 1 else 0)
+
+
+@dataclass
+class OpenMPModel:
+    """A thread team bound to one node."""
+
+    env: "Environment"
+    node: Node
+    threads: int
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ValueError("threads must be positive")
+        if self.threads > self.node.spec.cores:
+            raise ValueError(
+                f"{self.threads} threads exceed the node's {self.node.spec.cores} cores"
+            )
+
+    def parallel_for(self, total_work_ns: int):
+        """Process generator: run a balanced parallel region.
+
+        Claims the team's cores for the duration (so an OpenMP half and
+        other node activity contend for real cores).
+        """
+        claim = self.node.try_claim(self.threads, 0)
+        duration = openmp_parallel_for_ns(total_work_ns, self.threads)
+        yield self.env.timeout(duration)
+        if claim is not None:
+            claim.release()
+        return duration

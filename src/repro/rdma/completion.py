@@ -1,0 +1,132 @@
+"""Completion queues and the two ways of consuming them.
+
+rFaaS's hot/warm split is exactly the choice between these consumers:
+
+* ``busy_poll`` -- the thread spins on the CQ; noticing a CQE costs
+  ``poll_detect_ns`` (45 ns) but occupies the core the whole time.
+* ``blocking_wait`` -- the thread sleeps on a completion channel; the
+  NIC raises an interrupt, costing ``blocking_notify_ns`` (~4.34 us)
+  extra latency but no CPU while idle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.rdma.constants import WCOpcode, WCStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+    from repro.sim.events import Event
+
+
+@dataclass
+class WorkCompletion:
+    """One CQE (``ibv_wc``)."""
+
+    wr_id: int
+    opcode: WCOpcode
+    status: WCStatus = WCStatus.SUCCESS
+    byte_len: int = 0
+    imm_data: Optional[int] = None
+    qp_num: int = 0
+    #: Virtual time the completion entered the CQ.
+    timestamp: int = 0
+    #: Free-form context (used by tests and higher layers).
+    context: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WCStatus.SUCCESS
+
+
+class CQOverflow(Exception):
+    """The CQ filled up: on hardware this is a fatal async event."""
+
+
+class CompletionQueue:
+    """A bounded queue of :class:`WorkCompletion` entries."""
+
+    def __init__(self, env: "Environment", depth: int = 4_096, name: str = "cq") -> None:
+        self.env = env
+        self.depth = depth
+        self.name = name
+        self._entries: deque[WorkCompletion] = deque()
+        self._waiters: list["Event"] = []
+        self.completions_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, wc: WorkCompletion) -> None:
+        """NIC-side: deposit a completion and wake any waiter."""
+        if len(self._entries) >= self.depth:
+            raise CQOverflow(f"{self.name}: CQ depth {self.depth} exceeded")
+        wc.timestamp = self.env.now
+        self._entries.append(wc)
+        self.completions_pushed += 1
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    def poll(self, max_entries: int = 16) -> list[WorkCompletion]:
+        """Non-blocking: drain up to *max_entries* CQEs (may be empty)."""
+        out: list[WorkCompletion] = []
+        while self._entries and len(out) < max_entries:
+            out.append(self._entries.popleft())
+        return out
+
+    def arrival_event(self) -> "Event":
+        """Event fired at the next push (or immediately if non-empty).
+
+        Public so consumers can race it against a timeout -- the hot
+        worker loop races it against the hot->warm rollback timer.
+        """
+        event = self.env.event()
+        if self._entries:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    # Backwards-compatible private alias.
+    _arrival_event = arrival_event
+
+    # -- consumer styles -----------------------------------------------
+
+    def busy_poll(self, max_entries: int = 16):
+        """Generator: spin until at least one CQE is available.
+
+        Usage inside a process: ``wcs = yield from cq.busy_poll()``.
+        Latency: poll_detect_ns after the CQE lands.
+        """
+        while True:
+            yield self._arrival_event()
+            yield self.env.timeout(self.nic.model.poll_detect_ns)
+            wcs = self.poll(max_entries)
+            if wcs:
+                return wcs
+            # A competing consumer drained the CQ between the event and
+            # our poll; spin again.
+
+    def blocking_wait(self, max_entries: int = 16):
+        """Generator: sleep on the completion channel until a CQE lands.
+
+        Latency: blocking_notify_ns (interrupt + wakeup) after the CQE.
+        """
+        while True:
+            yield self._arrival_event()
+            yield self.env.timeout(self.nic.model.blocking_notify_ns)
+            wcs = self.poll(max_entries)
+            if wcs:
+                return wcs
+
+    # The owning NIC injects itself here at creation so the consumer
+    # helpers can reach the latency model.
+    nic: Any = None
+
+    def __repr__(self) -> str:
+        return f"<CompletionQueue {self.name} pending={len(self._entries)}>"

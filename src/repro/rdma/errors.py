@@ -1,0 +1,33 @@
+"""Exception hierarchy for the RDMA substrate.
+
+Most *data-path* failures do not raise: as on real hardware they surface
+as error completions and QP state transitions.  Exceptions are reserved
+for programming errors (bad arguments, invalid state for a verb call)
+and connection management.
+"""
+
+from __future__ import annotations
+
+
+class RdmaError(Exception):
+    """Base class for all RDMA substrate errors."""
+
+
+class MemoryRegistrationError(RdmaError):
+    """Invalid memory registration (bad bounds, unknown block, ...)."""
+
+
+class QPStateError(RdmaError):
+    """A verb was called on a QP in the wrong state."""
+
+
+class RemoteAccessError(RdmaError):
+    """Local-side detection of an invalid remote access description."""
+
+
+class ConnectionRefused(RdmaError):
+    """The connection manager rejected or could not route a connection."""
+
+
+class OutOfMemory(RdmaError):
+    """The host memory allocator is exhausted."""

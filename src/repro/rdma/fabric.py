@@ -1,0 +1,172 @@
+"""The switched fabric: attachment points and link contention.
+
+Links are modelled as FCFS serialization queues with *cut-through*
+semantics: a message occupies its source's egress link and its
+destination's ingress link for ``serialization(size)`` each, but the two
+occupancies overlap in time, so the uncontended one-way latency charges
+serialization only once.  Contention (many workers hammering one client,
+one client fanning out to many workers) emerges naturally from the queue
+reservations -- this is what bounds Fig. 10's 1 MB scaling at the link
+bandwidth, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.rdma.latency import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+    from repro.rdma.device import NIC
+
+
+@dataclass
+class FaultModel:
+    """Seeded transient-fault injection for the fabric.
+
+    RC transport hides packet loss behind retransmission: a lost packet
+    costs the requester a retransmission timeout, not data corruption.
+    With probability ``probability`` a transfer eats one such timeout
+    (occasionally two).  Deterministic per seed.
+    """
+
+    probability: float = 0.0
+    #: RC retransmission timeout (RoCE default territory).
+    retransmit_delay_ns: int = 500_000
+    seed: int = 77
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError(f"probability must be in [0, 1), got {self.probability}")
+        self._rng = np.random.default_rng(self.seed)
+        self.faults_injected = 0
+
+    def penalty_ns(self) -> int:
+        """Extra delay for one transfer (0 almost always)."""
+        if self.probability <= 0.0:
+            return 0
+        if self._rng.random() >= self.probability:
+            return 0
+        self.faults_injected += 1
+        # A second consecutive loss is possible but rare.
+        retries = 2 if self._rng.random() < self.probability else 1
+        return retries * self.retransmit_delay_ns
+
+
+class LinkQueue:
+    """One direction of one host link: an analytic FCFS queue.
+
+    ``reserve(size)`` books the next available serialization slot and
+    returns (start, finish) in virtual time.  Because the simulation is
+    single-threaded and reservations happen in event order, this models
+    a work-conserving FIFO link without per-packet events.
+    """
+
+    def __init__(self, env: "Environment", model: LatencyModel, name: str) -> None:
+        self.env = env
+        self.model = model
+        self.name = name
+        self._busy_until = 0
+        self.bytes_carried = 0
+        self.busy_time = 0
+
+    def reserve(self, size: int) -> tuple[int, int]:
+        """Book *size* bytes of serialization starting no earlier than now."""
+        start = max(self.env.now, self._busy_until)
+        duration = self.model.serialization_ns(size)
+        finish = start + duration
+        self._busy_until = finish
+        self.bytes_carried += size
+        self.busy_time += duration
+        return start, finish
+
+    @property
+    def busy_until(self) -> int:
+        return self._busy_until
+
+    def utilization(self, since: int = 0) -> float:
+        """Fraction of [since, now] the link spent serializing."""
+        window = self.env.now - since
+        return self.busy_time / window if window > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return f"<LinkQueue {self.name} busy_until={self._busy_until}>"
+
+
+class Attachment:
+    """A host's port on the fabric: egress + ingress link queues."""
+
+    def __init__(self, env: "Environment", model: LatencyModel, name: str) -> None:
+        self.name = name
+        self.egress = LinkQueue(env, model, f"{name}.egress")
+        self.ingress = LinkQueue(env, model, f"{name}.ingress")
+
+
+class Fabric:
+    """A single-switch RDMA network connecting named hosts."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        model: Optional[LatencyModel] = None,
+        faults: Optional[FaultModel] = None,
+    ) -> None:
+        self.env = env
+        self.model = model or LatencyModel()
+        self.faults = faults
+        self._attachments: dict[str, Attachment] = {}
+        self._nics: dict[str, "NIC"] = {}
+
+    def attach(self, name: str) -> "NIC":
+        """Create and attach a NIC named *name* (names are unique)."""
+        from repro.rdma.device import NIC  # local import breaks the cycle
+
+        if name in self._attachments:
+            raise ValueError(f"host {name!r} already attached")
+        attachment = Attachment(self.env, self.model, name)
+        self._attachments[name] = attachment
+        nic = NIC(self, name, attachment)
+        self._nics[name] = nic
+        return nic
+
+    def nic(self, name: str) -> "NIC":
+        return self._nics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._nics)
+
+    def transfer(self, src: str, dst: str, size: int, inline: bool):
+        """Process generator: move *size* bytes from *src* to *dst*.
+
+        Yields until the last byte has landed at the destination NIC.
+        The caller layers NIC processing (tx/rx, DMA fetch) on top.
+        Loopback (src == dst) skips the wire entirely.
+        """
+        env = self.env
+        if self.faults is not None:
+            penalty = self.faults.penalty_ns()
+            if penalty:
+                # The requester sits out the retransmission timeout.
+                yield env.timeout(penalty)
+        if src == dst:
+            # NIC-internal loopback: serialization only, no propagation.
+            yield env.timeout(self.model.serialization_ns(size) // 2)
+            return
+
+        egress = self._attachments[src].egress
+        ingress = self._attachments[dst].ingress
+
+        _, egress_done = egress.reserve(size)
+        # Cut-through: the head of the message reaches the destination
+        # after propagation; the tail arrives when the slower of the two
+        # links has clocked all bytes through.
+        head_arrival = egress_done - self.model.serialization_ns(size) + self.model.propagation_ns()
+        if head_arrival > env.now:
+            yield env.timeout(head_arrival - env.now)
+        _, ingress_done = ingress.reserve(size)
+        if ingress_done > env.now:
+            yield env.timeout(ingress_done - env.now)

@@ -1,0 +1,237 @@
+"""Host memory, registration, and lkey/rkey protection.
+
+Each simulated host owns a :class:`HostMemory`: a flat virtual address
+space from which page-aligned blocks are allocated.  A block carries
+either a real ``bytearray`` backing (the default -- payload bytes really
+move across the fabric) or a *virtual* backing that tracks only sizes,
+used by multi-hundred-megabyte bandwidth sweeps where materializing the
+bytes would dominate wall-clock time without changing any simulated
+result.
+
+Remote access goes through :class:`MemoryRegion` keys exactly as on
+hardware: the responder looks the rkey up in its NIC table, checks
+bounds and access flags, and a violation produces a remote-access-error
+completion at the requester, not a Python exception.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.rdma.constants import Access
+from repro.rdma.errors import MemoryRegistrationError, OutOfMemory
+
+#: rFaaS aligns buffers to pages for best RDMA bandwidth [Kalia et al.].
+PAGE_SIZE = 4_096
+
+BytesLike = Union[bytes, bytearray, memoryview]
+
+
+#: Virtual blocks keep this many real bytes at their start, so small
+#: control structures (e.g. rFaaS's 12-byte result header) survive even
+#: when the bulk payload is size-only.
+SHADOW_BYTES = 256
+
+
+class MemoryBlock:
+    """A contiguous allocation inside a :class:`HostMemory`."""
+
+    __slots__ = ("base", "size", "data", "owner", "shadow")
+
+    def __init__(self, base: int, size: int, data: Optional[bytearray], owner: "HostMemory") -> None:
+        self.base = base
+        self.size = size
+        #: Real backing bytes, or None for a virtual (size-only) block.
+        self.data = data
+        #: Real prefix of a virtual block (None for real blocks).
+        self.shadow: Optional[bytearray] = (
+            bytearray(min(size, SHADOW_BYTES)) if data is None else None
+        )
+        self.owner = owner
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, length: int) -> bool:
+        return self.base <= addr and addr + length <= self.end
+
+    def write(self, addr: int, payload: BytesLike) -> None:
+        """Copy *payload* to absolute address *addr* (must be in range).
+
+        Virtual blocks persist only the part overlapping their shadow
+        prefix; the rest is accounted but not stored.
+        """
+        length = len(payload)
+        if not self.contains(addr, length):
+            raise MemoryRegistrationError(
+                f"write [{addr}, {addr + length}) outside block [{self.base}, {self.end})"
+            )
+        offset = addr - self.base
+        if self.data is not None:
+            self.data[offset : offset + length] = payload
+        elif self.shadow is not None and offset < len(self.shadow):
+            keep = min(length, len(self.shadow) - offset)
+            self.shadow[offset : offset + keep] = bytes(payload[:keep])
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read *length* bytes at absolute address *addr*.
+
+        Virtual blocks return their shadow prefix followed by zeros.
+        """
+        if not self.contains(addr, length):
+            raise MemoryRegistrationError(
+                f"read [{addr}, {addr + length}) outside block [{self.base}, {self.end})"
+            )
+        offset = addr - self.base
+        if self.data is None:
+            out = bytearray(length)
+            if self.shadow is not None and offset < len(self.shadow):
+                keep = min(length, len(self.shadow) - offset)
+                out[:keep] = self.shadow[offset : offset + keep]
+            return bytes(out)
+        return bytes(self.data[offset : offset + length])
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    def __repr__(self) -> str:
+        kind = "virtual" if self.is_virtual else "real"
+        return f"<MemoryBlock base={self.base:#x} size={self.size} {kind}>"
+
+
+class HostMemory:
+    """Per-host address space with a bump allocator.
+
+    Addresses are never reused within a run (a bump pointer), which both
+    keeps the allocator trivial and makes use-after-free show up as a
+    protection error rather than silent corruption.
+    """
+
+    def __init__(self, capacity: int = 1 << 40, base: int = 0x10_000) -> None:
+        self.capacity = capacity
+        self._next = base
+        self._blocks: list[MemoryBlock] = []
+        self.bytes_allocated = 0
+
+    def alloc(self, size: int, *, align: int = PAGE_SIZE, virtual: bool = False) -> MemoryBlock:
+        """Allocate *size* bytes, page-aligned by default."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if align <= 0 or align & (align - 1):
+            raise ValueError(f"alignment must be a positive power of two, got {align}")
+        base = (self._next + align - 1) & ~(align - 1)
+        if base + size - 0x10_000 > self.capacity:
+            raise OutOfMemory(f"cannot allocate {size} bytes (capacity {self.capacity})")
+        self._next = base + size
+        data = None if virtual else bytearray(size)
+        block = MemoryBlock(base, size, data, self)
+        self._blocks.append(block)
+        self.bytes_allocated += size
+        return block
+
+    def free(self, block: MemoryBlock) -> None:
+        """Release a block (addresses are not recycled)."""
+        try:
+            self._blocks.remove(block)
+        except ValueError:
+            raise MemoryRegistrationError("block does not belong to this memory") from None
+        self.bytes_allocated -= block.size
+
+    def block_at(self, addr: int) -> Optional[MemoryBlock]:
+        """The live block containing *addr*, if any."""
+        for block in self._blocks:
+            if block.base <= addr < block.end:
+                return block
+        return None
+
+
+class MemoryRegion:
+    """A registered window over a block, addressable via lkey/rkey."""
+
+    __slots__ = ("pd", "block", "addr", "length", "access", "lkey", "rkey", "_revoked")
+
+    def __init__(
+        self,
+        pd: "ProtectionDomain",
+        block: MemoryBlock,
+        addr: int,
+        length: int,
+        access: Access,
+        lkey: int,
+        rkey: int,
+    ) -> None:
+        self.pd = pd
+        self.block = block
+        self.addr = addr
+        self.length = length
+        self.access = access
+        self.lkey = lkey
+        self.rkey = rkey
+        self._revoked = False
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.length
+
+    @property
+    def valid(self) -> bool:
+        return not self._revoked
+
+    def allows(self, access: Access) -> bool:
+        return bool(self.access & access) and not self._revoked
+
+    def in_bounds(self, addr: int, length: int) -> bool:
+        return self.addr <= addr and addr + length <= self.end
+
+    def write(self, offset: int, payload: BytesLike) -> None:
+        """Local write at *offset* within the region."""
+        self.block.write(self.addr + offset, payload)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Local read at *offset* within the region."""
+        return self.block.read(self.addr + offset, length)
+
+    def deregister(self) -> None:
+        self._revoked = True
+        self.pd.nic._drop_mr(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryRegion addr={self.addr:#x} len={self.length} "
+            f"lkey={self.lkey} rkey={self.rkey} access={self.access}>"
+        )
+
+
+class ProtectionDomain:
+    """Groups MRs and QPs; keys are only valid within their NIC's tables."""
+
+    def __init__(self, nic: "NIC", handle: int) -> None:  # noqa: F821 - forward ref
+        self.nic = nic
+        self.handle = handle
+
+    def register(
+        self,
+        block: MemoryBlock,
+        access: Access = Access.LOCAL_WRITE,
+        *,
+        addr: Optional[int] = None,
+        length: Optional[int] = None,
+    ) -> MemoryRegion:
+        """Register (a window of) *block* and return the MR with fresh keys."""
+        addr = block.base if addr is None else addr
+        length = block.size if length is None else length
+        if length <= 0:
+            raise MemoryRegistrationError("registration length must be positive")
+        if not block.contains(addr, length):
+            raise MemoryRegistrationError(
+                f"registration [{addr:#x}, +{length}) not contained in {block!r}"
+            )
+        return self.nic._new_mr(self, block, addr, length, access)

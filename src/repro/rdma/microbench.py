@@ -1,0 +1,155 @@
+"""Simulated perftest tools: ``ib_write_lat`` and ``ib_write_bw``.
+
+These are the RDMA baselines the paper measures rFaaS overhead against
+(Sec. V-A).  They run the exact ping-pong / streaming patterns of the
+real tools on the simulated fabric and report virtual-time results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rdma.constants import Access, Opcode
+from repro.rdma.fabric import Fabric
+from repro.rdma.queue_pair import QueuePair
+from repro.rdma.verbs import RecvWR, SendWR, sge
+from repro.sim.core import Environment
+
+
+@dataclass
+class LatencyResult:
+    size: int
+    iterations: int
+    rtts_ns: list[int]
+
+    @property
+    def median_ns(self) -> float:
+        ordered = sorted(self.rtts_ns)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return float(ordered[mid])
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+@dataclass
+class BandwidthResult:
+    size: int
+    iterations: int
+    elapsed_ns: int
+
+    @property
+    def bytes_total(self) -> int:
+        return self.size * self.iterations
+
+    @property
+    def mib_per_sec(self) -> float:
+        return self.bytes_total / (1024 * 1024) / (self.elapsed_ns / 1e9)
+
+
+def _make_pair(env: Environment, fabric: Fabric, size: int):
+    """Two hosts with registered ping/pong buffers and a connected QP pair."""
+    nic_a, nic_b = fabric.attach("lat-a"), fabric.attach("lat-b")
+    setup = {}
+    for tag, nic in (("a", nic_a), ("b", nic_b)):
+        pd = nic.create_pd()
+        block = nic.alloc(max(size, 8))
+        mr = pd.register(block, Access.rw())
+        cq = nic.create_cq(name=f"{tag}")
+        qp = nic.create_qp(pd, cq)
+        setup[tag] = (nic, mr, cq, qp)
+    QueuePair.connect_pair(setup["a"][3], setup["b"][3])
+    return setup["a"], setup["b"]
+
+
+def ib_write_lat(size: int, iterations: int = 100, fabric: Fabric | None = None) -> LatencyResult:
+    """Ping-pong of RDMA WRITE_WITH_IMM; returns per-iteration RTTs.
+
+    Mirrors ``ib_write_lat`` run with CPU pinning and busy polling: each
+    side writes *size* bytes to its peer and spins on its receive CQ.
+    """
+    env = fabric.env if fabric is not None else Environment()
+    fabric = fabric or Fabric(env)
+    (nic_a, mr_a, cq_a, qp_a), (nic_b, mr_b, cq_b, qp_b) = _make_pair(env, fabric, size)
+
+    inline_ok = size <= qp_a.max_inline_data
+    rtts: list[int] = []
+
+    def side(qp, mr, cq, initiator: bool):
+        for _ in range(iterations):
+            qp.post_recv(RecvWR(local=sge(mr)))
+            if initiator:
+                start = env.now
+                qp.post_send(
+                    SendWR(
+                        opcode=Opcode.RDMA_WRITE_WITH_IMM,
+                        local=sge(mr, 0, size),
+                        remote_addr=_remote_mr(qp).addr,
+                        rkey=_remote_mr(qp).rkey,
+                        imm_data=1,
+                        inline=inline_ok,
+                        signaled=False,
+                    )
+                )
+                yield from cq.busy_poll()
+                rtts.append(env.now - start)
+            else:
+                yield from cq.busy_poll()
+                qp.post_send(
+                    SendWR(
+                        opcode=Opcode.RDMA_WRITE_WITH_IMM,
+                        local=sge(mr, 0, size),
+                        remote_addr=_remote_mr(qp).addr,
+                        rkey=_remote_mr(qp).rkey,
+                        imm_data=1,
+                        inline=inline_ok,
+                        signaled=False,
+                    )
+                )
+
+    remote_mrs = {qp_a: mr_b, qp_b: mr_a}
+
+    def _remote_mr(qp):
+        return remote_mrs[qp]
+
+    env.process(side(qp_b, mr_b, cq_b, initiator=False))
+    env.process(side(qp_a, mr_a, cq_a, initiator=True))
+    env.run()
+    return LatencyResult(size=size, iterations=iterations, rtts_ns=rtts)
+
+
+def ib_write_bw(size: int, iterations: int = 200, window: int = 64) -> BandwidthResult:
+    """Streaming RDMA WRITEs with a posting window; measures goodput."""
+    env = Environment()
+    fabric = Fabric(env)
+    (nic_a, mr_a, cq_a, qp_a), (nic_b, mr_b, cq_b, qp_b) = _make_pair(env, fabric, size)
+
+    done = env.event()
+    state = {"started": None, "finished": None}
+
+    def sender():
+        state["started"] = env.now
+        outstanding = 0
+        posted = 0
+        completed = 0
+        while completed < iterations:
+            while posted < iterations and outstanding < window:
+                qp_a.post_send(
+                    SendWR(
+                        opcode=Opcode.RDMA_WRITE,
+                        local=sge(mr_a, 0, size),
+                        remote_addr=mr_b.addr,
+                        rkey=mr_b.rkey,
+                        signaled=True,
+                    )
+                )
+                posted += 1
+                outstanding += 1
+            wcs = yield from cq_a.busy_poll(max_entries=window)
+            completed += len(wcs)
+            outstanding -= len(wcs)
+        state["finished"] = env.now
+        done.succeed()
+
+    env.process(sender())
+    env.run(until=done)
+    return BandwidthResult(size=size, iterations=iterations, elapsed_ns=state["finished"] - state["started"])

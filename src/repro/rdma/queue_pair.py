@@ -1,0 +1,358 @@
+"""Reliable-connection queue pairs: the RDMA data path.
+
+The requester side initiates work requests in order (the NIC send
+pipeline is sequential per QP, which preserves RC ordering on the FIFO
+fabric links) but deliveries pipeline, so back-to-back large writes
+saturate the link.  The responder side validates rkeys/bounds/access
+and either executes the operation or NAKs, driving the requester QP into
+the error state exactly as hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.rdma.constants import ATOMIC_SIZE, Access, Opcode, QPState, WCOpcode, WCStatus
+from repro.rdma.completion import CompletionQueue, WorkCompletion
+from repro.rdma.errors import QPStateError, RdmaError
+from repro.rdma.verbs import RecvWR, SendWR
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rdma.device import NIC
+    from repro.rdma.memory import ProtectionDomain
+
+
+@dataclass
+class _WireOp:
+    """What actually crosses the fabric for one work request."""
+
+    wr: SendWR
+    src_qp: "QueuePair"
+    #: Payload bytes, or None when the source buffer is virtual.
+    payload: Optional[bytes]
+    nbytes: int
+    inline: bool
+    #: Shadow prefix of a virtual source (control headers survive).
+    prefix: Optional[bytes] = None
+
+
+_SEND_OPCODE_TO_WC = {
+    Opcode.SEND: WCOpcode.SEND,
+    Opcode.SEND_WITH_IMM: WCOpcode.SEND,
+    Opcode.RDMA_WRITE: WCOpcode.RDMA_WRITE,
+    Opcode.RDMA_WRITE_WITH_IMM: WCOpcode.RDMA_WRITE,
+    Opcode.RDMA_READ: WCOpcode.RDMA_READ,
+    Opcode.ATOMIC_FETCH_ADD: WCOpcode.FETCH_ADD,
+    Opcode.ATOMIC_CMP_SWP: WCOpcode.COMP_SWAP,
+}
+
+
+class QueuePair:
+    """One endpoint of a reliable connection."""
+
+    def __init__(
+        self,
+        nic: "NIC",
+        qpn: int,
+        pd: "ProtectionDomain",
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        *,
+        max_inline_data: Optional[int] = None,
+        rnr_retry: int = 7,
+        max_send_wr: int = 1_024,
+    ) -> None:
+        self.nic = nic
+        self.env = nic.env
+        self.qpn = qpn
+        self.pd = pd
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.state = QPState.RESET
+        self.max_inline_data = (
+            nic.model.max_inline_data if max_inline_data is None else max_inline_data
+        )
+        self.rnr_retry = rnr_retry
+        self.max_send_wr = max_send_wr
+        self.remote: Optional["QueuePair"] = None
+        self._recv_queue: list[RecvWR] = []
+        self._send_fifo = Store(self.env)
+        self._send_loop_proc = self.env.process(self._send_loop(), name=f"qp{qpn}-send")
+        #: Statistics.
+        self.bytes_sent = 0
+        self.ops_posted = 0
+
+    # -- state management ------------------------------------------------
+
+    def modify(self, state: QPState) -> None:
+        """Transition the QP (simplified legal-path check)."""
+        legal = {
+            QPState.RESET: {QPState.INIT, QPState.ERR},
+            QPState.INIT: {QPState.RTR, QPState.ERR, QPState.RESET},
+            QPState.RTR: {QPState.RTS, QPState.ERR, QPState.RESET},
+            QPState.RTS: {QPState.ERR, QPState.RESET},
+            QPState.ERR: {QPState.RESET},
+        }
+        if state not in legal[self.state]:
+            raise QPStateError(f"illegal transition {self.state} -> {state}")
+        self.state = state
+        if state is QPState.ERR:
+            self._flush()
+        if state is QPState.RESET:
+            self.remote = None
+
+    @staticmethod
+    def connect_pair(a: "QueuePair", b: "QueuePair") -> None:
+        """Out-of-band connection setup (what the CM handshake performs)."""
+        for qp in (a, b):
+            if qp.state is not QPState.RESET:
+                raise QPStateError(f"QP {qp.qpn} not in RESET")
+        a.remote, b.remote = b, a
+        for qp in (a, b):
+            qp.modify(QPState.INIT)
+            qp.modify(QPState.RTR)
+            qp.modify(QPState.RTS)
+
+    @property
+    def connected(self) -> bool:
+        return self.remote is not None and self.state is QPState.RTS
+
+    def _flush(self) -> None:
+        """Flush posted receives with WR_FLUSH_ERR, as hardware does."""
+        flushed, self._recv_queue = self._recv_queue, []
+        for wr in flushed:
+            self.recv_cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id,
+                    opcode=WCOpcode.RECV,
+                    status=WCStatus.WR_FLUSH_ERR,
+                    qp_num=self.qpn,
+                )
+            )
+
+    # -- posting -----------------------------------------------------------
+
+    def post_recv(self, wr: RecvWR) -> None:
+        # Real verbs requires INIT+; we also accept RESET because the
+        # simulated CM moves RESET->RTS atomically at accept time and
+        # servers pre-post receives before the client connects.
+        if self.state is QPState.ERR:
+            raise QPStateError(f"cannot post receive in state {self.state}")
+        wr.validate()
+        self._recv_queue.append(wr)
+
+    def post_send(self, wr: SendWR) -> None:
+        """Queue a work request on the NIC's per-QP send pipeline."""
+        if self.state is not QPState.RTS:
+            raise QPStateError(f"cannot post send in state {self.state}")
+        if self.remote is None:
+            raise QPStateError("QP has no connected peer")
+        wr.validate(self.max_inline_data)
+        if wr.opcode.is_atomic and wr.local is not None and wr.local.mr.block.is_virtual:
+            raise RdmaError("atomic result buffers must be real memory")
+        if len(self._send_fifo.items) >= self.max_send_wr:
+            # ibv_post_send returns ENOMEM when the SQ is full.
+            raise RdmaError(f"send queue full (max_send_wr={self.max_send_wr})")
+        self.ops_posted += 1
+        self._send_fifo.put(wr)
+
+    # -- requester pipeline --------------------------------------------------
+
+    def _send_loop(self):
+        """Sequential WR initiation; deliveries run concurrently."""
+        env = self.env
+        model = self.nic.model
+        while True:
+            wr: SendWR = yield self._send_fifo.get()
+            if self.state is not QPState.RTS:
+                self._complete_send(wr, WCStatus.WR_FLUSH_ERR)
+                continue
+
+            inline = wr.inline and wr.nbytes <= self.max_inline_data
+            # NIC processing; non-inline payloads need a PCIe DMA fetch.
+            cost = model.nic_tx_ns
+            if not inline and wr.nbytes > 0 and wr.opcode is not Opcode.RDMA_READ:
+                cost += model.pcie_dma_fetch_ns
+            yield env.timeout(cost)
+
+            payload: Optional[bytes] = None
+            prefix: Optional[bytes] = None
+            nbytes = wr.nbytes
+            if wr.opcode.is_atomic:
+                nbytes = ATOMIC_SIZE
+            elif wr.opcode is not Opcode.RDMA_READ and wr.local is not None and nbytes > 0:
+                if not wr.local.mr.block.is_virtual:
+                    payload = wr.local.mr.read(wr.local.offset, nbytes)
+                else:
+                    from repro.rdma.memory import SHADOW_BYTES
+
+                    prefix = wr.local.mr.read(wr.local.offset, min(nbytes, SHADOW_BYTES))
+
+            op = _WireOp(
+                wr=wr, src_qp=self, payload=payload, nbytes=nbytes, inline=inline, prefix=prefix
+            )
+            self.bytes_sent += nbytes
+            env.process(self._deliver(op), name=f"qp{self.qpn}-wr{wr.wr_id}")
+
+    def _deliver(self, op: _WireOp):
+        """One WR's life after initiation: wire, responder, completion."""
+        env = self.env
+        model = self.nic.model
+        remote = self.remote
+        if remote is None:  # connection torn down mid-flight
+            self._complete_send(op.wr, WCStatus.WR_FLUSH_ERR)
+            return
+
+        wire_size = op.nbytes if op.wr.opcode is not Opcode.RDMA_READ else 0
+        yield from self.nic.fabric.transfer(self.nic.name, remote.nic.name, wire_size, op.inline)
+        yield env.timeout(model.nic_rx_ns)
+
+        if remote.state is not QPState.RTS:
+            self._fail_send(op.wr, WCStatus.RETRY_EXC_ERR)
+            return
+
+        status = yield from self._respond(op, remote)
+        if status is not WCStatus.SUCCESS:
+            self._fail_send(op.wr, status)
+            return
+
+        if op.wr.opcode.has_response_data:
+            # READ/atomic response carries data back to the requester.
+            resp_size = op.nbytes if op.wr.opcode is Opcode.RDMA_READ else ATOMIC_SIZE
+            yield from self.nic.fabric.transfer(remote.nic.name, self.nic.name, resp_size, False)
+            yield env.timeout(model.nic_rx_ns)
+            self._complete_send(op.wr, WCStatus.SUCCESS)
+        else:
+            # Transport ACK (does not occupy data links).
+            yield env.timeout(model.ack_delay_ns)
+            self._complete_send(op.wr, WCStatus.SUCCESS)
+
+    # -- responder ------------------------------------------------------------
+
+    def _respond(self, op: _WireOp, remote: "QueuePair"):
+        """Execute *op* at the responder; returns the requester status."""
+        env = self.env
+        model = self.nic.model
+        wr = op.wr
+
+        if wr.opcode.needs_remote_key:
+            mr = remote.nic.lookup_rkey(wr.rkey)
+            needed = {
+                Opcode.RDMA_WRITE: Access.REMOTE_WRITE,
+                Opcode.RDMA_WRITE_WITH_IMM: Access.REMOTE_WRITE,
+                Opcode.RDMA_READ: Access.REMOTE_READ,
+                Opcode.ATOMIC_FETCH_ADD: Access.REMOTE_ATOMIC,
+                Opcode.ATOMIC_CMP_SWP: Access.REMOTE_ATOMIC,
+            }[wr.opcode]
+            length = op.nbytes
+            if mr is None or not mr.allows(needed) or not mr.in_bounds(wr.remote_addr, length):
+                remote.modify(QPState.ERR)
+                return WCStatus.REM_ACCESS_ERR
+
+        if wr.opcode.consumes_recv_wr:
+            recv_wr = yield from remote._claim_recv_wr(self.rnr_retry)
+            if recv_wr is None:
+                return WCStatus.RNR_RETRY_EXC_ERR
+            if wr.opcode in (Opcode.SEND, Opcode.SEND_WITH_IMM):
+                if op.nbytes > recv_wr.local.nbytes:
+                    remote.recv_cq.push(
+                        WorkCompletion(
+                            wr_id=recv_wr.wr_id,
+                            opcode=WCOpcode.RECV,
+                            status=WCStatus.LOC_LEN_ERR,
+                            qp_num=remote.qpn,
+                        )
+                    )
+                    remote.modify(QPState.ERR)
+                    return WCStatus.REM_INV_REQ_ERR
+                data = op.payload if op.payload is not None else op.prefix
+                if data is not None:
+                    recv_wr.local.mr.write(recv_wr.local.offset, data)
+                wc_opcode = WCOpcode.RECV
+            else:  # RDMA_WRITE_WITH_IMM: data goes to the rkey target
+                self._store_remote(op, wr, remote)
+                wc_opcode = WCOpcode.RECV_RDMA_WITH_IMM
+            remote.recv_cq.push(
+                WorkCompletion(
+                    wr_id=recv_wr.wr_id,
+                    opcode=wc_opcode,
+                    byte_len=op.nbytes,
+                    imm_data=wr.imm_data,
+                    qp_num=remote.qpn,
+                )
+            )
+            return WCStatus.SUCCESS
+
+        if wr.opcode is Opcode.RDMA_WRITE:
+            self._store_remote(op, wr, remote)
+            return WCStatus.SUCCESS
+
+        if wr.opcode is Opcode.RDMA_READ:
+            mr = remote.nic.lookup_rkey(wr.rkey)
+            assert mr is not None  # validated above
+            if not mr.block.is_virtual and wr.local is not None and not wr.local.mr.block.is_virtual:
+                data = mr.block.read(wr.remote_addr, op.nbytes)
+                wr.local.mr.write(wr.local.offset, data)
+            return WCStatus.SUCCESS
+
+        if wr.opcode.is_atomic:
+            yield env.timeout(model.atomic_exec_ns)
+            mr = remote.nic.lookup_rkey(wr.rkey)
+            assert mr is not None
+            if mr.block.is_virtual:
+                remote.modify(QPState.ERR)
+                return WCStatus.REM_ACCESS_ERR
+            old = mr.block.read_u64(wr.remote_addr)
+            if wr.opcode is Opcode.ATOMIC_FETCH_ADD:
+                mr.block.write_u64(wr.remote_addr, old + wr.compare_add)
+            else:  # compare-and-swap
+                if old == wr.compare_add:
+                    mr.block.write_u64(wr.remote_addr, wr.swap)
+            if wr.local is not None:
+                wr.local.mr.write(wr.local.offset, old.to_bytes(8, "little"))
+            return WCStatus.SUCCESS
+
+        raise RdmaError(f"unhandled opcode {wr.opcode}")  # pragma: no cover
+
+    @staticmethod
+    def _store_remote(op: _WireOp, wr: SendWR, remote: "QueuePair") -> None:
+        mr = remote.nic.lookup_rkey(wr.rkey)
+        assert mr is not None
+        data = op.payload if op.payload is not None else op.prefix
+        if data is not None:
+            mr.block.write(wr.remote_addr, data)
+
+    def _claim_recv_wr(self, retries: int):
+        """Pop a posted receive, honoring RNR retry semantics."""
+        for attempt in range(retries + 1):
+            if self._recv_queue:
+                return self._recv_queue.pop(0)
+            if attempt < retries:
+                yield self.env.timeout(self.nic.model.rnr_timer_ns)
+        return None
+
+    # -- completions -----------------------------------------------------------
+
+    def _complete_send(self, wr: SendWR, status: WCStatus) -> None:
+        if not wr.signaled and status is WCStatus.SUCCESS:
+            return
+        self.send_cq.push(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=_SEND_OPCODE_TO_WC[wr.opcode],
+                status=status,
+                byte_len=wr.nbytes,
+                qp_num=self.qpn,
+            )
+        )
+
+    def _fail_send(self, wr: SendWR, status: WCStatus) -> None:
+        """Error completion + requester QP to ERR (flushing receives)."""
+        self._complete_send(wr, status)
+        if self.state is not QPState.ERR:
+            self.modify(QPState.ERR)
+
+    def __repr__(self) -> str:
+        return f"<QueuePair qpn={self.qpn} state={self.state.value} nic={self.nic.name}>"

@@ -1,0 +1,106 @@
+"""Work requests: what gets posted to a queue pair.
+
+A scatter-gather element names a window of a *local*, registered MR by
+(mr, offset, length); remote windows are named by raw (addr, rkey) pairs
+exactly as on the wire -- the responder, not the requester, validates
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+from repro.rdma.constants import ATOMIC_SIZE, Opcode
+from repro.rdma.errors import RdmaError
+from repro.rdma.memory import MemoryRegion
+
+_wr_ids = count(1)
+
+
+def next_wr_id() -> int:
+    return next(_wr_ids)
+
+
+@dataclass(frozen=True)
+class sge:
+    """Scatter-gather element over a local MR."""
+
+    mr: MemoryRegion
+    offset: int = 0
+    length: Optional[int] = None
+
+    @property
+    def nbytes(self) -> int:
+        return self.mr.length - self.offset if self.length is None else self.length
+
+    @property
+    def addr(self) -> int:
+        return self.mr.addr + self.offset
+
+    def validate(self) -> None:
+        if self.offset < 0 or self.nbytes < 0:
+            raise RdmaError(f"negative offset/length in {self!r}")
+        if self.offset + self.nbytes > self.mr.length:
+            raise RdmaError(
+                f"sge [{self.offset}, +{self.nbytes}) exceeds MR length {self.mr.length}"
+            )
+        if not self.mr.valid:
+            raise RdmaError("sge references a deregistered MR")
+
+
+@dataclass
+class SendWR:
+    """A send-queue work request (``ibv_send_wr``)."""
+
+    opcode: Opcode
+    local: Optional[sge] = None
+    remote_addr: int = 0
+    rkey: int = 0
+    imm_data: Optional[int] = None
+    #: Request a CQE on the send CQ when the WR completes.
+    signaled: bool = True
+    #: Copy payload into the WQE (only if it fits max_inline_data).
+    inline: bool = False
+    #: Atomic operands.
+    compare_add: int = 0
+    swap: int = 0
+    wr_id: int = field(default_factory=next_wr_id)
+
+    @property
+    def nbytes(self) -> int:
+        if self.opcode.is_atomic:
+            return ATOMIC_SIZE
+        return self.local.nbytes if self.local is not None else 0
+
+    def validate(self, max_inline: int) -> None:
+        if self.opcode.carries_immediate and self.imm_data is None:
+            raise RdmaError(f"{self.opcode} requires imm_data")
+        if self.opcode.needs_remote_key and self.remote_addr == 0:
+            raise RdmaError(f"{self.opcode} requires remote_addr")
+        if self.opcode.is_atomic:
+            if self.local is None or self.local.nbytes < ATOMIC_SIZE:
+                raise RdmaError("atomics require an 8-byte local result buffer")
+            if self.remote_addr % ATOMIC_SIZE:
+                raise RdmaError("atomic target must be 8-byte aligned")
+        elif self.local is not None:
+            self.local.validate()
+        if self.inline:
+            if self.opcode.is_atomic or self.opcode is Opcode.RDMA_READ:
+                raise RdmaError(f"{self.opcode} cannot be inlined")
+            if self.nbytes > max_inline:
+                raise RdmaError(
+                    f"inline payload of {self.nbytes} B exceeds max_inline_data={max_inline}"
+                )
+
+
+@dataclass
+class RecvWR:
+    """A receive-queue work request (``ibv_recv_wr``)."""
+
+    local: sge
+    wr_id: int = field(default_factory=next_wr_id)
+
+    def validate(self) -> None:
+        self.local.validate()

@@ -1,0 +1,51 @@
+"""Time and size units.
+
+The whole simulation runs in **integer nanoseconds** so that event
+ordering is exact and runs are bit-reproducible; floating-point time
+would accumulate rounding drift over the millions of events produced by
+the bandwidth benchmarks.  Sizes are integer bytes.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+KiB = 1_024
+MiB = 1_024 * 1_024
+GiB = 1_024 * 1_024 * 1_024
+
+
+def us(value: float) -> int:
+    """Microseconds -> integer nanoseconds (rounded)."""
+    return round(value * NS_PER_US)
+
+
+def ms(value: float) -> int:
+    """Milliseconds -> integer nanoseconds (rounded)."""
+    return round(value * NS_PER_MS)
+
+
+def secs(value: float) -> int:
+    """Seconds -> integer nanoseconds (rounded)."""
+    return round(value * NS_PER_S)
+
+
+def ns_to_us(value: int) -> float:
+    """Nanoseconds -> microseconds as a float (for reporting only)."""
+    return value / NS_PER_US
+
+
+def ns_to_ms(value: int) -> float:
+    """Nanoseconds -> milliseconds as a float (for reporting only)."""
+    return value / NS_PER_MS
+
+
+def ns_to_s(value: int) -> float:
+    """Nanoseconds -> seconds as a float (for reporting only)."""
+    return value / NS_PER_S

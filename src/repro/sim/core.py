@@ -1,0 +1,150 @@
+"""The event loop: scheduling queue and virtual clock."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, Optional, Union
+
+from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at an event."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        if event._ok:
+            raise cls(event._value)
+        # Propagate the failure out of run().
+        event._defused = True
+        exc = event._value
+        raise exc
+
+
+class EmptySchedule(Exception):
+    """The event queue ran dry."""
+
+
+class Environment:
+    """Execution environment: virtual clock plus a priority event queue.
+
+    Time is integer nanoseconds.  Determinism: ties at equal (time,
+    priority) break on insertion order via a monotonically increasing
+    sequence number, so runs are exactly reproducible.
+    """
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self._now = int(initial_time)
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+        #: Total events processed (cheap instrumentation).
+        self.events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
+        """Queue *event* to be processed *delay* ns from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self._now + int(delay), priority, next(self._eid), event))
+
+    def peek(self) -> int:
+        """Time of the next scheduled event, or ``-1`` if none."""
+        return self._queue[0][0] if self._queue else -1
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events") from None
+        if when < self._now:  # pragma: no cover - guarded by schedule()
+            raise RuntimeError("time went backwards")
+        self._now = when
+        self.events_processed += 1
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(f"event failed with non-exception {exc!r}")
+
+    def run(self, until: Union[None, int, Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` -- run until the queue is empty;
+        * an ``int`` -- run until virtual time reaches that value;
+        * an :class:`Event` -- run until the event is processed and
+          return its value (re-raising its exception on failure).
+        """
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    # Already processed.
+                    return until.value
+                until.callbacks.append(StopSimulation.callback)
+            else:
+                at = int(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} is in the past (now={self._now})")
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                # Priority below URGENT/NORMAL ordering: use a large
+                # priority so all events at `at` run first.
+                heapq.heappush(self._queue, (at, 1 << 30, next(self._eid), stop))
+                stop.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise RuntimeError(
+                    "simulation ran out of events before the awaited event triggered"
+                ) from None
+            return None
+
+    # -- factories ------------------------------------------------------
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Spawn a new process from *generator*."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event triggering *delay* ns from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now}ns queued={len(self._queue)}>"

@@ -1,0 +1,290 @@
+"""Shared-resource primitives: Resource, Store, FilterStore, Container.
+
+These model contended entities -- CPU cores, NIC pipelines, link
+serialization, bounded queues.  The mechanics follow the classic
+put/get-event design: a request is itself an event that triggers once
+the resource can satisfy it, and pending requests are served FIFO
+(deterministically).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+class _ResourceEvent(Event):
+    """Base for put/get events; supports ``with`` for auto-cancel."""
+
+    def __init__(self, resource: "_BaseResource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw an untriggered request from the waiting queue."""
+        if not self.triggered:
+            self._unenqueue()
+
+    def _unenqueue(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __enter__(self) -> "_ResourceEvent":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.cancel()
+
+
+class _BaseResource:
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._put_waiters: list[Event] = []
+        self._get_waiters: list[Event] = []
+
+    def _dispatch(self) -> None:
+        """Serve as many queued requests as currently possible."""
+        progress = True
+        while progress:
+            progress = False
+            for waiter in list(self._put_waiters):
+                if waiter.triggered:
+                    self._put_waiters.remove(waiter)
+                    continue
+                if self._do_put(waiter):
+                    self._put_waiters.remove(waiter)
+                    progress = True
+            for waiter in list(self._get_waiters):
+                if waiter.triggered:
+                    self._get_waiters.remove(waiter)
+                    continue
+                if self._do_get(waiter):
+                    self._get_waiters.remove(waiter)
+                    progress = True
+
+    def _do_put(self, event: Event) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _do_get(self, event: Event) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Resource: capacity-limited usage slots (cores, connection slots, ...)
+# ---------------------------------------------------------------------------
+
+
+class Request(_ResourceEvent):
+    """A claim on one slot of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource)
+        resource._put_waiters.append(self)
+        resource._dispatch()
+
+    def _unenqueue(self) -> None:
+        if self in self.resource._put_waiters:
+            self.resource._put_waiters.remove(self)
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self.triggered:
+            self.resource.release(self)  # type: ignore[attr-defined]
+        else:
+            self.cancel()
+
+
+class Resource(_BaseResource):
+    """*capacity* interchangeable usage slots served FIFO."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        super().__init__(env)
+        self.capacity = capacity
+        self.users: list[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queue(self) -> list[Event]:
+        """Pending (unserved) requests."""
+        return list(self._put_waiters)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Free the slot held by *request* (no-op if not held)."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            return
+        self._dispatch()
+
+    def _do_put(self, event: Event) -> bool:
+        if len(self.users) < self.capacity:
+            self.users.append(event)  # type: ignore[arg-type]
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: Event) -> bool:  # pragma: no cover - unused
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Store: FIFO queue of Python objects
+# ---------------------------------------------------------------------------
+
+
+class StorePut(_ResourceEvent):
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store)
+        self.item = item
+        store._put_waiters.append(self)
+        store._dispatch()
+
+    def _unenqueue(self) -> None:
+        if self in self.resource._put_waiters:
+            self.resource._put_waiters.remove(self)
+
+
+class StoreGet(_ResourceEvent):
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store)
+        store._get_waiters.append(self)
+        store._dispatch()
+
+    def _unenqueue(self) -> None:
+        if self in self.resource._get_waiters:
+            self.resource._get_waiters.remove(self)
+
+
+class Store(_BaseResource):
+    """A FIFO buffer of items with optional bounded capacity."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        super().__init__(env)
+        self.capacity = capacity
+        self.items: list[Any] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Event that triggers once *item* is accepted."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Event that triggers with the oldest available item."""
+        return StoreGet(self)
+
+    def _do_put(self, event: StorePut) -> bool:  # type: ignore[override]
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:  # type: ignore[override]
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+
+class FilterStoreGet(StoreGet):
+    def __init__(self, store: "FilterStore", predicate: Callable[[Any], bool]) -> None:
+        self.predicate = predicate
+        super().__init__(store)
+
+
+class FilterStore(Store):
+    """A Store whose ``get`` can select by predicate."""
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> FilterStoreGet:  # type: ignore[override]
+        return FilterStoreGet(self, predicate or (lambda item: True))
+
+    def _do_get(self, event: StoreGet) -> bool:  # type: ignore[override]
+        predicate = getattr(event, "predicate", lambda item: True)
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                del self.items[index]
+                event.succeed(item)
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Container: continuous/discrete quantity (memory bytes, tokens)
+# ---------------------------------------------------------------------------
+
+
+class ContainerPut(_ResourceEvent):
+    def __init__(self, container: "Container", amount: int) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container)
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._dispatch()
+
+    def _unenqueue(self) -> None:
+        if self in self.resource._put_waiters:
+            self.resource._put_waiters.remove(self)
+
+
+class ContainerGet(_ResourceEvent):
+    def __init__(self, container: "Container", amount: int) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container)
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._dispatch()
+
+    def _unenqueue(self) -> None:
+        if self in self.resource._get_waiters:
+            self.resource._get_waiters.remove(self)
+
+
+class Container(_BaseResource):
+    """A homogeneous quantity with bounded level (e.g. node memory)."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"), init: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if init < 0 or init > capacity:
+            raise ValueError("init must be within [0, capacity]")
+        super().__init__(env)
+        self.capacity = capacity
+        self._level = init
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def put(self, amount: int) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: int) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _do_put(self, event: ContainerPut) -> bool:  # type: ignore[override]
+        if self._level + event.amount <= self.capacity:
+            self._level += event.amount
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: ContainerGet) -> bool:  # type: ignore[override]
+        if self._level >= event.amount:
+            self._level -= event.amount
+            event.succeed()
+            return True
+        return False

@@ -1,0 +1,72 @@
+"""Lightweight measurement helpers used across benchmarks.
+
+``Recorder`` collects named samples in virtual time; ``Span`` measures
+elapsed virtual time around a block of process steps.  These are plain
+data collectors -- statistics live in :mod:`repro.analysis.stats`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+@dataclass
+class Sample:
+    """One timestamped measurement."""
+
+    time: int
+    value: float
+
+
+class Recorder:
+    """Collects named series of (virtual time, value) samples."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._series: dict[str, list[Sample]] = defaultdict(list)
+
+    def record(self, name: str, value: float) -> None:
+        self._series[name].append(Sample(self.env.now, value))
+
+    def values(self, name: str) -> list[float]:
+        return [sample.value for sample in self._series[name]]
+
+    def samples(self, name: str) -> list[Sample]:
+        return list(self._series[name])
+
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def clear(self, name: Optional[str] = None) -> None:
+        if name is None:
+            self._series.clear()
+        else:
+            self._series.pop(name, None)
+
+
+@dataclass
+class Span:
+    """Measures elapsed virtual time: ``span.start(); ...; span.stop()``."""
+
+    env: "Environment"
+    started_at: Optional[int] = None
+    elapsed: int = 0
+    laps: list[int] = field(default_factory=list)
+
+    def start(self) -> "Span":
+        self.started_at = self.env.now
+        return self
+
+    def stop(self) -> int:
+        if self.started_at is None:
+            raise RuntimeError("span was never started")
+        lap = self.env.now - self.started_at
+        self.started_at = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap

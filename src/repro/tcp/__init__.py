@@ -1,0 +1,12 @@
+"""TCP/IP baseline transport on the same physical fabric.
+
+Fig. 8 compares rFaaS and raw RDMA against an ``netperf`` TCP baseline;
+this package provides that baseline: the same links, but every message
+pays kernel-stack costs (syscalls, interrupts, copies) and a single
+stream achieves only a fraction of the link bandwidth.
+"""
+
+from repro.tcp.stack import TcpConfig, TcpEndpoint, TcpNetwork
+from repro.tcp.netperf import netperf_rr
+
+__all__ = ["TcpConfig", "TcpEndpoint", "TcpNetwork", "netperf_rr"]

@@ -1,0 +1,59 @@
+"""netperf-style TCP request/response measurement (TCP_RR).
+
+The paper reports the *mean* of netperf with page-aligned buffers and
+process pinning as its TCP baseline; this reproduces that measurement
+pattern on the simulated stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.rdma.fabric import Fabric
+from repro.sim.core import Environment
+from repro.tcp.stack import TcpConfig, TcpNetwork
+
+
+@dataclass
+class NetperfResult:
+    size: int
+    iterations: int
+    rtts_ns: list[int]
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self.rtts_ns) / len(self.rtts_ns)
+
+
+def netperf_rr(
+    size: int,
+    iterations: int = 100,
+    config: Optional[TcpConfig] = None,
+) -> NetperfResult:
+    """Ping-pong *size*-byte requests/responses over TCP; returns RTTs."""
+    env = Environment()
+    fabric = Fabric(env)
+    for host in ("np-a", "np-b"):
+        fabric.attach(host)
+    network = TcpNetwork(fabric, config)
+    client = network.endpoint("np-a")
+    server = network.endpoint("np-b")
+    rtts: list[int] = []
+
+    def server_proc():
+        for _ in range(iterations):
+            yield server.recv()
+            yield from server.send(client, size)
+
+    def client_proc():
+        for _ in range(iterations):
+            start = env.now
+            yield from client.send(server, size)
+            yield client.recv()
+            rtts.append(env.now - start)
+
+    env.process(server_proc())
+    env.process(client_proc())
+    env.run()
+    return NetperfResult(size=size, iterations=iterations, rtts_ns=rtts)

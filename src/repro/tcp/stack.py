@@ -1,0 +1,108 @@
+"""A cost model of kernel TCP on the RDMA cluster's links.
+
+The point of this model is the *contrast* the paper draws in Sec. II-C:
+TCP transfers traverse the OS on both ends (syscall, protocol
+processing, softirq, copy to/from user space), so even on the same
+100 Gb/s links a request/response pair costs tens of microseconds where
+RDMA costs 3.69 us, and a single stream does not reach link bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.rdma.fabric import Fabric
+from repro.sim.clock import us
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Kernel-path latency components (ns) and stream throughput."""
+
+    #: sendmsg syscall + TX protocol processing + qdisc.
+    tx_stack_ns: int = us(6)
+    #: RX interrupt, softirq protocol processing, socket wakeup.
+    rx_stack_ns: int = us(8)
+    #: Copy between user and kernel buffers, both directions.
+    copy_bytes_per_sec: float = 10e9
+    #: Effective single-stream goodput (window/congestion limited).
+    stream_bytes_per_sec: float = 4.7e9
+
+    def copy_ns(self, size: int) -> int:
+        return round(size * 1e9 / self.copy_bytes_per_sec) if size > 0 else 0
+
+    def stream_extra_ns(self, size: int, link_bytes_per_sec: float) -> int:
+        """Extra serialization versus the raw link for a single stream."""
+        if size <= 0 or self.stream_bytes_per_sec >= link_bytes_per_sec:
+            return 0
+        full = size * 1e9 / self.stream_bytes_per_sec
+        raw = size * 1e9 / link_bytes_per_sec
+        return round(full - raw)
+
+    def one_way_ns(self, size: int, link_serialization_ns: int, propagation_ns: int) -> int:
+        """Uncontended one-way latency of a *size*-byte message."""
+        return (
+            self.tx_stack_ns
+            + self.copy_ns(size)
+            + link_serialization_ns
+            + propagation_ns
+            + self.rx_stack_ns
+            + self.copy_ns(size)
+        )
+
+
+class TcpEndpoint:
+    """A socket-like endpoint: FIFO inbox of (payload_size, payload)."""
+
+    def __init__(self, network: "TcpNetwork", host: str) -> None:
+        self.network = network
+        self.host = host
+        self.inbox: Store = Store(network.env)
+
+    def send(self, dst: "TcpEndpoint", size: int, payload=None):
+        """Process generator: send and return once handed to the kernel.
+
+        Delivery to the peer's inbox happens asynchronously after the
+        full stack + wire time.
+        """
+        yield from self.network._send(self, dst, size, payload)
+
+    def recv(self):
+        """Event yielding (size, payload) of the next delivered message."""
+        return self.inbox.get()
+
+
+class TcpNetwork:
+    """Creates endpoints and moves messages over the shared fabric."""
+
+    def __init__(self, fabric: Fabric, config: Optional[TcpConfig] = None) -> None:
+        self.fabric = fabric
+        self.env: "Environment" = fabric.env
+        self.config = config or TcpConfig()
+
+    def endpoint(self, host: str) -> TcpEndpoint:
+        if host not in self.fabric._attachments:
+            raise ValueError(f"host {host!r} is not attached to the fabric")
+        return TcpEndpoint(self, host)
+
+    def _send(self, src: TcpEndpoint, dst: TcpEndpoint, size: int, payload):
+        env = self.env
+        cfg = self.config
+        # TX: syscall, copy into kernel, protocol processing.
+        yield env.timeout(cfg.tx_stack_ns + cfg.copy_ns(size))
+        env.process(self._deliver(src, dst, size, payload))
+
+    def _deliver(self, src: TcpEndpoint, dst: TcpEndpoint, size: int, payload):
+        env = self.env
+        cfg = self.config
+        link_bps = self.fabric.model.bandwidth_bytes_per_sec
+        yield from self.fabric.transfer(src.host, dst.host, size, inline=False)
+        yield env.timeout(cfg.stream_extra_ns(size, link_bps))
+        # RX: interrupt, protocol processing, copy to user space.
+        yield env.timeout(cfg.rx_stack_ns + cfg.copy_ns(size))
+        yield dst.inbox.put((size, payload))

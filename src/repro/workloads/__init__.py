@@ -1,0 +1,72 @@
+"""Workloads: the real computations behind the paper's evaluation.
+
+Every workload is implemented twice over the same code:
+
+* a **real kernel** (NumPy) whose numerical output is validated in the
+  test suite -- thumbnail pixels, option prices, solver residuals are
+  all checked, and
+* a **cost model** giving the kernel's virtual-time duration on the
+  paper's Xeon Gold 6154 testbed, used when the workload runs inside
+  the simulation (as an rFaaS function, an OpenMP thread, or an MPI
+  rank).
+
+Workload -> paper section map:
+
+===================  =========================================
+``noop``             no-op echo (Figs. 1, 8, 10)
+``thumbnailer``      SeBS image processing (Fig. 11a)
+``resnet``           SeBS ResNet-50 inference (Fig. 11b)
+``black_scholes``    PARSEC solver offload (Fig. 12)
+``gemm``             MPI matrix-matrix multiply (Fig. 13a)
+``jacobi``           MPI Jacobi linear solver (Fig. 13b)
+===================  =========================================
+"""
+
+from repro.workloads.images import Image, generate_image
+from repro.workloads.noop import noop_package
+from repro.workloads.thumbnailer import make_thumbnail, thumbnailer_function
+from repro.workloads.resnet import TinyResNet, resnet_function
+from repro.workloads.black_scholes import (
+    black_scholes_price,
+    bs_function,
+    generate_options,
+    pack_options,
+    unpack_options,
+)
+from repro.workloads.gemm import gemm_cost_ns, gemm_function, pack_matrices, unpack_result
+from repro.workloads.jacobi import JacobiWorkspace, jacobi_function, jacobi_iteration_cost_ns
+from repro.workloads.sebs_extra import (
+    bfs_function,
+    compression_function,
+    pagerank_function,
+    sebs_extra_package,
+)
+from repro.workloads.tenants import TenantSpec, standard_mix
+
+__all__ = [
+    "Image",
+    "JacobiWorkspace",
+    "TinyResNet",
+    "black_scholes_price",
+    "bs_function",
+    "gemm_cost_ns",
+    "gemm_function",
+    "generate_image",
+    "generate_options",
+    "jacobi_function",
+    "jacobi_iteration_cost_ns",
+    "make_thumbnail",
+    "noop_package",
+    "pack_matrices",
+    "pack_options",
+    "resnet_function",
+    "thumbnailer_function",
+    "TenantSpec",
+    "bfs_function",
+    "compression_function",
+    "pagerank_function",
+    "sebs_extra_package",
+    "standard_mix",
+    "unpack_options",
+    "unpack_result",
+]

@@ -1,0 +1,85 @@
+"""A tiny raw image format and deterministic image generator.
+
+The SeBS benchmarks ship JPEG images; with no image codecs offline we
+use a raw RGB format with an 8-byte header, choosing dimensions so the
+*byte sizes* match the paper's inputs (97 kB / 3.6 MB thumbnails,
+53 kB / 230 kB recognition inputs).
+
+Header layout: u16 width | u16 height | u16 channels | u16 reserved,
+followed by ``width * height * channels`` uint8 pixels, row-major.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+_HEADER = struct.Struct("<HHHH")
+HEADER_BYTES = _HEADER.size
+
+
+@dataclass
+class Image:
+    """A decoded image."""
+
+    pixels: np.ndarray  # (height, width, channels) uint8
+
+    @property
+    def height(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.pixels.shape[1]
+
+    @property
+    def channels(self) -> int:
+        return self.pixels.shape[2]
+
+    def encode(self) -> bytes:
+        header = _HEADER.pack(self.width, self.height, self.channels, 0)
+        return header + self.pixels.tobytes()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Image":
+        if len(data) < HEADER_BYTES:
+            raise ValueError("image payload shorter than header")
+        width, height, channels, _ = _HEADER.unpack_from(data)
+        expected = width * height * channels
+        body = data[HEADER_BYTES : HEADER_BYTES + expected]
+        if len(body) != expected:
+            raise ValueError(
+                f"image body has {len(body)} bytes, header promises {expected}"
+            )
+        pixels = np.frombuffer(body, dtype=np.uint8).reshape(height, width, channels)
+        return cls(pixels=pixels.copy())
+
+    @property
+    def nbytes(self) -> int:
+        return HEADER_BYTES + self.pixels.size
+
+
+def generate_image(width: int, height: int, channels: int = 3, seed: int = 7) -> Image:
+    """A deterministic structured test image (gradients + noise).
+
+    Structure matters: thumbnail tests verify that downscaling
+    preserves the gradient, which uniform noise would not show.
+    """
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    base = (xx * 255 // max(width - 1, 1) + yy * 128 // max(height - 1, 1)) % 256
+    pixels = np.stack(
+        [(base + 40 * c) % 256 for c in range(channels)], axis=-1
+    ).astype(np.uint8)
+    noise = rng.integers(0, 16, size=pixels.shape, dtype=np.uint8)
+    return Image(pixels=((pixels.astype(np.uint16) + noise) % 256).astype(np.uint8))
+
+
+def image_for_payload_size(target_bytes: int, channels: int = 3, aspect: float = 4 / 3) -> Image:
+    """An image whose encoded size is close to *target_bytes*."""
+    pixel_budget = max(1, (target_bytes - HEADER_BYTES) // channels)
+    width = max(1, int((pixel_budget * aspect) ** 0.5))
+    height = max(1, pixel_budget // width)
+    return generate_image(width, height, channels)

@@ -1,0 +1,17 @@
+"""The no-op echo benchmark function (Figs. 1, 8, 10).
+
+Returns its input unchanged; the paper uses it to isolate platform
+overhead from computation.  The code package's 7.88 kB size matches
+the paper's compiled shared library.
+"""
+
+from __future__ import annotations
+
+from repro.core.functions import CodePackage, echo_function
+
+
+def noop_package(name: str = "noop") -> CodePackage:
+    """The benchmark package: a single 'echo' function, 7.88 kB."""
+    package = CodePackage(name=name, size_bytes=7_880)
+    package.add(echo_function())
+    return package

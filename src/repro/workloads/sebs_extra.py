@@ -1,0 +1,171 @@
+"""Additional SeBS-style serverless workloads.
+
+The paper evaluates two functions from its SeBS suite [21]; the suite
+itself is broader.  These three more -- compression, graph BFS, and
+graph PageRank -- are real computations (cross-checked against zlib and
+networkx in the tests) deployable on any platform in this repository,
+used by the suite example and extra coverage tests.
+
+Wire formats
+------------
+* compression: raw bytes in -> zlib stream out.
+* graphs: ``u32 n | u32 m | m x (u32 u32) edges | u32 arg`` where
+  ``arg`` is the BFS source or the PageRank iteration count.
+  BFS answers ``n x i32`` hop distances (-1 = unreachable);
+  PageRank answers ``n x f64`` scores.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.core.functions import CodePackage, FunctionSpec
+
+_GRAPH_HDR = struct.Struct("<II")
+_ARG = struct.Struct("<I")
+
+
+# -- compression ---------------------------------------------------------------
+
+#: zlib level-6 compression rate on one Xeon core.
+COMPRESS_BYTES_PER_SEC = 95e6
+
+
+def compress_handler(payload: bytes) -> bytes:
+    return zlib.compress(payload, level=6)
+
+
+def compression_function(name: str = "compression") -> FunctionSpec:
+    return FunctionSpec(
+        name=name,
+        handler=compress_handler,
+        cost_ns=lambda size: round(size * 1e9 / COMPRESS_BYTES_PER_SEC),
+        # Virtual estimate: text-like inputs compress to roughly half.
+        output_size=lambda size: max(16, size // 2),
+    )
+
+
+# -- graph serialization ----------------------------------------------------------
+
+
+def pack_graph(n: int, edges: np.ndarray, arg: int) -> bytes:
+    """``edges`` is an (m, 2) array of u32 endpoints."""
+    edges = np.ascontiguousarray(edges, dtype=np.uint32)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must be an (m, 2) array")
+    if edges.size and int(edges.max()) >= n:
+        raise ValueError("edge endpoint out of range")
+    return _GRAPH_HDR.pack(n, edges.shape[0]) + edges.tobytes() + _ARG.pack(arg)
+
+
+def unpack_graph(payload: bytes) -> tuple[int, np.ndarray, int]:
+    n, m = _GRAPH_HDR.unpack_from(payload)
+    edges = np.frombuffer(payload, dtype=np.uint32, count=2 * m, offset=_GRAPH_HDR.size)
+    (arg,) = _ARG.unpack_from(payload, _GRAPH_HDR.size + 8 * m)
+    return n, edges.reshape(m, 2), arg
+
+
+def graph_bytes(n: int, m: int) -> int:
+    return _GRAPH_HDR.size + 8 * m + _ARG.size
+
+
+def random_graph(n: int, m: int, seed: int = 3) -> np.ndarray:
+    """m random directed edges over n nodes (deterministic)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n, size=(m, 2), dtype=np.uint32)
+
+
+# -- BFS ----------------------------------------------------------------------
+
+#: Edges scanned per second in CSR BFS on one core.
+BFS_EDGES_PER_SEC = 200e6
+
+
+def bfs_distances(n: int, edges: np.ndarray, source: int) -> np.ndarray:
+    """Hop distances from *source* over directed edges (-1 unreachable)."""
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        adjacency[int(u)].append(int(v))
+    dist = np.full(n, -1, dtype=np.int32)
+    dist[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier: list[int] = []
+        for u in frontier:
+            for v in adjacency[u]:
+                if dist[v] < 0:
+                    dist[v] = level
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return dist
+
+
+def bfs_handler(payload: bytes) -> bytes:
+    n, edges, source = unpack_graph(payload)
+    if not 0 <= source < n:
+        raise ValueError(f"BFS source {source} out of range")
+    return bfs_distances(n, edges, source).tobytes()
+
+
+def bfs_function(name: str = "graph-bfs") -> FunctionSpec:
+    return FunctionSpec(
+        name=name,
+        handler=bfs_handler,
+        cost_ns=lambda size: round((size // 8) * 1e9 / BFS_EDGES_PER_SEC),
+        output_size=lambda size: max(4, (size // 8) // 2),
+    )
+
+
+# -- PageRank --------------------------------------------------------------------
+
+#: Edge traversals per second per power iteration on one core.
+PAGERANK_EDGES_PER_SEC = 150e6
+DAMPING = 0.85
+
+
+def pagerank_scores(n: int, edges: np.ndarray, iterations: int) -> np.ndarray:
+    """Power iteration with uniform teleport; dangling mass spread
+    uniformly (matching networkx's convention)."""
+    out_degree = np.zeros(n, dtype=np.float64)
+    for u, _ in edges:
+        out_degree[int(u)] += 1.0
+    rank = np.full(n, 1.0 / n)
+    src = edges[:, 0].astype(np.int64)
+    dst = edges[:, 1].astype(np.int64)
+    for _ in range(iterations):
+        contrib = np.zeros(n)
+        if len(edges):
+            weights = rank[src] / out_degree[src]
+            np.add.at(contrib, dst, weights)
+        dangling = rank[out_degree == 0].sum()
+        rank = (1 - DAMPING) / n + DAMPING * (contrib + dangling / n)
+    return rank
+
+
+def pagerank_handler(payload: bytes) -> bytes:
+    n, edges, iterations = unpack_graph(payload)
+    return pagerank_scores(n, edges, iterations).tobytes()
+
+
+def pagerank_function(name: str = "graph-pagerank") -> FunctionSpec:
+    return FunctionSpec(
+        name=name,
+        handler=pagerank_handler,
+        # Iterations are inside the payload; assume the suite's 20.
+        cost_ns=lambda size: round(20 * (size // 8) * 1e9 / PAGERANK_EDGES_PER_SEC),
+        output_size=lambda size: max(8, (size // 8) * 4),
+    )
+
+
+def sebs_extra_package() -> CodePackage:
+    """All three extra functions in one deployable package."""
+    package = CodePackage(name="sebs-extra", size_bytes=22_000)
+    package.add(compression_function())
+    package.add(bfs_function())
+    package.add(pagerank_function())
+    return package

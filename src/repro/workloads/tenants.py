@@ -1,0 +1,103 @@
+"""Multi-tenant invocation workloads.
+
+The paper's oversubscription argument (Sec. III-D) is about *mixes*:
+latency-critical tenants pin hot workers while bursty and batch tenants
+share oversubscribed capacity warmly.  This module generates those
+tenant profiles -- arrival processes, payload sizes, compute costs --
+for the multi-tenant experiment and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.functions import CodePackage, FunctionSpec
+from repro.sim.clock import ms, us
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's workload profile."""
+
+    name: str
+    #: "poisson" (rate_per_s) or "bursty" (bursts of burst_len calls
+    #: back-to-back, separated by exponential gaps).
+    arrival: str = "poisson"
+    rate_per_s: float = 100.0
+    burst_len: int = 10
+    payload_bytes: int = 1_024
+    compute_ns: int = us(50)
+    workers: int = 1
+    #: None = stay hot forever; 0 = always warm; else rollback timeout.
+    hot_timeout_ns: Optional[int] = 0
+    invocations: int = 100
+
+    def package(self) -> CodePackage:
+        package = CodePackage(name=f"tenant-{self.name}")
+        package.add(
+            FunctionSpec(
+                name="work",
+                handler=lambda data: data[:8],
+                cost_ns=lambda size, cost=self.compute_ns: cost,
+                output_size=lambda size: 8,
+            )
+        )
+        return package
+
+    def interarrival_ns(self, rng: np.random.Generator) -> int:
+        """Next gap before an invocation (bursts return 0 inside)."""
+        return max(1, round(rng.exponential(1e9 / self.rate_per_s)))
+
+
+def standard_mix() -> list[TenantSpec]:
+    """The three-profile mix used by the multi-tenant experiment."""
+    return [
+        TenantSpec(
+            name="latency-critical",
+            arrival="poisson",
+            rate_per_s=200.0,
+            payload_bytes=512,
+            compute_ns=us(20),
+            workers=2,
+            hot_timeout_ns=None,  # always hot: the paying-premium tenant
+            invocations=150,
+        ),
+        TenantSpec(
+            name="bursty-service",
+            arrival="bursty",
+            rate_per_s=20.0,
+            burst_len=8,
+            payload_bytes=8_192,
+            compute_ns=us(200),
+            workers=2,
+            hot_timeout_ns=ms(1),  # hot inside bursts, warm between
+            invocations=120,
+        ),
+        TenantSpec(
+            name="batch-analytics",
+            arrival="poisson",
+            rate_per_s=10.0,
+            payload_bytes=262_144,
+            compute_ns=ms(2),
+            workers=2,
+            hot_timeout_ns=0,  # always warm: the cheap tenant
+            invocations=60,
+        ),
+    ]
+
+
+@dataclass
+class TenantOutcome:
+    """Measured behaviour of one tenant over a run."""
+
+    spec: TenantSpec
+    rtts_ns: list[int] = field(default_factory=list)
+    rejections: int = 0
+    redirects: int = 0
+    cost: float = 0.0
+    hotpoll_s: float = 0.0
+    compute_s: float = 0.0

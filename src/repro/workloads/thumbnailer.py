@@ -1,0 +1,73 @@
+"""SeBS *thumbnailer*: general-purpose image processing (Fig. 11a).
+
+The real kernel is an area-average downscale to a bounded thumbnail
+(default 200x200, preserving aspect), reimplemented in NumPy the way
+the paper reimplements the Python benchmark in C++/OpenCV.
+
+Cost model: decode + box-filter resize + encode is a streaming pass
+over the pixels; OpenCV on one Xeon core sustains roughly 25 ns/pixel
+for the whole pipeline (JPEG decode dominating).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.functions import CodePackage, FunctionSpec
+from repro.workloads.images import HEADER_BYTES, Image
+
+THUMBNAIL_MAX_DIM = 200
+
+#: End-to-end per-pixel processing cost (decode + resize + encode).
+COST_PER_PIXEL_NS = 25
+#: Fixed per-invocation setup (argument parsing, allocations).
+COST_BASE_NS = 200_000
+
+
+def make_thumbnail(image: Image, max_dim: int = THUMBNAIL_MAX_DIM) -> Image:
+    """Area-average downscale keeping aspect ratio."""
+    height, width = image.height, image.width
+    scale = max(1, -(-max(height, width) // max_dim))  # ceil division
+    if scale == 1:
+        return Image(pixels=image.pixels.copy())
+    # Crop to a multiple of the scale, then box-average.
+    new_h = height // scale
+    new_w = width // scale
+    cropped = image.pixels[: new_h * scale, : new_w * scale, :]
+    blocks = cropped.reshape(new_h, scale, new_w, scale, image.channels)
+    thumb = blocks.mean(axis=(1, 3)).round().astype(np.uint8)
+    return Image(pixels=thumb)
+
+
+def thumbnail_cost_ns(payload_size: int) -> int:
+    pixels = max(0, payload_size - HEADER_BYTES) // 3
+    return COST_BASE_NS + pixels * COST_PER_PIXEL_NS
+
+
+def _thumbnail_output_size(payload_size: int) -> int:
+    """Virtual-payload output estimate: bounded by the thumbnail dims."""
+    pixels = max(1, payload_size - HEADER_BYTES) // 3
+    side = int(pixels**0.5)
+    scale = max(1, -(-side // THUMBNAIL_MAX_DIM))
+    out_pixels = max(1, (side // scale)) ** 2
+    return HEADER_BYTES + 3 * out_pixels
+
+
+def _handler(payload: bytes) -> bytes:
+    return make_thumbnail(Image.decode(payload)).encode()
+
+
+def thumbnailer_function(name: str = "thumbnailer") -> FunctionSpec:
+    return FunctionSpec(
+        name=name,
+        handler=_handler,
+        cost_ns=thumbnail_cost_ns,
+        output_size=_thumbnail_output_size,
+    )
+
+
+def thumbnailer_package() -> CodePackage:
+    """Deployable package: image, OpenCV-like code (bigger artifact)."""
+    package = CodePackage(name="thumbnailer", size_bytes=40_000)
+    package.add(thumbnailer_function())
+    return package

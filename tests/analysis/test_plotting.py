@@ -1,0 +1,54 @@
+"""Text plotting helpers."""
+
+import pytest
+
+from repro.analysis.plotting import bar_chart, cdf_points, sparkline
+
+
+def test_sparkline_shape_and_extremes():
+    line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+    assert len(line) == 8
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+    assert sparkline([]) == ""
+
+
+def test_sparkline_log_compresses_magnitudes():
+    linear = sparkline([1, 10, 100, 100_000])
+    log = sparkline([1, 10, 100, 100_000], log=True)
+    # Linear scale flattens the small values; log spreads them.
+    assert linear[0] == linear[1] == "▁"
+    assert log[0] != log[1]
+
+
+def test_bar_chart_rows_and_scaling():
+    chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+    lines = chart.split("\n")
+    assert len(lines) == 2
+    assert lines[1].count("█") > lines[0].count("█")
+    assert "2" in lines[1]
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+    assert bar_chart([], []) == ""
+
+
+def test_cdf_points_monotone():
+    values = [5, 1, 3, 2, 4]
+    points = cdf_points(values, points=5)
+    assert points[0] == (0.0, 1.0)
+    assert points[-1] == (1.0, 5.0)
+    quantiles = [q for q, _ in points]
+    samples = [v for _, v in points]
+    assert quantiles == sorted(quantiles)
+    assert samples == sorted(samples)
+
+
+def test_cdf_points_empty_rejected():
+    with pytest.raises(ValueError):
+        cdf_points([])

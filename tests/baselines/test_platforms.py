@@ -1,0 +1,139 @@
+"""Baseline platform models: anchors, caps, cold/warm, correctness."""
+
+import pytest
+
+from repro.baselines import AwsLambda, FuncX, Nightcore, OpenWhisk, base64_size
+from repro.sim import Environment, ms
+
+
+def warm_rtt(platform_cls, size, handler=lambda d: d, compute_ns=0, **kwargs):
+    env = Environment()
+    platform = platform_cls(env, **kwargs)
+    results = []
+
+    def driver():
+        for _ in range(2):
+            result = yield from platform.invoke(
+                "f", b"x" * size, size, handler=handler, compute_ns=compute_ns
+            )
+            results.append(result)
+
+    env.process(driver())
+    env.run()
+    assert results[0].cold and not results[1].cold
+    return results[1].rtt_ns
+
+
+def test_base64_size():
+    assert base64_size(0) == 0
+    assert base64_size(1) == 4
+    assert base64_size(3) == 4
+    assert base64_size(4) == 8
+    assert base64_size(3000) == 4000
+
+
+def test_lambda_anchor_1kb():
+    rtt = warm_rtt(AwsLambda, 1_000)
+    assert rtt == pytest.approx(ms(19.5), rel=0.05)  # paper: 19.5 ms
+
+
+def test_lambda_anchor_5mb():
+    rtt = warm_rtt(AwsLambda, 5_000_000)
+    assert rtt == pytest.approx(ms(600), rel=0.05)  # paper: >600 ms
+
+
+def test_lambda_ml_image_range():
+    """Paper: 30-75 ms for typical ML recognition image sizes."""
+    for size in (100_000, 250_000, 500_000):
+        rtt = warm_rtt(AwsLambda, size)
+        assert ms(25) <= rtt <= ms(80)
+
+
+def test_lambda_payload_cap():
+    env = Environment()
+    platform = AwsLambda(env)
+
+    def driver():
+        with pytest.raises(ValueError):
+            yield from platform.invoke("f", None, 7 * 1024 * 1024)
+
+    env.process(driver())
+    env.run()
+
+
+def test_openwhisk_warm_latency_band():
+    rtt = warm_rtt(OpenWhisk, 1_000)
+    assert ms(80) <= rtt <= ms(110)
+
+
+def test_openwhisk_argv_cap_125kb():
+    env = Environment()
+    platform = OpenWhisk(env)
+
+    def driver():
+        with pytest.raises(ValueError):
+            yield from platform.invoke("f", None, 200 * 1024)
+
+    env.process(driver())
+    env.run()
+
+
+def test_nightcore_sub_millisecond_small():
+    rtt = warm_rtt(Nightcore, 1_000)
+    assert rtt < ms(0.5)
+
+
+def test_funcx_warm_at_least_90ms():
+    rtt = warm_rtt(FuncX, 1_000)
+    assert rtt >= ms(90)  # Sec. VI: "even warm invocations take >= 90ms"
+
+
+def test_relative_ordering_of_platforms():
+    """Nightcore < OpenWhisk ~ Lambda < FuncX is the paper's landscape
+    at small payloads on cluster-local platforms."""
+    nc = warm_rtt(Nightcore, 1_000)
+    ow = warm_rtt(OpenWhisk, 1_000)
+    aws = warm_rtt(AwsLambda, 1_000)
+    assert nc < aws < ow
+
+
+def test_cold_start_slower_than_warm():
+    env = Environment()
+    platform = AwsLambda(env)
+    results = []
+
+    def driver():
+        for _ in range(2):
+            result = yield from platform.invoke("f", b"x", 1)
+            results.append(result)
+
+    env.process(driver())
+    env.run()
+    assert results[0].rtt_ns - results[1].rtt_ns == pytest.approx(platform.cold_ns, rel=0.01)
+
+
+def test_handler_runs_for_real_on_baselines():
+    rtt = warm_rtt(AwsLambda, 4, handler=lambda d: d * 2)
+    env = Environment()
+    platform = Nightcore(env)
+    out = []
+
+    def driver():
+        result = yield from platform.invoke("f", b"ab", 2, handler=lambda d: d[::-1])
+        out.append(result.output)
+
+    env.process(driver())
+    env.run()
+    assert out == [b"ba"]
+
+
+def test_compute_time_added():
+    base = warm_rtt(Nightcore, 1_000)
+    slow = warm_rtt(Nightcore, 1_000, compute_ns=ms(5))
+    assert slow - base == ms(5)
+
+
+def test_rtt_monotone_in_size():
+    for cls in (AwsLambda, Nightcore):
+        rtts = [warm_rtt(cls, size) for size in (1_000, 10_000, 100_000, 1_000_000)]
+        assert rtts == sorted(rtts)

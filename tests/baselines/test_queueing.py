@@ -1,0 +1,105 @@
+"""Queueing-process baseline models: fit, saturation, FCFS fairness."""
+
+import pytest
+
+from repro.baselines.queueing import (
+    Stage,
+    StageSpec,
+    queued_lambda,
+    queued_nightcore,
+    queued_openwhisk,
+)
+from repro.sim import Environment, ms, us
+
+
+def single_client_rtt(factory, size=1_000):
+    env = Environment()
+    platform = factory(env)
+    rtts = []
+
+    def client():
+        rtt = yield from platform.invoke(size)
+        rtts.append(rtt)
+
+    env.process(client())
+    env.run()
+    return rtts[0]
+
+
+def test_queued_models_match_analytic_single_client():
+    """Uncontended, the queued models agree with the fitted analytic
+    models within ~15%."""
+    assert single_client_rtt(queued_openwhisk) == pytest.approx(ms(92.5), rel=0.15)
+    assert single_client_rtt(queued_nightcore) == pytest.approx(us(175), rel=0.15)
+    assert single_client_rtt(queued_lambda) == pytest.approx(ms(19.5), rel=0.15)
+
+
+def test_stage_queues_when_saturated():
+    env = Environment()
+    stage = Stage(env, StageSpec("s", servers=1, base_ns=1_000))
+    done = []
+
+    def job(tag):
+        yield from stage.process(0)
+        done.append((tag, env.now))
+
+    for tag in range(3):
+        env.process(job(tag))
+    env.run()
+    assert done == [(0, 1_000), (1, 2_000), (2, 3_000)]
+    assert stage.jobs_served == 3
+
+
+def test_multi_server_stage_parallelism():
+    env = Environment()
+    stage = Stage(env, StageSpec("s", servers=2, base_ns=1_000))
+    done = []
+
+    def job():
+        yield from stage.process(0)
+        done.append(env.now)
+
+    for _ in range(4):
+        env.process(job())
+    env.run()
+    assert done == [1_000, 1_000, 2_000, 2_000]
+
+
+def test_per_byte_service_time():
+    spec = StageSpec("s", servers=1, base_ns=100, per_byte_ns=0.5)
+    assert spec.service_ns(0) == 100
+    assert spec.service_ns(1_000) == 600
+
+
+def test_openwhisk_kafka_is_the_bottleneck():
+    env = Environment()
+    platform = queued_openwhisk(env)
+    rtts = []
+
+    def client():
+        for _ in range(5):
+            rtt = yield from platform.invoke(1_000)
+            rtts.append(rtt)
+
+    for _ in range(8):
+        env.process(client())
+    env.run()
+    # Under 8 concurrent clients latency has blown past the 1-client fit.
+    assert sorted(rtts)[len(rtts) // 2] > ms(200)
+    kafka = next(s for s in platform.request_path if s.spec.name == "kafka")
+    assert kafka.busy_ns >= max(s.busy_ns for s in platform.request_path)
+
+
+def test_lambda_does_not_queue():
+    env = Environment()
+    platform = queued_lambda(env)
+    rtts = []
+
+    def client():
+        rtt = yield from platform.invoke(1_000)
+        rtts.append(rtt)
+
+    for _ in range(50):
+        env.process(client())
+    env.run()
+    assert max(rtts) - min(rtts) < ms(1)

@@ -1,0 +1,127 @@
+"""Harvest controller: donation, retirement under demand, accounting."""
+
+import pytest
+
+from repro.cluster import BatchJob, BatchScheduler
+from repro.cluster.harvest import HarvestController
+from repro.cluster.node import NodeSpec
+from repro.core import Deployment, LeaseExpired, RFaaSConfig
+from repro.sim import GiB, secs
+
+from tests.core.conftest import make_package
+
+
+def build(total_nodes=10, reserve=2, max_donated=4, poll_s=5):
+    dep = Deployment.build(executors=0, managers=1, clients=1)
+    scheduler = BatchScheduler(dep.env, total_nodes, 377 * GiB)
+    controller = HarvestController(
+        scheduler,
+        dep.fabric,
+        dep.managers[0],
+        config=dep.config,
+        reserve_nodes=reserve,
+        max_donated=max_donated,
+        poll_interval_ns=secs(poll_s),
+    )
+    # Donated executors must see the deployment's package registry.
+    dep.managers[0].package_registry = dep.package_registry
+    return dep, scheduler, controller
+
+
+def job(arrival_s, nodes, walltime_s):
+    return BatchJob(
+        arrival_ns=secs(arrival_s),
+        nodes=nodes,
+        walltime_ns=secs(walltime_s),
+        memory_per_node=64 * GiB,
+    )
+
+
+def test_idle_nodes_get_donated():
+    dep, scheduler, controller = build()
+    dep.env.run(until=secs(30))
+    assert controller.donated_count == 4  # capped at max_donated
+    assert scheduler.borrowed_nodes == 4
+    assert scheduler.free_nodes == 6
+    record_names = set(dep.managers[0].executors)
+    assert len(record_names) == 4
+
+
+def test_reserve_is_respected():
+    dep, scheduler, controller = build(total_nodes=5, reserve=3, max_donated=8)
+    dep.env.run(until=secs(30))
+    assert controller.donated_count == 2
+    assert scheduler.free_nodes == 3
+
+
+def test_demand_triggers_retirement():
+    dep, scheduler, controller = build(total_nodes=10, reserve=2, max_donated=6)
+    dep.env.run(until=secs(30))
+    assert controller.donated_count == 6
+    # A big job arrives needing 8 nodes: only 2 are free -> it queues,
+    # and the controller must hand nodes back.
+    dep.env.process(scheduler.run_trace([job(31, 8, 100)]))
+    dep.env.run(until=secs(60))
+    assert scheduler.queue == [] or scheduler.running  # job scheduled
+    big = (scheduler.running + scheduler.completed)[0]
+    assert big.started_ns is not None
+    assert controller.donated_count <= 2
+    assert controller.stats.retirements >= 4
+
+
+def test_harvested_executors_actually_serve_functions():
+    dep, scheduler, controller = build()
+    dep.env.run(until=secs(30))
+    invoker = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from invoker.allocate(package, workers=2)
+        out = yield from invoker.invoke("echo", b"harvested!")
+        return out
+
+    assert dep.run(driver()) == b"harvested!"
+
+
+def test_retirement_terminates_tenant_leases():
+    dep, scheduler, controller = build(total_nodes=6, reserve=1, max_donated=2)
+    dep.env.run(until=secs(30))
+    invoker = dep.new_invoker()
+    package = make_package()
+
+    def phase1():
+        yield from invoker.allocate(package, workers=1, timeout_ns=secs(3600))
+        return next(iter(invoker.leases))
+
+    lease_id = dep.run(phase1())
+    # Batch pressure: a job wanting every node forces full retirement.
+    dep.env.process(scheduler.run_trace([job(40, 6, 50)]))
+    dep.env.run(until=secs(80))  # while the big job is still running
+    assert lease_id in invoker.terminated_leases
+    assert invoker.live_workers == 0
+    assert controller.donated_count == 0
+    assert controller.stats.retirements == 2
+    # After the job drains, the controller starts donating again.
+    dep.env.run(until=secs(150))
+    assert controller.donated_count == 2
+
+
+def test_stats_accumulate_node_time():
+    dep, scheduler, controller = build(total_nodes=4, reserve=0, max_donated=2, poll_s=2)
+    dep.env.run(until=secs(20))
+    controller.stop()
+    dep.env.run(until=secs(40))
+    assert controller.stats.donations == 2
+    assert controller.stats.retirements == 2
+    assert controller.stats.node_ns_donated > 0
+    assert scheduler.borrowed_nodes == 0
+
+
+def test_borrow_return_bookkeeping():
+    dep, scheduler, _ = build()
+    assert scheduler.borrow_node()
+    assert scheduler.borrowed_nodes == 1
+    scheduler.return_node()
+    assert scheduler.borrowed_nodes == 0
+    with pytest.raises(ValueError):
+        scheduler.return_node()

@@ -1,0 +1,79 @@
+"""Node tests: claims, accounting, compute-time model."""
+
+import pytest
+
+from repro.cluster import Node, NodeSpec
+from repro.sim import Environment, GiB
+
+
+def make_node(cores=4, memory=8 * GiB):
+    env = Environment()
+    return env, Node(env, "n0", NodeSpec(cores=cores, memory_bytes=memory))
+
+
+def test_claim_and_release_accounting():
+    env, node = make_node()
+    claim = node.try_claim(cores=2, memory_bytes=1 * GiB)
+    assert claim is not None
+    assert node.free_cores == 2
+    assert node.free_memory == 7 * GiB
+    assert node.used_memory == 1 * GiB
+    claim.release()
+    assert node.free_cores == 4
+    assert node.free_memory == 8 * GiB
+
+
+def test_claim_release_idempotent():
+    env, node = make_node()
+    claim = node.try_claim(2, GiB)
+    claim.release()
+    claim.release()
+    assert node.free_cores == 4
+    assert node.free_memory == 8 * GiB
+
+
+def test_overclaim_cores_returns_none():
+    env, node = make_node(cores=2)
+    assert node.try_claim(3, 0 * GiB + 1) is None
+    # Nothing leaked by the failed attempt.
+    assert node.free_cores == 2
+    assert node.free_memory == 8 * GiB
+
+
+def test_overclaim_memory_returns_none():
+    env, node = make_node()
+    assert node.try_claim(1, 9 * GiB) is None
+    assert node.free_cores == 4
+
+
+def test_sequential_claims_until_exhaustion():
+    env, node = make_node(cores=3)
+    claims = [node.try_claim(1, GiB) for _ in range(3)]
+    assert all(claims)
+    assert node.try_claim(1, GiB) is None
+    claims[0].release()
+    assert node.try_claim(1, GiB) is not None
+
+
+def test_compute_time_model():
+    env, node = make_node()
+    spec = node.spec
+    one_second_of_flops = spec.flops_per_core
+    assert node.compute_time_ns(one_second_of_flops) == pytest.approx(1e9, rel=1e-6)
+    # Two cores halve the time; efficiency scales it back up.
+    assert node.compute_time_ns(one_second_of_flops, cores=2) == pytest.approx(0.5e9, rel=1e-6)
+    assert node.compute_time_ns(one_second_of_flops, efficiency=0.5) == pytest.approx(2e9, rel=1e-6)
+    assert node.compute_time_ns(0) == 0
+
+
+def test_stream_time_model():
+    env, node = make_node()
+    nbytes = node.spec.mem_bw_per_core
+    assert node.stream_time_ns(nbytes) == pytest.approx(1e9, rel=1e-6)
+    assert node.stream_time_ns(0) == 0
+
+
+def test_default_spec_matches_testbed():
+    spec = NodeSpec()
+    assert spec.cores == 36  # 2 x 18-core Xeon Gold 6154
+    assert spec.memory_bytes == 377 * GiB

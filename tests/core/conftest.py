@@ -1,0 +1,31 @@
+"""Shared fixtures for core tests: a small live deployment."""
+
+import pytest
+
+from repro.core import CodePackage, Deployment
+from repro.core.functions import FunctionSpec, echo_function
+
+
+def make_package(name="pkg"):
+    package = CodePackage(name=name)
+    package.add(echo_function())
+    package.add(
+        FunctionSpec(
+            name="double",
+            handler=lambda data: bytes((b * 2) % 256 for b in data),
+            cost_ns=lambda size: 100 * size,
+        )
+    )
+    return package
+
+
+@pytest.fixture
+def deployment():
+    dep = Deployment.build(executors=2, managers=1, clients=1)
+    dep.settle()
+    return dep
+
+
+def run_driver(dep, generator):
+    """Drive a client generator to completion, return its value."""
+    return dep.run(generator)

@@ -1,0 +1,107 @@
+"""Billing database: accounts, fetch-and-add accounting, the cost model."""
+
+import pytest
+
+from repro.core.billing import (
+    SLOT_ALLOCATION,
+    SLOT_COMPUTE,
+    SLOT_HOTPOLL,
+    BillingAccount,
+    BillingDatabase,
+    BillingRates,
+)
+from repro.rdma import Fabric, Opcode, QueuePair, SendWR, sge
+from repro.rdma.constants import Access
+from repro.sim import Environment, GiB
+
+
+def make_db():
+    env = Environment()
+    fabric = Fabric(env)
+    nic = fabric.attach("manager")
+    return env, fabric, nic, BillingDatabase(nic)
+
+
+def test_open_account_idempotent_and_distinct():
+    env, fabric, nic, db = make_db()
+    a1 = db.open_account("tenant-a")
+    a2 = db.open_account("tenant-a")
+    b = db.open_account("tenant-b")
+    assert a1 == a2
+    assert a1[0] != b[0]
+    assert b[0] - a1[0] == 24  # 3 x u64
+
+
+def test_read_account_zero_initialized():
+    env, fabric, nic, db = make_db()
+    account = db.read_account("t")
+    assert account.allocation_byte_seconds == 0
+    assert account.compute_ns == 0
+    assert account.hotpoll_ns == 0
+
+
+def test_capacity_limit():
+    env = Environment()
+    nic = Fabric(env).attach("m")
+    db = BillingDatabase(nic, capacity_accounts=2)
+    db.open_account("a")
+    db.open_account("b")
+    with pytest.raises(RuntimeError):
+        db.open_account("c")
+
+
+def test_remote_fetch_add_accumulates_into_account():
+    """An executor bumps counters over the fabric with atomics."""
+    env, fabric, nic, db = make_db()
+    exec_nic = fabric.attach("executor")
+    pd_m = nic.create_pd()
+    pd_e = exec_nic.create_pd()
+    scratch = pd_e.register(exec_nic.alloc(64), Access.LOCAL_WRITE)
+    cq_m, cq_e = nic.create_cq(), exec_nic.create_cq()
+    qp_m = nic.create_qp(pd_m, cq_m)
+    qp_e = exec_nic.create_qp(pd_e, cq_e)
+    QueuePair.connect_pair(qp_e, qp_m)
+
+    addr, rkey = db.open_account("tenant")
+
+    def flush():
+        for slot, delta in ((SLOT_ALLOCATION, 1000), (SLOT_COMPUTE, 222), (SLOT_HOTPOLL, 333)):
+            qp_e.post_send(
+                SendWR(
+                    opcode=Opcode.ATOMIC_FETCH_ADD,
+                    local=sge(scratch, 0, 8),
+                    remote_addr=addr + 8 * slot,
+                    rkey=rkey,
+                    compare_add=delta,
+                )
+            )
+            yield from cq_e.busy_poll(max_entries=1)
+
+    env.process(flush())
+    env.process(flush())
+    env.run()
+    account = db.read_account("tenant")
+    assert account.allocation_byte_seconds == 2000
+    assert account.compute_ns == 444
+    assert account.hotpoll_ns == 666
+
+
+def test_cost_formula():
+    """C = Ca*ta + Cc*tc + Ch*th with unit conversions."""
+    rates = BillingRates(allocation_per_gib_s=2.0, compute_per_s=3.0, hotpoll_per_s=5.0)
+    account = BillingAccount(
+        tenant="t",
+        allocation_byte_seconds=4 * GiB,  # 4 GiB-seconds
+        compute_ns=int(1.5e9),  # 1.5 s
+        hotpoll_ns=int(2e9),  # 2 s
+    )
+    assert account.cost(rates) == pytest.approx(2.0 * 4 + 3.0 * 1.5 + 5.0 * 2)
+
+
+def test_hot_polling_costs_more_than_idle_warm():
+    """The paper's pricing intuition: hot polling is billed as active
+    time, so a mostly-idle hot worker costs more than a warm one."""
+    rates = BillingRates()
+    hot = BillingAccount("h", allocation_byte_seconds=GiB, compute_ns=int(1e8), hotpoll_ns=int(9e8))
+    warm = BillingAccount("w", allocation_byte_seconds=GiB, compute_ns=int(1e8), hotpoll_ns=0)
+    assert hot.cost(rates) > warm.cost(rates)

@@ -1,0 +1,129 @@
+"""Deployment builder, client buffers, completion modes."""
+
+import pytest
+
+from repro.core import Deployment, RFaaSConfig
+from repro.core.invoker import ClientBuffer
+from repro.core.protocol import HEADER_BYTES
+from repro.rdma.latency import LatencyModel
+
+from tests.core.conftest import make_package
+
+
+def test_build_shapes():
+    dep = Deployment.build(executors=3, managers=2, clients=2)
+    assert len(dep.executors) == 3
+    assert len(dep.managers) == 2
+    assert len(dep.client_nodes) == 2
+    names = dep.fabric.names()
+    assert {"manager0", "manager1", "executor0", "client0"} <= set(names)
+
+
+def test_executors_split_across_managers():
+    dep = Deployment.build(executors=4, managers=2)
+    dep.settle()
+    assert sorted(len(m.executors) for m in dep.managers) == [2, 2]
+
+
+def test_add_client_node():
+    dep = Deployment.build(executors=1, clients=1)
+    node = dep.add_client_node()
+    assert node.name == "client1"
+    assert len(dep.client_nodes) == 2
+    invoker = dep.new_invoker(client_index=1)
+    assert invoker.nic is node.nic
+
+
+def test_custom_latency_model_threading():
+    model = LatencyModel.soft_roce()
+    dep = Deployment.build(executors=1, latency_model=model)
+    assert dep.fabric.model is model
+    assert dep.executors[0].nic.model is model
+
+
+def test_shared_package_registry():
+    dep = Deployment.build(executors=2, clients=1)
+    invoker = dep.new_invoker()
+    assert invoker.package_registry is dep.package_registry
+    assert dep.executors[0].package_registry is dep.package_registry
+
+
+def test_run_drains_when_no_process():
+    dep = Deployment.build(executors=1)
+    # run() without a driver drains the (heartbeat-free) startup events.
+    dep.settle()
+    assert dep.env.now > 0
+
+
+# -- client buffers -----------------------------------------------------------
+
+
+def make_invoker():
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    return dep, dep.new_invoker()
+
+
+def test_input_buffer_reserves_header_room():
+    dep, invoker = make_invoker()
+    buf = invoker.alloc_input(100)
+    assert buf.payload_offset == HEADER_BYTES
+    assert buf.capacity == 100
+    buf.write(b"abc")
+    assert buf.read(3) == b"abc"
+    # The header region is independent of the payload region.
+    assert buf.mr.read(0, HEADER_BYTES) == bytes(HEADER_BYTES)
+
+
+def test_output_buffer_no_header():
+    dep, invoker = make_invoker()
+    buf = invoker.alloc_output(50)
+    assert buf.payload_offset == 0
+    assert buf.capacity == 50
+    assert not buf.is_virtual
+
+
+def test_virtual_buffers_flagged():
+    dep, invoker = make_invoker()
+    buf = invoker.alloc_input(1 << 26, virtual=True)
+    assert buf.is_virtual
+
+
+def test_buffer_write_offset():
+    dep, invoker = make_invoker()
+    buf = invoker.alloc_input(32)
+    buf.write(b"xy", offset=10)
+    assert buf.read(2, offset=10) == b"xy"
+
+
+# -- completion modes -----------------------------------------------------------
+
+
+def test_blocking_completion_mode_adds_latency():
+    def rtt(mode):
+        dep = Deployment.build(executors=1, clients=1)
+        dep.settle()
+        invoker = dep.new_invoker(completion_mode=mode)
+        package = make_package()
+
+        def driver():
+            yield from invoker.allocate(package, workers=1)
+            in_buf = invoker.alloc_input(64)
+            out_buf = invoker.alloc_output(64)
+            in_buf.write(b"zz")
+            future = invoker.submit("echo", in_buf, 2, out_buf)
+            result = yield future.wait()
+            return result.rtt_ns
+
+        return dep.run(driver())
+
+    polling = rtt("polling")
+    blocking = rtt("blocking")
+    model = LatencyModel()
+    assert blocking - polling == model.blocking_notify_ns - model.poll_detect_ns
+
+
+def test_invalid_completion_mode_rejected():
+    dep = Deployment.build(executors=1, clients=1)
+    with pytest.raises(ValueError):
+        dep.new_invoker(completion_mode="psychic")

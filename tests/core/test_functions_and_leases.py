@@ -1,0 +1,99 @@
+"""FunctionSpec/CodePackage and lease lifecycle tests."""
+
+import pytest
+
+from repro.core import CodePackage, FunctionSpec, Lease, LeaseState
+from repro.core.functions import echo_function
+from repro.sim import secs
+
+
+# -- functions ----------------------------------------------------------------
+
+
+def test_echo_function_identity():
+    spec = echo_function()
+    output, size = spec.execute(b"abc", 3)
+    assert output == b"abc" and size == 3
+
+
+def test_function_virtual_execution_sizes_only():
+    spec = FunctionSpec(name="half", handler=lambda d: d[: len(d) // 2], output_size=lambda s: s // 2)
+    output, size = spec.execute(None, 100)
+    assert output is None and size == 50
+
+
+def test_function_cost_model():
+    spec = FunctionSpec(name="f", handler=lambda d: d, cost_ns=lambda s: 7 * s)
+    assert spec.cost_ns(10) == 70
+
+
+def test_package_indexing():
+    package = CodePackage(name="p")
+    i0 = package.add(echo_function("a"))
+    i1 = package.add(echo_function("b"))
+    assert (i0, i1) == (0, 1)
+    assert package.index_of("b") == 1
+    assert package.by_index(0).name == "a"
+    assert package.by_index(99) is None
+    assert len(package) == 2
+
+
+def test_package_duplicate_name_rejected():
+    package = CodePackage()
+    package.add(echo_function("f"))
+    with pytest.raises(ValueError):
+        package.add(echo_function("f"))
+
+
+def test_package_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        CodePackage().index_of("ghost")
+
+
+def test_package_default_size_matches_paper():
+    assert CodePackage().size_bytes == 7_880  # the 7.88 kB no-op library
+
+
+# -- leases ------------------------------------------------------------------
+
+
+def make_lease(timeout_s=60):
+    return Lease(
+        client="c",
+        executor_host="e0",
+        executor_port=10000,
+        cores=2,
+        memory_bytes=1 << 30,
+        issued_ns=secs(10),
+        timeout_ns=secs(timeout_s),
+    )
+
+
+def test_lease_active_window():
+    lease = make_lease(60)
+    assert lease.is_active(secs(10))
+    assert lease.is_active(secs(69))
+    assert not lease.is_active(secs(70))
+    assert lease.remaining_ns(secs(30)) == secs(40)
+    assert lease.remaining_ns(secs(100)) == 0
+
+
+def test_lease_state_transitions_one_way():
+    lease = make_lease()
+    lease.release()
+    assert lease.state is LeaseState.RELEASED
+    lease.terminate()  # no effect after release
+    assert lease.state is LeaseState.RELEASED
+
+    lease2 = make_lease()
+    lease2.expire()
+    assert lease2.state is LeaseState.EXPIRED
+
+    lease3 = make_lease()
+    lease3.terminate()
+    assert lease3.state is LeaseState.TERMINATED
+    assert not lease3.is_active(secs(11))
+
+
+def test_lease_ids_unique():
+    assert make_lease().lease_id != make_lease().lease_id

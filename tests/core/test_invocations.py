@@ -1,0 +1,208 @@
+"""Invocation-path tests: hot/warm latencies, payload integrity,
+rollback, error handling -- driven through the full deployment."""
+
+import pytest
+
+from repro.core import CodePackage, Deployment, FunctionSpec, InvocationRejected, RFaaSError
+from repro.core.functions import echo_function
+from repro.rdma.latency import LatencyModel
+from repro.sim import ms, us
+
+from tests.core.conftest import make_package
+
+RDMA_RTT_SMALL = LatencyModel().pingpong_rtt_ns(2)  # 3690
+
+
+def single_worker_rtts(sandbox="bare-metal", hot_timeout="default", payload=b"ab", n=5, cost_fn=None):
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = CodePackage(name="p")
+    if cost_fn is None:
+        package.add(echo_function())
+    else:
+        package.add(FunctionSpec(name="echo", handler=lambda d: d, cost_ns=cost_fn))
+
+    def driver():
+        yield from inv.allocate(package, workers=1, sandbox=sandbox, hot_timeout_ns=hot_timeout)
+        in_buf = inv.alloc_input(max(len(payload), 64))
+        out_buf = inv.alloc_output(max(len(payload), 64))
+        in_buf.write(payload)
+        rtts = []
+        outputs = []
+        for _ in range(n):
+            future = inv.submit("echo", in_buf, len(payload), out_buf)
+            result = yield future.wait()
+            rtts.append(result.rtt_ns)
+            outputs.append(result.output())
+        return rtts, outputs
+
+    return dep.run(driver())
+
+
+def test_hot_overhead_is_paper_326ns():
+    rtts, outputs = single_worker_rtts()
+    overhead = rtts[-1] - RDMA_RTT_SMALL
+    assert 300 <= overhead <= 350  # paper: 326 ns
+    assert all(out == b"ab" for out in outputs)
+
+
+def test_warm_overhead_is_paper_4_67us():
+    rtts, _ = single_worker_rtts(hot_timeout=0)
+    overhead = rtts[-1] - RDMA_RTT_SMALL
+    assert abs(overhead - 4_670) <= 50  # paper: 4.67 us
+
+
+def test_docker_hot_penalty_50ns():
+    bare, _ = single_worker_rtts(sandbox="bare-metal")
+    docker, _ = single_worker_rtts(sandbox="docker")
+    assert docker[-1] - bare[-1] == 50
+
+
+def test_docker_warm_penalty_650ns():
+    bare, _ = single_worker_rtts(sandbox="bare-metal", hot_timeout=0)
+    docker, _ = single_worker_rtts(sandbox="docker", hot_timeout=0)
+    assert docker[-1] - bare[-1] == 650
+
+
+def test_inline_asymmetry_at_128B():
+    """12-byte header pushes 128 B payloads over the inline threshold in
+    the request direction only: overhead jumps to ~630 ns (Fig. 8)."""
+    r64, _ = single_worker_rtts(payload=b"x" * 64)
+    r128, _ = single_worker_rtts(payload=b"x" * 128)
+    model = LatencyModel()
+    overhead_64 = r64[-1] - model.pingpong_rtt_ns(64)
+    overhead_128 = r128[-1] - model.pingpong_rtt_ns(128)
+    assert 300 <= overhead_64 <= 350
+    assert 600 <= overhead_128 <= 660  # paper: 630 ns
+
+
+def test_payload_integrity_large():
+    payload = bytes(range(256)) * 64  # 16 KiB patterned
+    _, outputs = single_worker_rtts(payload=payload, n=2)
+    assert outputs == [payload, payload]
+
+
+def test_cost_model_adds_compute_time():
+    plain, _ = single_worker_rtts()
+    slow, _ = single_worker_rtts(cost_fn=lambda size: us(100))
+    assert slow[-1] - plain[-1] == us(100)
+
+
+def test_hot_rollback_to_warm_after_timeout():
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = CodePackage(name="p")
+    package.add(echo_function())
+
+    def driver():
+        yield from inv.allocate(package, workers=1, hot_timeout_ns=ms(1))
+        in_buf = inv.alloc_input(64)
+        out_buf = inv.alloc_output(64)
+        in_buf.write(b"ab")
+        # First invocation while hot.
+        future = inv.submit("echo", in_buf, 2, out_buf)
+        hot_result = yield future.wait()
+        # Let the worker roll back to warm (idle > hot_timeout)...
+        yield dep.env.timeout(ms(5))
+        future = inv.submit("echo", in_buf, 2, out_buf)
+        warm_result = yield future.wait()
+        # ...and the execution re-enters hot mode immediately after.
+        future = inv.submit("echo", in_buf, 2, out_buf)
+        hot_again = yield future.wait()
+        return hot_result.rtt_ns, warm_result.rtt_ns, hot_again.rtt_ns
+
+    hot_rtt, warm_rtt, hot_again_rtt = dep.run(driver())
+    assert warm_rtt - hot_rtt == pytest.approx(4_344, abs=20)  # blocking gap
+    assert hot_again_rtt == hot_rtt
+
+
+def test_hot_polling_accounted_in_worker_stats():
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = CodePackage(name="p")
+    package.add(echo_function())
+
+    def driver():
+        yield from inv.allocate(package, workers=1, hot_timeout_ns=None)
+        in_buf = inv.alloc_input(64)
+        out_buf = inv.alloc_output(64)
+        in_buf.write(b"ab")
+        yield dep.env.timeout(ms(2))  # worker polls for 2 ms
+        future = inv.submit("echo", in_buf, 2, out_buf)
+        yield future.wait()
+        return None
+
+    dep.run(driver())
+    worker = dep.executors[0].allocations[next(iter(dep.executors[0].allocations))].workers[0]
+    assert worker.stats.hotpoll_ns >= ms(2)
+    assert worker.stats.invocations == 1
+
+
+def test_unknown_function_index_fails_future():
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        in_buf = inv.alloc_input(64)
+        out_buf = inv.alloc_output(64)
+        future = inv.submit(42, in_buf, 2, out_buf)  # bad index
+        try:
+            yield future.wait()
+        except InvocationRejected as error:
+            return str(error)
+
+    assert "function not found" in dep.run(driver())
+
+
+def test_failing_handler_fails_future_not_worker():
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = CodePackage(name="p")
+    package.add(FunctionSpec(name="boom", handler=lambda d: 1 / 0))
+    package.add(echo_function())
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        in_buf = inv.alloc_input(64)
+        out_buf = inv.alloc_output(64)
+        in_buf.write(b"ab")
+        failed = None
+        future = inv.submit("boom", in_buf, 2, out_buf)
+        try:
+            yield future.wait()
+        except RFaaSError as error:
+            failed = str(error)
+        # Worker survives and still serves.
+        future = inv.submit("echo", in_buf, 2, out_buf)
+        result = yield future.wait()
+        return failed, result.output()
+
+    failed, output = dep.run(driver())
+    assert failed is not None
+    assert output == b"ab"
+
+
+def test_multiple_functions_in_one_worker_process():
+    """Sec. IV-A: different functions execute in the same worker."""
+    _, outputs = single_worker_rtts()
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        out1 = yield from inv.invoke("echo", b"\x01\x02")
+        out2 = yield from inv.invoke("double", b"\x01\x02")
+        return out1, out2
+
+    out1, out2 = dep.run(driver())
+    assert out1 == b"\x01\x02"
+    assert out2 == b"\x02\x04"

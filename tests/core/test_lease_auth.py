@@ -1,0 +1,116 @@
+"""Lease authentication (Sec. III-E): MAC-signed leases."""
+
+import pytest
+
+from repro.core import AllocationError, Deployment
+from repro.core.leases import sign_lease, verify_lease_token
+from repro.core.rpc import rpc_connect
+
+from tests.core.conftest import make_package
+
+SECRET = b"rfaas-cluster-secret"
+
+
+def test_sign_verify_roundtrip():
+    token = sign_lease(SECRET, 42, "tenant", 4, 1 << 30)
+    assert verify_lease_token(SECRET, token, 42, "tenant", 4, 1 << 30)
+
+
+def test_verification_fails_on_any_tampering():
+    token = sign_lease(SECRET, 42, "tenant", 4, 1 << 30)
+    assert not verify_lease_token(SECRET, token, 43, "tenant", 4, 1 << 30)
+    assert not verify_lease_token(SECRET, token, 42, "other", 4, 1 << 30)
+    assert not verify_lease_token(SECRET, token, 42, "tenant", 8, 1 << 30)  # more cores!
+    assert not verify_lease_token(SECRET, token, 42, "tenant", 4, 1 << 31)  # more memory!
+    assert not verify_lease_token(b"wrong-secret", token, 42, "tenant", 4, 1 << 30)
+    assert not verify_lease_token(SECRET, "", 42, "tenant", 4, 1 << 30)
+
+
+def test_legitimate_allocation_passes_auth():
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=2)
+        return (yield from inv.invoke("echo", b"authd"))
+
+    assert dep.run(driver()) == b"authd"
+
+
+def test_forged_allocation_rejected_by_executor():
+    """A client bypassing the manager (self-issued lease) is refused."""
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = make_package()
+    dep.package_registry[package.name] = package
+    executor = dep.executors[0]
+
+    def driver():
+        conn = yield from rpc_connect(inv.nic, executor.nic.name, executor.port)
+        response = yield from conn.call(
+            {
+                "type": "allocate",
+                "lease_id": 99_999,
+                "token": "forged" * 10,
+                "tenant": inv.name,
+                "workers": 36,  # grab the whole node
+                "memory_bytes": 1 << 30,
+                "sandbox": "bare-metal",
+                "package": package.name,
+                "code_padding": b"",
+                "billing_addr": 0,
+                "billing_rkey": 0,
+                "hot_timeout_ns": None,
+                "buffer_bytes": None,
+                "virtual_buffers": None,
+            }
+        )
+        return response
+
+    response = dep.run(driver())
+    assert response.get("error") == "lease authentication failed"
+    assert executor.free_cores == 36  # nothing was claimed
+
+
+def test_inflated_lease_rejected():
+    """A real token for 1 worker cannot be replayed for 36 workers."""
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = make_package()
+    executor = dep.executors[0]
+
+    def driver():
+        # Get a legitimate 1-worker lease...
+        yield from inv.allocate(package, workers=1)
+        lease = next(iter(inv.leases.values()))
+        token = sign_lease(
+            dep.config.cluster_secret, lease.lease_id, inv.name, 1, lease.memory_bytes
+        )
+        # ...then replay its token asking for 8 workers.
+        conn = yield from rpc_connect(inv.nic, executor.nic.name, executor.port)
+        response = yield from conn.call(
+            {
+                "type": "allocate",
+                "lease_id": lease.lease_id,
+                "token": token,
+                "tenant": inv.name,
+                "workers": 8,
+                "memory_bytes": lease.memory_bytes,
+                "sandbox": "bare-metal",
+                "package": package.name,
+                "code_padding": b"",
+                "billing_addr": 0,
+                "billing_rkey": 0,
+                "hot_timeout_ns": None,
+                "buffer_bytes": None,
+                "virtual_buffers": None,
+            }
+        )
+        return response
+
+    response = dep.run(driver())
+    assert response.get("error") == "lease authentication failed"

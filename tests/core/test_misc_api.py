@@ -1,0 +1,138 @@
+"""Remaining public-API corners."""
+
+import pytest
+
+from repro.core import CodePackage, Deployment, RFaaSError
+from repro.core.functions import echo_function
+from repro.experiments.common import measure_rfaas_rtts
+from repro.sim import GB, GiB, KB, KiB, MB, MiB, ns_to_ms, ns_to_s, ns_to_us
+
+from tests.core.conftest import make_package
+
+
+def test_size_constants():
+    assert KB == 1_000 and MB == 1_000_000 and GB == 1_000_000_000
+    assert KiB == 1_024 and MiB == 1_048_576 and GiB == 1_073_741_824
+
+
+def test_ns_converters():
+    assert ns_to_us(4_020) == 4.02
+    assert ns_to_ms(25_000_000) == 25.0
+    assert ns_to_s(2_700_000_000) == 2.7
+
+
+def test_measure_rfaas_rtts_rejects_bad_mode():
+    with pytest.raises(ValueError):
+        measure_rfaas_rtts(64, mode="tepid")
+
+
+def test_measure_rfaas_rtts_reports_config():
+    run = measure_rfaas_rtts(64, mode="hot", repetitions=5)
+    assert run.payload_size == 64
+    assert run.sandbox == "bare-metal"
+    assert run.mode == "hot"
+    assert run.stats.count == 5
+    assert run.stats.ci_low <= run.stats.median <= run.stats.ci_high
+
+
+def test_submit_before_allocate_raises():
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    in_buf = inv.alloc_input(64)
+    out_buf = inv.alloc_output(64)
+    with pytest.raises(RFaaSError):
+        inv.submit("echo", in_buf, 2, out_buf)
+
+
+def test_invoke_default_out_capacity_covers_payload():
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = CodePackage(name="p")
+    package.add(echo_function())
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        payload = bytes(range(200))
+        return (yield from inv.invoke("echo", payload))
+
+    assert dep.run(driver()) == bytes(range(200))
+
+
+def test_worker_mode_history_records_rollbacks():
+    from repro.core import RFaaSConfig
+    from repro.sim import ms
+
+    config = RFaaSConfig(hot_timeout_ns=ms(1))
+    dep = Deployment.build(executors=1, clients=1, config=config)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        yield from inv.invoke("echo", b"x")
+        yield dep.env.timeout(ms(5))  # rollback to warm
+        yield from inv.invoke("echo", b"y")  # wakes warm, re-enters hot
+        return None
+
+    dep.run(driver())
+    worker = next(iter(dep.executors[0].allocations.values())).workers[0]
+    assert "warm" in worker.stats.mode_history
+    assert "hot" in worker.stats.mode_history
+    assert worker.stats.hot_to_warm_rollbacks >= 1
+
+
+def test_connection_serves_checks():
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        connection = inv.connections[0]
+        assert connection.serves("echo")
+        assert connection.serves("double")
+        assert not connection.serves("ghost")
+        assert connection.serves(3)  # raw indices always pass
+        return None
+
+    dep.run(driver())
+
+
+def test_future_wait_for_success_and_timeout():
+    from repro.core import FunctionSpec, InvocationTimeout
+    from repro.sim import ms, us
+
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = CodePackage(name="p")
+    package.add(FunctionSpec(name="slow", handler=lambda d: d, cost_ns=lambda s: ms(5)))
+    package.add(echo_function())
+
+    def driver():
+        yield from inv.allocate(package, workers=2)
+        in_buf = inv.alloc_input(64)
+        out_buf = inv.alloc_output(64)
+        in_buf.write(b"zz")
+        # Fast function inside a generous deadline: returns the result.
+        future = inv.submit("echo", in_buf, 2, out_buf, worker=0)
+        result = yield from future.wait_for(ms(1))
+        assert result.output() == b"zz"
+        # Slow function with a tight deadline: raises, sim survives.
+        future = inv.submit("slow", in_buf, 2, out_buf, worker=1)
+        timed_out = False
+        try:
+            yield from future.wait_for(us(100))
+        except InvocationTimeout:
+            timed_out = True
+        assert timed_out and future.abandoned
+        # The platform keeps serving afterwards (late result dropped).
+        yield dep.env.timeout(ms(10))
+        out = yield from inv.invoke("echo", b"after")
+        return out
+
+    assert dep.run(driver()) == b"after"

@@ -1,0 +1,126 @@
+"""Oversubscription and rejection/redirect (Sec. III-D, Fig. 6)."""
+
+import pytest
+
+from repro.cluster.node import NodeSpec
+from repro.core import CodePackage, Deployment, FunctionSpec, InvocationRejected, RFaaSConfig
+from repro.core.functions import echo_function
+from repro.sim import GiB, ms, us
+
+
+def build_oversubscribed(executors=2):
+    """Tiny 1-core nodes so a 2-worker allocation oversubscribes."""
+    config = RFaaSConfig(allow_oversubscription=True, hot_timeout_ns=0)
+    dep = Deployment.build(
+        executors=executors,
+        clients=1,
+        config=config,
+        node_spec=NodeSpec(cores=1, memory_bytes=8 * GiB),
+    )
+    dep.settle()
+    return dep
+
+
+def slow_package():
+    package = CodePackage(name="p")
+    package.add(FunctionSpec(name="slow", handler=lambda d: d, cost_ns=lambda s: ms(10)))
+    package.add(echo_function())
+    return package
+
+
+def test_warm_rejection_redirects_to_other_executor():
+    dep = build_oversubscribed(executors=2)
+    inv = dep.new_invoker()
+    package = slow_package()
+
+    def driver():
+        # Two workers on executor A (oversubscribed: 2 workers, 1 core),
+        # one worker on executor B.
+        yield from inv.allocate(package, workers=2, memory_bytes=GiB)
+        yield from inv.allocate(package, workers=1, memory_bytes=GiB)
+        in_buf = inv.alloc_input(64)
+        out_buf1 = inv.alloc_output(64)
+        out_buf2 = inv.alloc_output(64)
+        in_buf.write(b"ab")
+        # First slow call occupies executor A's only core...
+        f1 = inv.submit("slow", in_buf, 2, out_buf1, worker=0)
+        yield dep.env.timeout(us(50))
+        # ...second call to A's other worker gets rejected, redirects.
+        f2 = inv.submit("slow", in_buf, 2, out_buf2, worker=1)
+        r2 = yield f2.wait()
+        r1 = yield f1.wait()
+        return r1, r2, f2.redirects
+
+    r1, r2, redirects = dep.run(driver())
+    assert r1.ok and r2.ok
+    assert redirects == 1
+
+
+def test_all_rejected_fails_with_invocation_rejected():
+    """When the node's core is reclaimed externally (e.g. by the batch
+    system), every warm worker rejects and the client gives up."""
+    dep = build_oversubscribed(executors=1)
+    inv = dep.new_invoker()
+    package = slow_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=2, memory_bytes=GiB)
+        # An outside occupant (arriving batch job) takes the only core.
+        claim = dep.executors[0].node.try_claim(1, 0)
+        assert claim is not None
+        in_buf = inv.alloc_input(64)
+        out_buf = inv.alloc_output(64)
+        in_buf.write(b"ab")
+        future = inv.submit("slow", in_buf, 2, out_buf, worker=0)
+        error = None
+        try:
+            yield future.wait()
+        except InvocationRejected as exc:
+            error = str(exc)
+        claim.release()
+        return error, future.redirects
+
+    error, redirects = dep.run(driver())
+    assert error is not None and "rejected" in error
+    # One redirect to the second worker, one final attempt that found
+    # no untried worker and gave up.
+    assert redirects == 2
+
+
+def test_rejection_is_fast_microseconds():
+    """The paper: rejection is processed with microsecond latency."""
+    dep = build_oversubscribed(executors=2)
+    inv = dep.new_invoker()
+    package = slow_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=2, memory_bytes=GiB)
+        yield from inv.allocate(package, workers=1, memory_bytes=GiB)
+        in_buf = inv.alloc_input(64)
+        out1, out2 = inv.alloc_output(64), inv.alloc_output(64)
+        in_buf.write(b"ab")
+        inv.submit("slow", in_buf, 2, out1, worker=0)
+        yield dep.env.timeout(us(50))
+        t0 = dep.env.now
+        f2 = inv.submit("slow", in_buf, 2, out2, worker=1)
+        r2 = yield f2.wait()
+        # Total = rejection round-trip + redirect + 10 ms execution.
+        overhead = (dep.env.now - t0) - ms(10)
+        return overhead
+
+    overhead = dep.run(driver())
+    assert overhead < us(50)
+
+
+def test_not_oversubscribed_when_workers_fit():
+    config = RFaaSConfig(allow_oversubscription=True)
+    dep = Deployment.build(executors=1, clients=1, config=config)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = slow_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=4, memory_bytes=GiB)
+        return dep.executors[0].oversubscribed
+
+    assert dep.run(driver()) is False

@@ -1,0 +1,62 @@
+"""Wire-format tests: header, immediates, control encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import protocol
+
+
+def test_header_roundtrip():
+    data = protocol.pack_header(0xDEADBEEF_CAFEBABE, 0x1234)
+    assert len(data) == protocol.HEADER_BYTES == 12
+    assert protocol.unpack_header(data) == (0xDEADBEEF_CAFEBABE, 0x1234)
+
+
+def test_header_too_short_rejected():
+    with pytest.raises(ValueError):
+        protocol.unpack_header(b"short")
+
+
+@given(addr=st.integers(min_value=0, max_value=2**64 - 1), rkey=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_header_roundtrip_property(addr, rkey):
+    assert protocol.unpack_header(protocol.pack_header(addr, rkey)) == (addr, rkey)
+
+
+@given(inv=st.integers(min_value=0, max_value=65535), fn=st.integers(min_value=0, max_value=65535))
+@settings(max_examples=50, deadline=None)
+def test_request_imm_roundtrip(inv, fn):
+    imm = protocol.pack_request_imm(inv, fn)
+    assert 0 <= imm < 2**32
+    assert protocol.unpack_request_imm(imm) == (inv, fn)
+
+
+@given(inv=st.integers(min_value=0, max_value=65535), status=st.integers(min_value=0, max_value=65535))
+@settings(max_examples=50, deadline=None)
+def test_response_imm_roundtrip(inv, status):
+    assert protocol.unpack_response_imm(protocol.pack_response_imm(inv, status)) == (inv, status)
+
+
+def test_imm_range_validation():
+    with pytest.raises(ValueError):
+        protocol.pack_request_imm(70_000, 0)
+    with pytest.raises(ValueError):
+        protocol.pack_request_imm(0, -1)
+    with pytest.raises(ValueError):
+        protocol.pack_response_imm(-1, 0)
+
+
+def test_control_encoding_roundtrip():
+    message = {"type": "lease_request", "cores": 4, "nested": [1, 2, {"x": "y"}]}
+    assert protocol.decode_control(protocol.encode_control(message)) == message
+
+
+def test_status_codes_distinct():
+    codes = {
+        protocol.STATUS_OK,
+        protocol.STATUS_REJECTED,
+        protocol.STATUS_FUNCTION_NOT_FOUND,
+        protocol.STATUS_FAILED,
+    }
+    assert len(codes) == 4

@@ -1,0 +1,184 @@
+"""Regression tests for bugs found (and fixed) during development.
+
+Each test encodes a failure mode that once slipped through; they are
+deliberately explicit about the mechanism so a reintroduction fails
+loudly.
+"""
+
+import pytest
+
+from repro.core import CodePackage, Deployment, RFaaSConfig
+from repro.core.functions import echo_function
+from repro.core.rpc import rpc_connect, rpc_listen
+from repro.rdma import Fabric
+from repro.sim import Environment, secs
+
+
+def test_rpc_send_ring_survives_back_to_back_messages():
+    """BUG: the RPC layer once used a single send buffer; a second
+    message posted before the NIC DMA-read the first corrupted it (the
+    lease_granted + lease_terminated pair arrived as two terminateds).
+    The send ring must deliver rapid-fire messages intact and in order."""
+    env = Environment()
+    fabric = Fabric(env)
+    server = fabric.attach("server")
+    client = fabric.attach("client")
+    received = []
+
+    def handler(message, conn):
+        # Reply with a burst: N messages posted in the same nanosecond.
+        for index in range(6):
+            conn.notify({"burst": index})
+        return None
+
+    rpc_listen(server, 9000, handler)
+
+    def client_proc():
+        conn = yield from rpc_connect(client, "server", 9000)
+        conn.notify({"go": True})
+        for _ in range(6):
+            message = yield from conn._receive(blocking=True)
+            received.append(message["burst"])
+
+    env.process(client_proc())
+    env.run()
+    assert received == [0, 1, 2, 3, 4, 5]
+
+
+def test_lease_grant_then_instant_expiry_notification():
+    """The original reproduction of the send-buffer bug: a lease with a
+    1 ns timeout makes the manager post lease_granted and
+    lease_terminated back to back; the client must see BOTH, grant
+    first."""
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = CodePackage(name="p")
+    package.add(echo_function())
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        manager_client = next(iter(inv._manager_clients.values()))
+        response = yield from manager_client.request(
+            {
+                "type": "lease_request",
+                "client": inv.name,
+                "cores": 0,
+                "memory_bytes": 0,
+                "timeout_ns": 1,
+            }
+        )
+        assert response["type"] == "lease_granted"
+        placement_lease = response["lease_id"]
+        yield dep.env.timeout(1_000_000)
+        return placement_lease
+
+    placement_lease = dep.run(driver())
+    assert placement_lease in inv.terminated_leases  # the notification landed
+
+
+def test_concurrent_submissions_to_one_worker_keep_payloads():
+    """BUG: two outstanding requests once overwrote the worker's single
+    input buffer; the first invocation echoed the second payload.
+    Client-side serialization must preserve request integrity."""
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = CodePackage(name="p")
+    package.add(echo_function())
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        payload_a = b"\x01\x00\x00\x00\x00\x00\x00"
+        payload_b = b"\x00"
+        in_a, in_b = inv.alloc_input(64), inv.alloc_input(64)
+        out_a, out_b = inv.alloc_output(64), inv.alloc_output(64)
+        in_a.write(payload_a)
+        in_b.write(payload_b)
+        fut_a = inv.submit("echo", in_a, len(payload_a), out_a, worker=0)
+        fut_b = inv.submit("echo", in_b, len(payload_b), out_b, worker=0)
+        res_a = yield fut_a.wait()
+        res_b = yield fut_b.wait()
+        return res_a.output(), res_b.output()
+
+    out_a, out_b = dep.run(driver())
+    assert out_a == b"\x01\x00\x00\x00\x00\x00\x00"
+    assert out_b == b"\x00"
+
+
+def test_recv_cq_vs_send_cq_not_conflated():
+    """BUG: `recv_cq or send_cq` silently replaced an *empty* recv CQ
+    with the send CQ because CompletionQueue defines __len__.  Distinct
+    CQs must stay distinct."""
+    env = Environment()
+    fabric = Fabric(env)
+    nic = fabric.attach("h")
+    pd = nic.create_pd()
+    send_cq = nic.create_cq(name="send")
+    recv_cq = nic.create_cq(name="recv")
+    assert len(recv_cq) == 0  # empty (falsy!) at creation
+    qp = nic.create_qp(pd, send_cq, recv_cq)
+    assert qp.recv_cq is recv_cq
+    assert qp.send_cq is send_cq
+
+
+def test_stateful_packages_do_not_share_state_across_allocations():
+    """BUG: two allocations of a same-named stateful package once
+    shared one workspace; one tenant's Jacobi matrix overwrote the
+    other's.  `CodePackage.factory` must isolate allocations."""
+    import numpy as np
+
+    from repro.workloads.jacobi import (
+        generate_system,
+        jacobi_package,
+        jacobi_sweep,
+        pack_setup,
+    )
+
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    inv_a = dep.new_invoker(name="a")
+    inv_b = dep.new_invoker(name="b")
+    n = 12
+    system_a = generate_system(n, seed=1)
+    system_b = generate_system(n, seed=2)
+
+    def driver():
+        yield from inv_a.allocate(jacobi_package(), workers=1)
+        yield from inv_b.allocate(jacobi_package(), workers=1)
+        x0 = np.zeros(n)
+        out_a = yield from inv_a.invoke(
+            "jacobi", pack_setup(*system_a, x0, 0, n), out_capacity=8 * n
+        )
+        out_b = yield from inv_b.invoke(
+            "jacobi", pack_setup(*system_b, x0, 0, n), out_capacity=8 * n
+        )
+        return out_a, out_b
+
+    out_a, out_b = dep.run(driver())
+    expected_a = jacobi_sweep(*system_a, np.zeros(n), 0, n)
+    expected_b = jacobi_sweep(*system_b, np.zeros(n), 0, n)
+    assert np.allclose(np.frombuffer(out_a, dtype=np.float64), expected_a)
+    assert np.allclose(np.frombuffer(out_b, dtype=np.float64), expected_b)
+
+
+def test_jacobi_cost_model_not_fooled_by_iterate_size():
+    """BUG: the virtual-mode cost model once re-estimated n from the
+    *iterate* payload (13 + 8n bytes), yielding sqrt(n) and absurdly
+    cheap iterations.  The workspace must remember the setup dimension."""
+    from repro.workloads.jacobi import (
+        iterate_bytes,
+        jacobi_function,
+        jacobi_iteration_cost_ns,
+        setup_bytes,
+    )
+
+    n = 2000
+    spec = jacobi_function()
+    spec.execute(None, setup_bytes(n))  # virtual setup call
+    cost = spec.cost_ns(iterate_bytes(n))
+    # The size-only estimate is sqrt(n^2 + 2n) ~ n + 1: within 1%.
+    expected = jacobi_iteration_cost_ns(n, rows=n // 2)
+    assert cost == pytest.approx(expected, rel=0.01)
+    # The regression produced sqrt(n): two orders of magnitude off.
+    assert cost > expected / 10

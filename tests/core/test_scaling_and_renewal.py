@@ -1,0 +1,187 @@
+"""Client-library extensions: map(), scale_to(), lease renewal,
+manager failover, manager-driven executor reclamation."""
+
+import pytest
+
+from repro.core import AllocationError, Deployment, LeaseExpired, RFaaSConfig
+from repro.core.invoker import Invoker
+from repro.sim import GiB, ms, secs
+
+from tests.core.conftest import make_package
+
+
+def build(executors=2, managers=1, config=None):
+    dep = Deployment.build(executors=executors, managers=managers, clients=1, config=config)
+    dep.settle()
+    return dep
+
+
+# -- map ---------------------------------------------------------------------
+
+
+def test_map_returns_results_in_payload_order():
+    dep = build(executors=1)
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=4)
+        payloads = [bytes([i]) * 4 for i in range(10)]
+        outputs = yield from inv.map("double", payloads)
+        return payloads, outputs
+
+    payloads, outputs = dep.run(driver())
+    assert outputs == [bytes(((b * 2) % 256 for b in p)) for p in payloads]
+
+
+def test_map_spreads_load_across_workers():
+    dep = build(executors=1)
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=4)
+        yield from inv.map("echo", [b"x"] * 8)
+        return None
+
+    dep.run(driver())
+    allocation = next(iter(dep.executors[0].allocations.values()))
+    counts = [worker.stats.invocations for worker in allocation.workers]
+    assert all(count == 2 for count in counts)
+
+
+# -- scale_to ------------------------------------------------------------------
+
+
+def test_scale_to_spills_across_executors():
+    dep = build(executors=2)
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        # 50 workers cannot fit one 36-core executor: must split.
+        total = yield from inv.scale_to(package, 50, memory_bytes=1 * GiB)
+        return total
+
+    assert dep.run(driver()) == 50
+    hosts = {lease.executor_host for lease in inv.leases.values()}
+    assert len(hosts) == 2
+
+
+def test_scale_to_idempotent_when_met():
+    dep = build(executors=1)
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=4)
+        before = len(inv.leases)
+        yield from inv.scale_to(package, 4)
+        return before, len(inv.leases)
+
+    before, after = dep.run(driver())
+    assert before == after == 1
+
+
+def test_scale_to_raises_when_impossible():
+    dep = build(executors=1)
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        with pytest.raises(AllocationError):
+            yield from inv.scale_to(package, 40)  # > 36 cores total
+        yield dep.env.timeout(1)
+
+    dep.run(driver())
+
+
+# -- lease renewal ----------------------------------------------------------------
+
+
+def test_renewal_keeps_lease_alive_past_original_expiry():
+    config = RFaaSConfig(lease_timeout_ns=secs(2))
+    dep = build(executors=1, config=config)
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        lease_id = next(iter(inv.leases))
+        # Renew twice, each time before expiry.
+        for _ in range(2):
+            yield dep.env.timeout(secs(1.5))
+            yield from inv.renew_lease(lease_id)
+        # Well past the original 2 s expiry; still alive and usable.
+        out = yield from inv.invoke("echo", b"still-here")
+        return out, lease_id
+
+    out, lease_id = dep.run(driver())
+    assert out == b"still-here"
+    assert lease_id not in inv.terminated_leases
+
+
+def test_renewal_of_expired_lease_denied():
+    config = RFaaSConfig(lease_timeout_ns=secs(1))
+    dep = build(executors=1, config=config)
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        lease_id = next(iter(inv.leases))
+        yield dep.env.timeout(secs(3))  # expired
+        with pytest.raises(LeaseExpired):
+            yield from inv.renew_lease(lease_id)
+        yield dep.env.timeout(1)
+
+    dep.run(driver())
+
+
+def test_expiry_reclaims_executor_resources():
+    """The manager tells the executor to tear the allocation down."""
+    config = RFaaSConfig(lease_timeout_ns=secs(1), executor_idle_timeout_ns=secs(3600))
+    dep = build(executors=1, config=config)
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=4)
+        assert dep.executors[0].free_cores == 32
+        yield dep.env.timeout(secs(3))
+        return dep.executors[0].free_cores, len(dep.executors[0].allocations)
+
+    free_cores, allocations = dep.run(driver())
+    assert free_cores == 36
+    assert allocations == 0
+
+
+# -- manager failover -------------------------------------------------------------
+
+
+def test_allocation_fails_over_to_live_manager():
+    dep = build(executors=2, managers=2)
+    inv = dep.new_invoker()
+    package = make_package()
+    dep.managers[0].kill()
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        out = yield from inv.invoke("echo", b"failover")
+        return out
+
+    assert dep.run(driver()) == b"failover"
+
+
+def test_all_managers_dead_raises():
+    dep = build(executors=1, managers=1)
+    inv = dep.new_invoker()
+    package = make_package()
+    dep.managers[0].kill()
+
+    def driver():
+        with pytest.raises(AllocationError):
+            yield from inv.allocate(package, workers=1)
+        yield dep.env.timeout(1)
+
+    dep.run(driver())

@@ -1,0 +1,91 @@
+"""Warm container pool mechanics."""
+
+import pytest
+
+from repro.core import Deployment, RFaaSConfig
+from repro.core.sandbox import BARE_METAL, DOCKER
+from repro.sim import ms, secs
+
+from tests.core.conftest import make_package
+
+
+def build(pool=2, sandbox="docker"):
+    config = RFaaSConfig(warm_pool_size=pool, warm_pool_sandbox=sandbox)
+    dep = Deployment.build(executors=1, clients=1, config=config)
+    dep.settle()
+    return dep
+
+
+def test_pool_fills_in_background():
+    dep = build(pool=3)
+    executor = dep.executors[0]
+    assert executor.warm_pool == 0  # boots take ~2.55 s each
+    dep.env.run(until=dep.env.now + secs(9))
+    assert executor.warm_pool == 3
+
+
+def test_pool_hit_skips_boot():
+    dep = build(pool=1)
+    dep.env.run(until=dep.env.now + secs(3))
+    invoker = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        breakdown = yield from invoker.allocate(package, workers=1, sandbox="docker")
+        return breakdown
+
+    breakdown = dep.run(driver())
+    assert breakdown.spawn_workers == DOCKER.pool_spawn_ns(1)
+    assert dep.executors[0].pool_hits == 1
+
+
+def test_pool_miss_pays_full_boot():
+    dep = build(pool=1)
+    # Do NOT wait for the pool to fill: the first allocation misses.
+    invoker = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        breakdown = yield from invoker.allocate(package, workers=1, sandbox="docker")
+        return breakdown
+
+    breakdown = dep.run(driver())
+    assert breakdown.spawn_workers == DOCKER.spawn_ns(1)
+    assert dep.executors[0].pool_misses == 1
+
+
+def test_pool_refills_after_hit():
+    dep = build(pool=1)
+    dep.env.run(until=dep.env.now + secs(3))
+    invoker = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from invoker.allocate(package, workers=1, sandbox="docker")
+        yield dep.env.timeout(secs(3))  # replacement boots
+        return dep.executors[0].warm_pool
+
+    assert dep.run(driver()) == 1
+
+
+def test_pool_only_serves_matching_sandbox():
+    dep = build(pool=1, sandbox="docker")
+    dep.env.run(until=dep.env.now + secs(3))
+    invoker = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        breakdown = yield from invoker.allocate(package, workers=1, sandbox="bare-metal")
+        return breakdown
+
+    breakdown = dep.run(driver())
+    assert breakdown.spawn_workers == BARE_METAL.spawn_ns(1)
+    assert dep.executors[0].warm_pool == 1  # untouched
+
+
+def test_pool_disabled_by_default():
+    config = RFaaSConfig()
+    assert config.warm_pool_size == 0
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    assert dep.executors[0].warm_pool == 0

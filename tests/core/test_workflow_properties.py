@@ -1,0 +1,75 @@
+"""Property-based workflow tests: random DAGs execute correctly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CodePackage, Deployment, FunctionSpec, Workflow, WorkflowRunner
+from repro.core.functions import echo_function
+
+
+@st.composite
+def random_dags(draw):
+    """A random DAG: each stage depends on a subset of earlier stages."""
+    n_stages = draw(st.integers(min_value=1, max_value=7))
+    edges: list[tuple[int, ...]] = []
+    for index in range(n_stages):
+        if index == 0:
+            edges.append(())
+            continue
+        n_deps = draw(st.integers(min_value=0, max_value=min(2, index)))
+        deps = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=index - 1),
+                min_size=n_deps,
+                max_size=n_deps,
+                unique=True,
+            )
+        )
+        edges.append(tuple(sorted(deps)))
+    return edges
+
+
+def expected_outputs(edges, initial: bytes) -> list[bytes]:
+    """Replicate the DAG's dataflow locally (stamp = stage index byte)."""
+    outputs: list[bytes] = []
+    for index, deps in enumerate(edges):
+        payload = initial if not deps else b"".join(outputs[d] for d in deps)
+        outputs.append(payload + bytes([index]))
+    return outputs
+
+
+@given(edges=random_dags(), initial=st.binary(min_size=1, max_size=16))
+@settings(max_examples=25, deadline=None)
+def test_random_dag_dataflow_matches_local_evaluation(edges, initial):
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    invoker = dep.new_invoker()
+    package = CodePackage(name="dagpkg")
+    package.add(echo_function())
+    for index in range(len(edges)):
+        package.add(
+            FunctionSpec(
+                name=f"stamp{index}",
+                handler=(lambda i: lambda data: data + bytes([i]))(index),
+            )
+        )
+
+    workflow = Workflow("random")
+    for index, deps in enumerate(edges):
+        workflow.add(
+            f"n{index}",
+            f"stamp{index}",
+            after=tuple(f"n{d}" for d in deps),
+            out_capacity=4096,
+        )
+
+    def driver():
+        yield from invoker.allocate(package, workers=3)
+        runner = WorkflowRunner(invoker)
+        run = yield from runner.run(workflow, initial)
+        return run
+
+    run = dep.run(driver())
+    expected = expected_outputs(edges, initial)
+    for index in range(len(edges)):
+        assert run.outputs[f"n{index}"] == expected[index], index

@@ -1,0 +1,137 @@
+"""Workflow orchestration on rFaaS (Sec. VII): DAGs, chains, timing."""
+
+import pytest
+
+from repro.core import CodePackage, Deployment, FunctionSpec, Workflow, WorkflowError, WorkflowRunner, chain
+from repro.core.functions import echo_function
+from repro.sim import us
+
+
+def build_pipeline_package():
+    package = CodePackage(name="pipeline")
+    package.add(echo_function())
+    package.add(FunctionSpec(name="upper", handler=lambda d: d.upper()))
+    package.add(FunctionSpec(name="reverse", handler=lambda d: d[::-1]))
+    package.add(FunctionSpec(name="exclaim", handler=lambda d: d + b"!"))
+    package.add(
+        FunctionSpec(name="slow", handler=lambda d: d, cost_ns=lambda s: us(200))
+    )
+    return package
+
+
+def run_workflow(workflow, payload, workers=3, package=None):
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    invoker = dep.new_invoker()
+    package = package or build_pipeline_package()
+
+    def driver():
+        yield from invoker.allocate(package, workers=workers)
+        runner = WorkflowRunner(invoker)
+        run = yield from runner.run(workflow, payload)
+        return run
+
+    return dep.run(driver())
+
+
+# -- structure validation ------------------------------------------------------
+
+
+def test_validate_rejects_cycle():
+    workflow = Workflow()
+    workflow.add("a", "echo", after=("b",))
+    workflow.add("b", "echo", after=("a",))
+    with pytest.raises(WorkflowError, match="cycle"):
+        workflow.validate()
+
+
+def test_validate_rejects_unknown_dependency():
+    workflow = Workflow().add("a", "echo", after=("ghost",))
+    with pytest.raises(WorkflowError, match="unknown"):
+        workflow.validate()
+
+
+def test_duplicate_stage_rejected():
+    workflow = Workflow().add("a", "echo")
+    with pytest.raises(WorkflowError, match="duplicate"):
+        workflow.add("a", "echo")
+
+
+def test_topological_order_and_sources_sinks():
+    workflow = Workflow()
+    workflow.add("src", "echo")
+    workflow.add("mid", "echo", after=("src",))
+    workflow.add("out", "echo", after=("mid",))
+    order = workflow.validate()
+    assert order.index("src") < order.index("mid") < order.index("out")
+    assert workflow.sources == ["src"]
+    assert workflow.sinks == ["out"]
+
+
+def test_chain_builder():
+    workflow = chain("demo", "upper", "reverse")
+    assert len(workflow.stages) == 2
+    assert workflow.validate()
+
+
+# -- execution ------------------------------------------------------------------
+
+
+def test_linear_chain_transforms_payload():
+    workflow = chain("demo", "upper", "reverse", "exclaim")
+    run = run_workflow(workflow, b"hello")
+    assert run.result(workflow) == b"OLLEH!"
+
+
+def test_fan_out_fan_in_concatenates_in_order():
+    workflow = Workflow()
+    workflow.add("split", "echo")
+    workflow.add("left", "upper", after=("split",))
+    workflow.add("right", "reverse", after=("split",))
+    workflow.add("join", "exclaim", after=("left", "right"))
+    run = run_workflow(workflow, b"ab")
+    assert run.outputs["left"] == b"AB"
+    assert run.outputs["right"] == b"ba"
+    assert run.result(workflow) == b"ABba!"
+
+
+def test_independent_stages_run_in_parallel():
+    """Two 200 us stages on two workers overlap almost fully."""
+    workflow = Workflow()
+    workflow.add("a", "slow")
+    workflow.add("b", "slow")
+    run = run_workflow(workflow, b"x", workers=2)
+    assert run.makespan_ns < int(1.5 * us(200))
+
+
+def test_dependent_stages_serialize():
+    workflow = Workflow()
+    workflow.add("a", "slow")
+    workflow.add("b", "slow", after=("a",))
+    run = run_workflow(workflow, b"x", workers=2)
+    assert run.makespan_ns >= 2 * us(200)
+
+
+def test_per_stage_overhead_single_digit_microseconds():
+    """Sec. VII's claim: orchestration adds only microseconds."""
+    workflow = chain("hops", "echo", "echo", "echo", "echo")
+    run = run_workflow(workflow, b"tiny")
+    per_stage = run.makespan_ns / 4
+    assert per_stage < us(10)
+
+
+def test_result_requires_single_sink():
+    workflow = Workflow()
+    workflow.add("a", "echo")
+    workflow.add("b", "echo")
+    run = run_workflow(workflow, b"x")
+    with pytest.raises(WorkflowError):
+        run.result(workflow)
+    assert run.outputs["a"] == run.outputs["b"] == b"x"
+
+
+def test_stage_rtts_recorded():
+    workflow = chain("demo", "upper", "reverse")
+    run = run_workflow(workflow, b"abc")
+    assert set(run.stage_rtt_ns) == set(workflow.stages)
+    assert all(rtt > 0 for rtt in run.stage_rtt_ns.values())

@@ -1,0 +1,83 @@
+"""Quick-mode smoke tests for every experiment harness + the CLI."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.__main__ import main as cli_main
+
+
+def test_registry_complete():
+    expected = {
+        "fig1",
+        "fig2",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "table1",
+        "billing",
+        "leases",
+        "softroce",
+        "multitenant",
+        "pipelining",
+        "concurrency",
+        "warmpool",
+        "suite",
+    }
+    assert set(EXPERIMENTS) == expected
+    for experiment in EXPERIMENTS.values():
+        assert experiment.description
+        assert callable(experiment.run)
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+@pytest.mark.parametrize("experiment_id", ["fig2", "fig9", "billing", "leases", "table1"])
+def test_quick_mode_produces_tables(experiment_id):
+    result = run_experiment(experiment_id, quick=True)
+    rendered = result.table().render()
+    assert rendered.count("\n") >= 3  # header + separator + rows
+
+
+def test_quick_mode_overrides_merge():
+    result = run_experiment("fig8", quick=True, sizes=(2, 64))
+    assert result.sizes == (2, 64)
+
+
+def test_cli_list(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out and "multitenant" in out
+
+
+def test_cli_runs_experiment(capsys):
+    assert cli_main(["fig9", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "cold start breakdown" in out
+    assert "wall]" in out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert cli_main(["fig99"]) == 2
+
+
+def test_fig8_quick_shape():
+    result = run_experiment("fig8", quick=True)
+    assert result.overhead_vs_rdma("hot", 2) == pytest.approx(326, abs=15)
+
+
+def test_softroce_quick_shape():
+    result = run_experiment("softroce", quick=True)
+    assert result.slowdown(64) > 3
+
+
+def test_multitenant_outcomes_populated():
+    result = run_experiment("multitenant", quick=True)
+    for outcome in result.outcomes.values():
+        assert outcome.rtts_ns
+        assert outcome.cost > 0

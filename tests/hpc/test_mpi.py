@@ -1,0 +1,231 @@
+"""Mini-MPI: point-to-point, collectives, timing semantics."""
+
+import pytest
+
+from repro.cluster.node import Node, NodeSpec
+from repro.hpc.mpi import ANY_SOURCE, EAGER_THRESHOLD, MpiJob
+from repro.rdma import Fabric
+from repro.sim import Environment, us
+
+
+def make_job(ranks, nodes=2):
+    env = Environment()
+    fabric = Fabric(env)
+    node_list = [
+        Node(env, f"mpi{i}", NodeSpec(), nic=fabric.attach(f"mpi{i}")) for i in range(nodes)
+    ]
+    return env, MpiJob(fabric, node_list, ranks)
+
+
+def run_job(env, job, main):
+    return env.run(until=env.process(job.run(main)))
+
+
+def test_send_recv_payload():
+    env, job = make_job(2)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, payload=b"hello", nbytes=5)
+            return None
+        message = yield from ctx.recv(source=0)
+        return message.payload
+
+    results = run_job(env, job, main)
+    assert results[1] == b"hello"
+
+
+def test_recv_filters_by_source_and_tag():
+    env, job = make_job(3)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(2, payload="from0", tag=7)
+        elif ctx.rank == 1:
+            yield from ctx.send(2, payload="from1", tag=9)
+        else:
+            tagged = yield from ctx.recv(tag=9)
+            by_source = yield from ctx.recv(source=0)
+            return (tagged.payload, by_source.payload)
+
+    results = run_job(env, job, main)
+    assert results[2] == ("from1", "from0")
+
+
+def test_same_node_cheaper_than_cross_node():
+    env, job = make_job(4, nodes=2)  # ranks 0,1 on node0; 2,3 on node1
+    durations = {}
+
+    def main(ctx):
+        if ctx.rank == 0:
+            start = ctx.env.now
+            yield from ctx.send(1, nbytes=10_000)  # same node
+            durations["local"] = ctx.env.now - start
+            start = ctx.env.now
+            yield from ctx.send(2, nbytes=10_000)  # cross node
+            durations["remote"] = ctx.env.now - start
+        elif ctx.rank in (1, 2):
+            yield from ctx.recv(source=0)
+
+    run_job(env, job, main)
+    assert durations["local"] < durations["remote"]
+
+
+def test_rendezvous_adds_handshake():
+    env, job = make_job(2)
+    durations = {}
+
+    def main(ctx):
+        if ctx.rank == 0:
+            start = ctx.env.now
+            yield from ctx.send(1, nbytes=EAGER_THRESHOLD)
+            durations["eager"] = ctx.env.now - start
+            start = ctx.env.now
+            yield from ctx.send(1, nbytes=EAGER_THRESHOLD + 1)
+            durations["rendezvous"] = ctx.env.now - start
+        else:
+            yield from ctx.recv()
+            yield from ctx.recv()
+
+    run_job(env, job, main)
+    # The extra RTS/CTS handshake adds two wire traversals (~1.6 us).
+    assert durations["rendezvous"] - durations["eager"] > us(1)
+
+
+def test_barrier_synchronizes():
+    env, job = make_job(5)
+    after = {}
+
+    def main(ctx):
+        yield from ctx.compute(ctx.rank * 1_000)  # staggered arrival
+        yield from ctx.barrier()
+        after[ctx.rank] = ctx.env.now
+
+    run_job(env, job, main)
+    latest_arrival = 4 * 1_000
+    assert all(t >= latest_arrival for t in after.values())
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 9])
+def test_bcast_reaches_all(size):
+    env, job = make_job(size)
+
+    def main(ctx):
+        value = "payload" if ctx.rank == 0 else None
+        value = yield from ctx.bcast(value, root=0)
+        return value
+
+    results = run_job(env, job, main)
+    assert results == ["payload"] * size
+
+
+def test_bcast_nonzero_root():
+    env, job = make_job(4)
+
+    def main(ctx):
+        value = 42 if ctx.rank == 2 else None
+        return (yield from ctx.bcast(value, root=2))
+
+    assert run_job(env, job, main) == [42] * 4
+
+
+def test_gather_collects_in_rank_order():
+    env, job = make_job(4)
+
+    def main(ctx):
+        return (yield from ctx.gather(ctx.rank * 10, root=0))
+
+    results = run_job(env, job, main)
+    assert results[0] == [0, 10, 20, 30]
+    assert results[1:] == [None, None, None]
+
+
+def test_allreduce_sum():
+    env, job = make_job(6)
+
+    def main(ctx):
+        return (yield from ctx.allreduce(ctx.rank + 1, op=lambda a, b: a + b))
+
+    assert run_job(env, job, main) == [21] * 6
+
+
+def test_send_invalid_rank_rejected():
+    env, job = make_job(2)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            with pytest.raises(ValueError):
+                yield from ctx.send(5)
+        yield ctx.env.timeout(1)
+
+    run_job(env, job, main)
+
+
+def test_block_rank_distribution():
+    env, job = make_job(6, nodes=2)
+    assert [ctx.node.name for ctx in job.ranks] == ["mpi0"] * 3 + ["mpi1"] * 3
+
+
+def test_compute_advances_clock():
+    env, job = make_job(1)
+
+    def main(ctx):
+        yield from ctx.compute(12_345)
+        return ctx.env.now
+
+    assert run_job(env, job, main) == [12_345]
+
+
+def test_reduce_to_root_in_rank_order():
+    env, job = make_job(4)
+
+    def main(ctx):
+        # Non-commutative op checks rank ordering: string concat.
+        return (yield from ctx.reduce(str(ctx.rank), op=lambda a, b: a + b, root=2))
+
+    results = run_job(env, job, main)
+    assert results[2] == "0123"
+    assert results[0] is None and results[3] is None
+
+
+def test_scatter_distributes_slices():
+    env, job = make_job(3)
+
+    def main(ctx):
+        values = [f"part-{i}" for i in range(3)] if ctx.rank == 0 else None
+        return (yield from ctx.scatter(values, root=0))
+
+    assert run_job(env, job, main) == ["part-0", "part-1", "part-2"]
+
+
+def test_scatter_wrong_length_rejected():
+    env, job = make_job(3)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            with pytest.raises(ValueError):
+                yield from ctx.scatter([1, 2], root=0)
+        yield ctx.env.timeout(1)
+
+    run_job(env, job, main)
+
+
+def test_alltoall_transposes():
+    env, job = make_job(4)
+
+    def main(ctx):
+        values = [(ctx.rank, dest) for dest in range(4)]
+        return (yield from ctx.alltoall(values))
+
+    results = run_job(env, job, main)
+    for receiver, received in enumerate(results):
+        assert received == [(sender, receiver) for sender in range(4)]
+
+
+def test_allreduce_noncommutative_is_rank_ordered():
+    env, job = make_job(3)
+
+    def main(ctx):
+        return (yield from ctx.allreduce(str(ctx.rank), op=lambda a, b: a + b))
+
+    assert run_job(env, job, main) == ["012"] * 3

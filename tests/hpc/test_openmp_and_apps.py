@@ -1,0 +1,106 @@
+"""OpenMP model and the Fig. 12/13 scenario drivers (small scale)."""
+
+import pytest
+
+from repro.cluster.node import Node, NodeSpec
+from repro.hpc.apps import BlackScholesScenario, GemmScenario, JacobiScenario
+from repro.hpc.openmp import FORK_JOIN_NS, OpenMPModel, openmp_parallel_for_ns
+from repro.sim import Environment, ms, ns_to_ms
+
+
+def test_parallel_for_scales():
+    single = openmp_parallel_for_ns(ms(100), 1)
+    four = openmp_parallel_for_ns(ms(100), 4)
+    assert single == ms(100)
+    assert four == ms(25) + FORK_JOIN_NS
+
+
+def test_parallel_for_validation():
+    with pytest.raises(ValueError):
+        openmp_parallel_for_ns(1000, 0)
+
+
+def test_openmp_team_claims_cores():
+    env = Environment()
+    node = Node(env, "n", NodeSpec(cores=8))
+    team = OpenMPModel(env, node, threads=4)
+
+    def driver():
+        return (yield from team.parallel_for(ms(10)))
+
+    duration = env.run(until=env.process(driver()))
+    assert duration == openmp_parallel_for_ns(ms(10), 4)
+    assert node.free_cores == 8  # released afterwards
+
+
+def test_openmp_team_validation():
+    env = Environment()
+    node = Node(env, "n", NodeSpec(cores=4))
+    with pytest.raises(ValueError):
+        OpenMPModel(env, node, threads=5)
+    with pytest.raises(ValueError):
+        OpenMPModel(env, node, threads=0)
+
+
+# -- Black-Scholes (Fig. 12) -------------------------------------------------
+
+
+def test_blackscholes_rfaas_includes_transfer_wall():
+    """At high parallelism the ~20 ms network transfer dominates."""
+    scenario = BlackScholesScenario()
+    openmp_32 = scenario.openmp_ns(32)
+    rfaas_32 = scenario.rfaas_ns(32)
+    # The full 228 MB must cross the client link: >= ~18.6 ms.
+    assert rfaas_32 >= ms(18)
+    assert rfaas_32 > openmp_32  # past the crossover
+
+
+def test_blackscholes_rfaas_competitive_at_low_parallelism():
+    scenario = BlackScholesScenario()
+    assert scenario.rfaas_ns(1) <= scenario.openmp_ns(1) * 1.10
+
+
+def test_blackscholes_hybrid_beats_both():
+    scenario = BlackScholesScenario()
+    for workers in (4, 16):
+        hybrid = scenario.hybrid_ns(workers)
+        assert hybrid <= scenario.openmp_ns(workers)
+        assert hybrid <= scenario.rfaas_ns(workers)
+
+
+# -- GEMM (Fig. 13a) ----------------------------------------------------------
+
+
+def test_gemm_speedup_in_paper_band():
+    scenario = GemmScenario(n=2048, repetitions=2)
+    for ranks in (2, 8):
+        mpi = scenario.mpi_ns(ranks)
+        hybrid = scenario.mpi_rfaas_ns(ranks)
+        speedup = mpi / hybrid
+        assert 1.7 <= speedup <= 2.0  # paper: 1.88x-1.94x
+
+
+def test_gemm_baseline_flat_in_ranks():
+    """Ranks are independent; the baseline should not degrade."""
+    scenario = GemmScenario(n=1024, repetitions=2)
+    assert scenario.mpi_ns(2) == pytest.approx(scenario.mpi_ns(8), rel=0.01)
+
+
+# -- Jacobi (Fig. 13b) ---------------------------------------------------------
+
+
+def test_jacobi_speedup_in_paper_band():
+    scenario = JacobiScenario(n=2000, iterations=200)
+    for ranks in (2, 8):
+        mpi = scenario.mpi_ns(ranks)
+        hybrid = scenario.mpi_rfaas_ns(ranks)
+        speedup = mpi / hybrid
+        assert 1.7 <= speedup <= 2.2  # paper's band
+
+
+def test_jacobi_caching_beats_resending_the_matrix():
+    """The warm-sandbox optimization: iterate messages are tiny."""
+    from repro.workloads.jacobi import iterate_bytes, setup_bytes
+
+    n = 2000
+    assert iterate_bytes(n) < setup_bytes(n) / 1000

@@ -1,0 +1,34 @@
+"""Shared fixtures: a two-host fabric with connected QPs."""
+
+import pytest
+
+from repro.rdma import Access, Fabric, QueuePair
+from repro.sim import Environment
+
+
+class TwoHosts:
+    """Convenience bundle: hosts 'a' and 'b', 4 KiB MRs, connected QPs."""
+
+    def __init__(self, mr_size=4096, access=Access.all()):
+        self.env = Environment()
+        self.fabric = Fabric(self.env)
+        for tag in ("a", "b"):
+            nic = self.fabric.attach(tag)
+            pd = nic.create_pd()
+            block = nic.alloc(mr_size)
+            mr = pd.register(block, access)
+            send_cq = nic.create_cq(name=f"{tag}.send")
+            recv_cq = nic.create_cq(name=f"{tag}.recv")
+            qp = nic.create_qp(pd, send_cq, recv_cq)
+            setattr(self, f"nic_{tag}", nic)
+            setattr(self, f"pd_{tag}", pd)
+            setattr(self, f"mr_{tag}", mr)
+            setattr(self, f"send_cq_{tag}", send_cq)
+            setattr(self, f"recv_cq_{tag}", recv_cq)
+            setattr(self, f"qp_{tag}", qp)
+        QueuePair.connect_pair(self.qp_a, self.qp_b)
+
+
+@pytest.fixture
+def hosts():
+    return TwoHosts()

@@ -1,0 +1,129 @@
+"""Connection manager: handshake, accept/reject, latency."""
+
+import pytest
+
+from repro.rdma import Access, ConnectionRefused, Fabric, Opcode, SendWR, sge
+from repro.rdma.cm import install_cm
+from repro.sim import Environment, ms
+
+
+def build(env):
+    fabric = Fabric(env)
+    client = fabric.attach("client")
+    server = fabric.attach("server")
+    install_cm(client)
+    install_cm(server)
+    return fabric, client, server
+
+
+def test_connect_accept_and_use():
+    env = Environment()
+    fabric, client, server = build(env)
+
+    server_pd = server.create_pd()
+    server_mr = server_pd.register(server.alloc(256), Access.rw())
+    server_cq = server.create_cq()
+
+    def server_proc():
+        listener = server.cm.listen(9000)
+        request = yield listener.get_request()
+        assert request.private_data == {"hello": "rfaas"}
+        qp = server.create_qp(server_pd, server_cq)
+        listener.accept(request, qp, private_data={"addr": server_mr.addr, "rkey": server_mr.rkey})
+
+    client_pd = client.create_pd()
+    client_mr = client_pd.register(client.alloc(256), Access.rw())
+    client_cq = client.create_cq()
+    outcome = {}
+
+    def client_proc():
+        qp = client.create_qp(client_pd, client_cq)
+        result = yield from client.cm.connect("server", 9000, qp, private_data={"hello": "rfaas"})
+        outcome["settings"] = result.private_data
+        outcome["connected_at"] = env.now
+        # Use the connection immediately.
+        client_mr.write(0, b"post-handshake")
+        qp.post_send(
+            SendWR(
+                opcode=Opcode.RDMA_WRITE,
+                local=sge(client_mr, 0, 14),
+                remote_addr=result.private_data["addr"],
+                rkey=result.private_data["rkey"],
+            )
+        )
+
+    env.process(server_proc())
+    env.process(client_proc())
+    env.run()
+    assert outcome["settings"]["rkey"] == server_mr.rkey
+    assert server_mr.read(0, 14) == b"post-handshake"
+    # Handshake costs on the order of a millisecond, not microseconds.
+    assert 0 < outcome["connected_at"] < ms(5)
+
+
+def test_connect_to_dead_port_refused():
+    env = Environment()
+    fabric, client, server = build(env)
+
+    def client_proc():
+        qp = client.create_qp(client.create_pd(), client.create_cq())
+        with pytest.raises(ConnectionRefused):
+            yield from client.cm.connect("server", 1234, qp)
+
+    proc = env.process(client_proc())
+    env.run()
+    assert proc.ok
+
+
+def test_listener_reject():
+    env = Environment()
+    fabric, client, server = build(env)
+
+    def server_proc():
+        listener = server.cm.listen(9000)
+        request = yield listener.get_request()
+        listener.reject(request, reason="no capacity")
+
+    def client_proc():
+        qp = client.create_qp(client.create_pd(), client.create_cq())
+        try:
+            yield from client.cm.connect("server", 9000, qp)
+        except ConnectionRefused as error:
+            return str(error)
+
+    env.process(server_proc())
+    proc = env.process(client_proc())
+    env.run()
+    assert "no capacity" in proc.value
+
+
+def test_closed_listener_refuses():
+    env = Environment()
+    fabric, client, server = build(env)
+    listener = server.cm.listen(9000)
+    listener.close()
+
+    def client_proc():
+        qp = client.create_qp(client.create_pd(), client.create_cq())
+        with pytest.raises(ConnectionRefused):
+            yield from client.cm.connect("server", 9000, qp)
+
+    env.process(client_proc())
+    env.run()
+
+
+def test_duplicate_listen_rejected():
+    env = Environment()
+    fabric, client, server = build(env)
+    server.cm.listen(7)
+    with pytest.raises(ConnectionRefused):
+        server.cm.listen(7)
+
+
+def test_install_cm_idempotent():
+    env = Environment()
+    fabric = Fabric(env)
+    nic = fabric.attach("x")
+    cm1 = install_cm(nic)
+    cm2 = install_cm(nic)
+    assert cm1 is cm2

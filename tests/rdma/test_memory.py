@@ -1,0 +1,150 @@
+"""Tests for host memory, blocks, registration and keys."""
+
+import pytest
+
+from repro.rdma import Access, HostMemory, MemoryRegistrationError
+from repro.rdma.errors import OutOfMemory
+from repro.rdma.memory import PAGE_SIZE
+
+
+def test_alloc_is_page_aligned():
+    mem = HostMemory()
+    block = mem.alloc(100)
+    assert block.base % PAGE_SIZE == 0
+    assert block.size == 100
+
+
+def test_alloc_custom_alignment():
+    mem = HostMemory()
+    block = mem.alloc(8, align=64)
+    assert block.base % 64 == 0
+
+
+def test_alloc_rejects_bad_sizes():
+    mem = HostMemory()
+    with pytest.raises(ValueError):
+        mem.alloc(0)
+    with pytest.raises(ValueError):
+        mem.alloc(-4)
+    with pytest.raises(ValueError):
+        mem.alloc(16, align=3)
+
+
+def test_alloc_addresses_do_not_overlap():
+    mem = HostMemory()
+    blocks = [mem.alloc(1000) for _ in range(10)]
+    spans = sorted((b.base, b.end) for b in blocks)
+    for (_, prev_end), (next_base, _) in zip(spans, spans[1:]):
+        assert next_base >= prev_end
+
+
+def test_out_of_memory():
+    mem = HostMemory(capacity=10_000)
+    with pytest.raises(OutOfMemory):
+        mem.alloc(20_000)
+
+
+def test_block_write_read_roundtrip():
+    mem = HostMemory()
+    block = mem.alloc(64)
+    block.write(block.base + 8, b"hello")
+    assert block.read(block.base + 8, 5) == b"hello"
+    assert block.read(block.base, 8) == bytes(8)
+
+
+def test_block_bounds_enforced():
+    mem = HostMemory()
+    block = mem.alloc(16)
+    with pytest.raises(MemoryRegistrationError):
+        block.write(block.base + 12, b"too-long")
+    with pytest.raises(MemoryRegistrationError):
+        block.read(block.base - 1, 4)
+
+
+def test_block_u64_helpers():
+    mem = HostMemory()
+    block = mem.alloc(16)
+    block.write_u64(block.base, 0xDEADBEEF)
+    assert block.read_u64(block.base) == 0xDEADBEEF
+    # Wraparound at 2^64.
+    block.write_u64(block.base, 2**64 + 5)
+    assert block.read_u64(block.base) == 5
+
+
+def test_virtual_block_shadow_prefix():
+    """Virtual blocks persist only their first SHADOW_BYTES (control
+    headers survive; bulk payload is size-only)."""
+    from repro.rdma.memory import SHADOW_BYTES
+
+    mem = HostMemory()
+    block = mem.alloc(1 << 30, virtual=True)
+    assert block.is_virtual
+    block.write(block.base, b"header")
+    assert block.read(block.base, 6) == b"header"
+    # Past the shadow: accepted but not stored.
+    block.write(block.base + SHADOW_BYTES, b"bulk")
+    assert block.read(block.base + SHADOW_BYTES, 4) == bytes(4)
+    # A write straddling the boundary keeps only the shadow part.
+    block.write(block.base + SHADOW_BYTES - 2, b"abcd")
+    assert block.read(block.base + SHADOW_BYTES - 2, 2) == b"ab"
+    assert block.read(block.base + SHADOW_BYTES, 2) == bytes(2)
+
+
+def test_free_and_block_at():
+    mem = HostMemory()
+    block = mem.alloc(128)
+    assert mem.block_at(block.base + 5) is block
+    mem.free(block)
+    assert mem.block_at(block.base) is None
+    with pytest.raises(MemoryRegistrationError):
+        mem.free(block)
+
+
+def test_bytes_allocated_accounting():
+    mem = HostMemory()
+    a = mem.alloc(100)
+    b = mem.alloc(200)
+    assert mem.bytes_allocated == 300
+    mem.free(a)
+    assert mem.bytes_allocated == 200
+    mem.free(b)
+    assert mem.bytes_allocated == 0
+
+
+def test_registration_window_and_keys(hosts):
+    nic = hosts.nic_a
+    pd = nic.create_pd()
+    block = nic.alloc(4096)
+    mr_full = pd.register(block, Access.rw())
+    mr_window = pd.register(block, Access.REMOTE_READ, addr=block.base + 1024, length=512)
+    assert mr_full.lkey != mr_window.lkey
+    assert mr_full.rkey != mr_window.rkey
+    assert mr_window.in_bounds(block.base + 1024, 512)
+    assert not mr_window.in_bounds(block.base + 1024, 513)
+    assert mr_window.allows(Access.REMOTE_READ)
+    assert not mr_window.allows(Access.REMOTE_WRITE)
+
+
+def test_registration_out_of_block_rejected(hosts):
+    nic = hosts.nic_a
+    pd = nic.create_pd()
+    block = nic.alloc(100)
+    with pytest.raises(MemoryRegistrationError):
+        pd.register(block, addr=block.base + 50, length=100)
+    with pytest.raises(MemoryRegistrationError):
+        pd.register(block, length=0)
+
+
+def test_deregister_invalidates_rkey(hosts):
+    nic = hosts.nic_a
+    mr = hosts.mr_a
+    assert nic.lookup_rkey(mr.rkey) is mr
+    mr.deregister()
+    assert nic.lookup_rkey(mr.rkey) is None
+    assert not mr.valid
+
+
+def test_mr_local_io(hosts):
+    mr = hosts.mr_a
+    mr.write(10, b"abc")
+    assert mr.read(10, 3) == b"abc"

@@ -1,0 +1,47 @@
+"""Microbench result types and the SoftRoCE latency preset."""
+
+import pytest
+
+from repro.rdma.latency import LatencyModel
+from repro.rdma.microbench import BandwidthResult, LatencyResult, ib_write_bw, ib_write_lat
+from repro.sim import MiB, us
+
+
+def test_latency_result_median():
+    result = LatencyResult(size=8, iterations=3, rtts_ns=[30, 10, 20])
+    assert result.median_ns == 20
+    even = LatencyResult(size=8, iterations=4, rtts_ns=[1, 2, 3, 4])
+    assert even.median_ns == 2.5
+
+
+def test_bandwidth_result_units():
+    result = BandwidthResult(size=1 * MiB, iterations=100, elapsed_ns=1_000_000_000)
+    assert result.bytes_total == 100 * MiB
+    assert result.mib_per_sec == pytest.approx(100.0)
+
+
+def test_bw_grows_with_window():
+    narrow = ib_write_bw(64 * 1024, iterations=64, window=1)
+    wide = ib_write_bw(64 * 1024, iterations=64, window=32)
+    assert wide.mib_per_sec > narrow.mib_per_sec
+
+
+def test_soft_roce_preset_is_slower_everywhere():
+    hw = LatencyModel()
+    sw = LatencyModel.soft_roce()
+    for size in (2, 1024, 65536):
+        assert sw.pingpong_rtt_ns(size) > hw.pingpong_rtt_ns(size)
+    assert sw.bandwidth_bytes_per_sec < hw.bandwidth_bytes_per_sec
+    assert sw.max_inline_data == 0  # no real inlining in software
+
+
+def test_soft_roce_rtt_order_of_magnitude():
+    """SoftRoCE small-message RTTs are tens of microseconds."""
+    sw = LatencyModel.soft_roce()
+    assert us(20) < sw.pingpong_rtt_ns(64) < us(60)
+
+
+def test_ib_write_lat_records_every_iteration():
+    result = ib_write_lat(64, iterations=7)
+    assert len(result.rtts_ns) == 7
+    assert result.size == 64

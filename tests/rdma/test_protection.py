@@ -1,0 +1,243 @@
+"""Protection semantics: rkeys, access flags, QP error states, atomics."""
+
+import pytest
+
+from repro.rdma import Access, Fabric, Opcode, QPState, QueuePair, RecvWR, SendWR, WCStatus, sge
+from repro.sim import Environment
+
+
+def make_hosts(access_b):
+    env = Environment()
+    fabric = Fabric(env)
+    out = {}
+    for tag, access in (("a", Access.all()), ("b", access_b)):
+        nic = fabric.attach(tag)
+        pd = nic.create_pd()
+        block = nic.alloc(4096)
+        mr = pd.register(block, access)
+        cq = nic.create_cq()
+        qp = nic.create_qp(pd, cq)
+        out[tag] = (nic, mr, cq, qp)
+    QueuePair.connect_pair(out["a"][3], out["b"][3])
+    return env, out
+
+
+def post_and_run(env, qp, wr):
+    qp.post_send(wr)
+    env.run()
+
+
+def test_write_without_remote_write_access_fails():
+    env, hosts = make_hosts(Access.REMOTE_READ)
+    nic_a, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, _, qp_b = hosts["b"]
+    post_and_run(
+        env,
+        qp_a,
+        SendWR(opcode=Opcode.RDMA_WRITE, local=sge(mr_a, 0, 8), remote_addr=mr_b.addr, rkey=mr_b.rkey),
+    )
+    wc = cq_a.poll()[0]
+    assert wc.status is WCStatus.REM_ACCESS_ERR
+    assert qp_a.state is QPState.ERR
+    assert qp_b.state is QPState.ERR
+
+
+def test_read_without_remote_read_access_fails():
+    env, hosts = make_hosts(Access.REMOTE_WRITE)
+    _, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, _, _ = hosts["b"]
+    post_and_run(
+        env,
+        qp_a,
+        SendWR(opcode=Opcode.RDMA_READ, local=sge(mr_a, 0, 8), remote_addr=mr_b.addr, rkey=mr_b.rkey),
+    )
+    assert cq_a.poll()[0].status is WCStatus.REM_ACCESS_ERR
+
+
+def test_unknown_rkey_fails():
+    env, hosts = make_hosts(Access.all())
+    _, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, _, _ = hosts["b"]
+    post_and_run(
+        env,
+        qp_a,
+        SendWR(opcode=Opcode.RDMA_WRITE, local=sge(mr_a, 0, 8), remote_addr=mr_b.addr, rkey=999_999),
+    )
+    assert cq_a.poll()[0].status is WCStatus.REM_ACCESS_ERR
+
+
+def test_out_of_bounds_write_fails():
+    env, hosts = make_hosts(Access.all())
+    _, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, _, _ = hosts["b"]
+    post_and_run(
+        env,
+        qp_a,
+        SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            local=sge(mr_a, 0, 100),
+            remote_addr=mr_b.addr + mr_b.length - 50,  # 50B overhang
+            rkey=mr_b.rkey,
+        ),
+    )
+    assert cq_a.poll()[0].status is WCStatus.REM_ACCESS_ERR
+
+
+def test_deregistered_mr_fails_remote_access():
+    env, hosts = make_hosts(Access.all())
+    _, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, _, _ = hosts["b"]
+    mr_b.deregister()
+    post_and_run(
+        env,
+        qp_a,
+        SendWR(opcode=Opcode.RDMA_WRITE, local=sge(mr_a, 0, 8), remote_addr=mr_b.addr, rkey=mr_b.rkey),
+    )
+    assert cq_a.poll()[0].status is WCStatus.REM_ACCESS_ERR
+
+
+def test_error_qp_flushes_posted_receives():
+    env, hosts = make_hosts(Access.REMOTE_READ)
+    nic_a, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, cq_b, qp_b = hosts["b"]
+    qp_b.post_recv(RecvWR(local=sge(mr_b)))
+    qp_b.post_recv(RecvWR(local=sge(mr_b)))
+    # Illegal write drives qp_b into ERR; its receives must flush.
+    post_and_run(
+        env,
+        qp_a,
+        SendWR(opcode=Opcode.RDMA_WRITE, local=sge(mr_a, 0, 8), remote_addr=mr_b.addr, rkey=mr_b.rkey),
+    )
+    flushed = cq_b.poll()
+    assert len(flushed) == 2
+    assert all(wc.status is WCStatus.WR_FLUSH_ERR for wc in flushed)
+
+
+def test_post_send_after_error_raises():
+    env, hosts = make_hosts(Access.REMOTE_READ)
+    _, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, _, _ = hosts["b"]
+    post_and_run(
+        env,
+        qp_a,
+        SendWR(opcode=Opcode.RDMA_WRITE, local=sge(mr_a, 0, 8), remote_addr=mr_b.addr, rkey=mr_b.rkey),
+    )
+    from repro.rdma import QPStateError
+
+    with pytest.raises(QPStateError):
+        qp_a.post_send(
+            SendWR(opcode=Opcode.RDMA_WRITE, local=sge(mr_a, 0, 8), remote_addr=mr_b.addr, rkey=mr_b.rkey)
+        )
+
+
+# -- atomics -----------------------------------------------------------------
+
+
+def test_fetch_add_returns_old_and_adds():
+    env, hosts = make_hosts(Access.all())
+    _, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, _, _ = hosts["b"]
+    mr_b.block.write_u64(mr_b.addr, 40)
+    post_and_run(
+        env,
+        qp_a,
+        SendWR(
+            opcode=Opcode.ATOMIC_FETCH_ADD,
+            local=sge(mr_a, 0, 8),
+            remote_addr=mr_b.addr,
+            rkey=mr_b.rkey,
+            compare_add=2,
+        ),
+    )
+    assert cq_a.poll()[0].ok
+    assert mr_b.block.read_u64(mr_b.addr) == 42
+    assert int.from_bytes(mr_a.read(0, 8), "little") == 40
+
+
+def test_fetch_add_accumulates_across_clients():
+    env, hosts = make_hosts(Access.all())
+    _, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, _, _ = hosts["b"]
+    for i in range(10):
+        qp_a.post_send(
+            SendWR(
+                opcode=Opcode.ATOMIC_FETCH_ADD,
+                local=sge(mr_a, 0, 8),
+                remote_addr=mr_b.addr,
+                rkey=mr_b.rkey,
+                compare_add=5,
+            )
+        )
+    env.run()
+    assert mr_b.block.read_u64(mr_b.addr) == 50
+    assert all(wc.ok for wc in cq_a.poll(max_entries=16))
+
+
+def test_cmp_swap_swaps_only_on_match():
+    env, hosts = make_hosts(Access.all())
+    _, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, _, _ = hosts["b"]
+    mr_b.block.write_u64(mr_b.addr, 7)
+    # Mismatch: no swap, returns old value.
+    post_and_run(
+        env,
+        qp_a,
+        SendWR(
+            opcode=Opcode.ATOMIC_CMP_SWP,
+            local=sge(mr_a, 0, 8),
+            remote_addr=mr_b.addr,
+            rkey=mr_b.rkey,
+            compare_add=99,
+            swap=1,
+        ),
+    )
+    assert mr_b.block.read_u64(mr_b.addr) == 7
+    # Match: swaps.
+    qp_a.post_send(
+        SendWR(
+            opcode=Opcode.ATOMIC_CMP_SWP,
+            local=sge(mr_a, 0, 8),
+            remote_addr=mr_b.addr,
+            rkey=mr_b.rkey,
+            compare_add=7,
+            swap=123,
+        )
+    )
+    env.run()
+    assert mr_b.block.read_u64(mr_b.addr) == 123
+
+
+def test_atomic_without_remote_atomic_access_fails():
+    env, hosts = make_hosts(Access.rw())  # no REMOTE_ATOMIC
+    _, mr_a, cq_a, qp_a = hosts["a"]
+    _, mr_b, _, _ = hosts["b"]
+    post_and_run(
+        env,
+        qp_a,
+        SendWR(
+            opcode=Opcode.ATOMIC_FETCH_ADD,
+            local=sge(mr_a, 0, 8),
+            remote_addr=mr_b.addr,
+            rkey=mr_b.rkey,
+            compare_add=1,
+        ),
+    )
+    assert cq_a.poll()[0].status is WCStatus.REM_ACCESS_ERR
+
+
+def test_atomic_misaligned_rejected():
+    env, hosts = make_hosts(Access.all())
+    _, mr_a, _, qp_a = hosts["a"]
+    _, mr_b, _, _ = hosts["b"]
+    from repro.rdma import RdmaError
+
+    with pytest.raises(RdmaError):
+        qp_a.post_send(
+            SendWR(
+                opcode=Opcode.ATOMIC_FETCH_ADD,
+                local=sge(mr_a, 0, 8),
+                remote_addr=mr_b.addr + 3,
+                rkey=mr_b.rkey,
+                compare_add=1,
+            )
+        )

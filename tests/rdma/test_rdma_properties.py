@@ -1,0 +1,113 @@
+"""Property-based tests: data integrity and timing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdma import Access, Fabric, Opcode, QueuePair, RecvWR, SendWR, sge
+from repro.rdma.latency import LatencyModel
+from repro.sim import Environment
+
+
+def connected_pair(mr_size):
+    env = Environment()
+    fabric = Fabric(env)
+    parts = []
+    for tag in ("a", "b"):
+        nic = fabric.attach(tag)
+        pd = nic.create_pd()
+        mr = pd.register(nic.alloc(mr_size), Access.all())
+        cq = nic.create_cq()
+        parts.append((nic, mr, cq, nic.create_qp(pd, cq)))
+    QueuePair.connect_pair(parts[0][3], parts[1][3])
+    return env, parts[0], parts[1]
+
+
+@given(payload=st.binary(min_size=1, max_size=2048), offset=st.integers(min_value=0, max_value=512))
+@settings(max_examples=60, deadline=None)
+def test_rdma_write_delivers_exact_bytes(payload, offset):
+    env, (_, mr_a, cq_a, qp_a), (_, mr_b, _, _) = connected_pair(4096)
+    mr_a.write(0, payload)
+    qp_a.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            local=sge(mr_a, 0, len(payload)),
+            remote_addr=mr_b.addr + offset,
+            rkey=mr_b.rkey,
+        )
+    )
+    env.run()
+    assert cq_a.poll()[0].ok
+    assert mr_b.read(offset, len(payload)) == payload
+
+
+@given(payload=st.binary(min_size=1, max_size=1024))
+@settings(max_examples=40, deadline=None)
+def test_send_recv_delivers_exact_bytes(payload):
+    env, (_, mr_a, cq_a, qp_a), (_, mr_b, recv_cq_b, qp_b) = connected_pair(4096)
+    qp_b.post_recv(RecvWR(local=sge(mr_b)))
+    mr_a.write(0, payload)
+    qp_a.post_send(SendWR(opcode=Opcode.SEND, local=sge(mr_a, 0, len(payload))))
+    env.run()
+    wc = recv_cq_b.poll()[0]
+    assert wc.ok and wc.byte_len == len(payload)
+    assert mr_b.read(0, len(payload)) == payload
+
+
+@given(payload=st.binary(min_size=1, max_size=512))
+@settings(max_examples=40, deadline=None)
+def test_rdma_read_echoes_remote_content(payload):
+    env, (_, mr_a, cq_a, qp_a), (_, mr_b, _, _) = connected_pair(4096)
+    mr_b.write(0, payload)
+    qp_a.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_READ,
+            local=sge(mr_a, 0, len(payload)),
+            remote_addr=mr_b.addr,
+            rkey=mr_b.rkey,
+        )
+    )
+    env.run()
+    assert mr_a.read(0, len(payload)) == payload
+
+
+@given(
+    adds=st.lists(st.integers(min_value=0, max_value=2**31), min_size=1, max_size=20),
+    initial=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_fetch_add_sums_exactly(adds, initial):
+    env, (_, mr_a, cq_a, qp_a), (_, mr_b, _, _) = connected_pair(4096)
+    mr_b.block.write_u64(mr_b.addr, initial)
+    for value in adds:
+        qp_a.post_send(
+            SendWR(
+                opcode=Opcode.ATOMIC_FETCH_ADD,
+                local=sge(mr_a, 0, 8),
+                remote_addr=mr_b.addr,
+                rkey=mr_b.rkey,
+                compare_add=value,
+            )
+        )
+    env.run()
+    assert mr_b.block.read_u64(mr_b.addr) == (initial + sum(adds)) % 2**64
+
+
+@given(size=st.integers(min_value=0, max_value=10_000_000))
+@settings(max_examples=100, deadline=None)
+def test_one_way_latency_monotone_and_positive(size):
+    model = LatencyModel()
+    assert model.one_way_ns(size, inline=False) >= model.one_way_ns(0, inline=True)
+    assert model.one_way_ns(size + 1000, inline=False) >= model.one_way_ns(size, inline=False)
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=1_000_000), min_size=1, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_link_reservations_never_overlap(sizes):
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.attach("h")
+    link = fabric._attachments["h"].egress
+    windows = [link.reserve(size) for size in sizes]
+    for (s1, f1), (s2, f2) in zip(windows, windows[1:]):
+        assert s2 >= f1
+    assert link.bytes_carried == sum(sizes)

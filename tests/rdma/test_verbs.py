@@ -1,0 +1,258 @@
+"""Verbs semantics: writes, sends, reads, immediates, completions."""
+
+import pytest
+
+from repro.rdma import (
+    Opcode,
+    QPState,
+    QPStateError,
+    RdmaError,
+    RecvWR,
+    SendWR,
+    WCOpcode,
+    WCStatus,
+    sge,
+)
+
+
+def run_op(hosts, wr, responder_setup=None):
+    """Post *wr* on qp_a, run to completion, return (send_wcs, recv_wcs)."""
+    env = hosts.env
+    if responder_setup:
+        responder_setup()
+    hosts.qp_a.post_send(wr)
+    env.run()
+    return hosts.send_cq_a.poll(), hosts.recv_cq_b.poll()
+
+
+def test_rdma_write_moves_bytes(hosts):
+    hosts.mr_a.write(0, b"rdma-payload")
+    wr = SendWR(
+        opcode=Opcode.RDMA_WRITE,
+        local=sge(hosts.mr_a, 0, 12),
+        remote_addr=hosts.mr_b.addr + 100,
+        rkey=hosts.mr_b.rkey,
+    )
+    send_wcs, recv_wcs = run_op(hosts, wr)
+    assert hosts.mr_b.read(100, 12) == b"rdma-payload"
+    assert len(send_wcs) == 1 and send_wcs[0].ok
+    assert send_wcs[0].opcode is WCOpcode.RDMA_WRITE
+    # Plain WRITE generates no responder completion.
+    assert recv_wcs == []
+
+
+def test_rdma_write_unsignaled_no_completion(hosts):
+    wr = SendWR(
+        opcode=Opcode.RDMA_WRITE,
+        local=sge(hosts.mr_a, 0, 4),
+        remote_addr=hosts.mr_b.addr,
+        rkey=hosts.mr_b.rkey,
+        signaled=False,
+    )
+    send_wcs, _ = run_op(hosts, wr)
+    assert send_wcs == []
+
+
+def test_write_with_imm_consumes_recv_and_delivers_imm(hosts):
+    hosts.mr_a.write(0, b"\x11" * 32)
+
+    def setup():
+        hosts.qp_b.post_recv(RecvWR(local=sge(hosts.mr_b)))
+
+    wr = SendWR(
+        opcode=Opcode.RDMA_WRITE_WITH_IMM,
+        local=sge(hosts.mr_a, 0, 32),
+        remote_addr=hosts.mr_b.addr,
+        rkey=hosts.mr_b.rkey,
+        imm_data=0xCAFE,
+    )
+    send_wcs, recv_wcs = run_op(hosts, wr, setup)
+    assert len(recv_wcs) == 1
+    wc = recv_wcs[0]
+    assert wc.ok
+    assert wc.opcode is WCOpcode.RECV_RDMA_WITH_IMM
+    assert wc.imm_data == 0xCAFE
+    assert wc.byte_len == 32
+    assert hosts.mr_b.read(0, 32) == b"\x11" * 32
+
+
+def test_send_recv_roundtrip(hosts):
+    hosts.mr_a.write(0, b"send-data")
+
+    def setup():
+        hosts.qp_b.post_recv(RecvWR(local=sge(hosts.mr_b, 64, 64)))
+
+    wr = SendWR(opcode=Opcode.SEND, local=sge(hosts.mr_a, 0, 9))
+    send_wcs, recv_wcs = run_op(hosts, wr, setup)
+    assert recv_wcs[0].opcode is WCOpcode.RECV
+    assert recv_wcs[0].byte_len == 9
+    assert hosts.mr_b.read(64, 9) == b"send-data"
+    assert send_wcs[0].ok
+
+
+def test_send_with_imm(hosts):
+    def setup():
+        hosts.qp_b.post_recv(RecvWR(local=sge(hosts.mr_b)))
+
+    wr = SendWR(opcode=Opcode.SEND_WITH_IMM, local=sge(hosts.mr_a, 0, 4), imm_data=7)
+    _, recv_wcs = run_op(hosts, wr, setup)
+    assert recv_wcs[0].imm_data == 7
+
+
+def test_send_with_imm_requires_imm(hosts):
+    with pytest.raises(RdmaError):
+        hosts.qp_a.post_send(SendWR(opcode=Opcode.SEND_WITH_IMM, local=sge(hosts.mr_a, 0, 4)))
+
+
+def test_send_too_big_for_recv_buffer_errors_both_sides(hosts):
+    def setup():
+        hosts.qp_b.post_recv(RecvWR(local=sge(hosts.mr_b, 0, 4)))
+
+    wr = SendWR(opcode=Opcode.SEND, local=sge(hosts.mr_a, 0, 100))
+    send_wcs, recv_wcs = run_op(hosts, wr, setup)
+    assert send_wcs[0].status is WCStatus.REM_INV_REQ_ERR
+    assert recv_wcs[0].status is WCStatus.LOC_LEN_ERR
+    assert hosts.qp_b.state is QPState.ERR
+
+
+def test_rdma_read_pulls_remote_bytes(hosts):
+    hosts.mr_b.write(200, b"remote-secret")
+    wr = SendWR(
+        opcode=Opcode.RDMA_READ,
+        local=sge(hosts.mr_a, 0, 13),
+        remote_addr=hosts.mr_b.addr + 200,
+        rkey=hosts.mr_b.rkey,
+    )
+    send_wcs, _ = run_op(hosts, wr)
+    assert send_wcs[0].ok
+    assert send_wcs[0].opcode is WCOpcode.RDMA_READ
+    assert hosts.mr_a.read(0, 13) == b"remote-secret"
+
+
+def test_rnr_retry_succeeds_when_recv_posted_late(hosts):
+    env = hosts.env
+    wr = SendWR(opcode=Opcode.SEND, local=sge(hosts.mr_a, 0, 4))
+    hosts.qp_a.post_send(wr)
+
+    def late_recv():
+        yield env.timeout(25_000)  # a few RNR timer periods
+        hosts.qp_b.post_recv(RecvWR(local=sge(hosts.mr_b)))
+
+    env.process(late_recv())
+    env.run()
+    send_wcs = hosts.send_cq_a.poll()
+    assert send_wcs[0].ok
+
+
+def test_rnr_retry_exhausted_errors(hosts):
+    wr = SendWR(opcode=Opcode.SEND, local=sge(hosts.mr_a, 0, 4))
+    send_wcs, _ = run_op(hosts, wr)  # no recv ever posted
+    assert send_wcs[0].status is WCStatus.RNR_RETRY_EXC_ERR
+    assert hosts.qp_a.state is QPState.ERR
+
+
+def test_post_send_requires_rts(hosts):
+    qp = hosts.nic_a.create_qp(hosts.pd_a, hosts.send_cq_a)
+    with pytest.raises(QPStateError):
+        qp.post_send(SendWR(opcode=Opcode.SEND, local=sge(hosts.mr_a, 0, 4)))
+
+
+def test_post_recv_rejected_in_error_state(hosts):
+    from repro.rdma import QPState
+
+    qp = hosts.nic_a.create_qp(hosts.pd_a, hosts.send_cq_a)
+    # Pre-connection posting is allowed (servers pre-post receives).
+    qp.post_recv(RecvWR(local=sge(hosts.mr_a)))
+    qp.modify(QPState.INIT)
+    qp.modify(QPState.ERR)
+    with pytest.raises(QPStateError):
+        qp.post_recv(RecvWR(local=sge(hosts.mr_a)))
+
+
+def test_inline_rejects_oversized(hosts):
+    with pytest.raises(RdmaError):
+        hosts.qp_a.post_send(
+            SendWR(
+                opcode=Opcode.RDMA_WRITE,
+                local=sge(hosts.mr_a, 0, 1024),
+                remote_addr=hosts.mr_b.addr,
+                rkey=hosts.mr_b.rkey,
+                inline=True,
+            )
+        )
+
+
+def test_inline_rejected_for_read(hosts):
+    with pytest.raises(RdmaError):
+        hosts.qp_a.post_send(
+            SendWR(
+                opcode=Opcode.RDMA_READ,
+                local=sge(hosts.mr_a, 0, 8),
+                remote_addr=hosts.mr_b.addr,
+                rkey=hosts.mr_b.rkey,
+                inline=True,
+            )
+        )
+
+
+def test_sge_validation(hosts):
+    with pytest.raises(RdmaError):
+        sge(hosts.mr_a, 4000, 1000).validate()  # exceeds MR
+    with pytest.raises(RdmaError):
+        sge(hosts.mr_a, -1, 10).validate()
+    mr = hosts.pd_a.register(hosts.mr_a.block)
+    mr.deregister()
+    with pytest.raises(RdmaError):
+        sge(mr, 0, 4).validate()
+
+
+def test_rc_ordering_two_writes_then_imm(hosts):
+    """Writes posted in order land in order; the IMM flags the last one."""
+    env = hosts.env
+    hosts.mr_a.write(0, b"AAAA")
+    hosts.mr_a.write(4, b"BBBB")
+    hosts.qp_b.post_recv(RecvWR(local=sge(hosts.mr_b)))
+    hosts.qp_a.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            local=sge(hosts.mr_a, 0, 4),
+            remote_addr=hosts.mr_b.addr,
+            rkey=hosts.mr_b.rkey,
+            signaled=False,
+        )
+    )
+    hosts.qp_a.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_WRITE_WITH_IMM,
+            local=sge(hosts.mr_a, 4, 4),
+            remote_addr=hosts.mr_b.addr + 4,
+            rkey=hosts.mr_b.rkey,
+            imm_data=1,
+        )
+    )
+    env.run()
+    recv_wcs = hosts.recv_cq_b.poll()
+    assert len(recv_wcs) == 1  # only the IMM write completes a recv
+    assert hosts.mr_b.read(0, 8) == b"AAAABBBB"
+
+
+def test_loopback_same_nic(hosts):
+    """Two QPs on the same NIC can talk over loopback."""
+    nic = hosts.nic_a
+    pd = nic.create_pd()
+    block1, block2 = nic.alloc(64), nic.alloc(64)
+    from repro.rdma import Access, QueuePair
+
+    mr1 = pd.register(block1, Access.rw())
+    mr2 = pd.register(block2, Access.rw())
+    cq1, cq2 = nic.create_cq(), nic.create_cq()
+    qp1 = nic.create_qp(pd, cq1)
+    qp2 = nic.create_qp(pd, cq2)
+    QueuePair.connect_pair(qp1, qp2)
+    mr1.write(0, b"loopback")
+    qp1.post_send(
+        SendWR(opcode=Opcode.RDMA_WRITE, local=sge(mr1, 0, 8), remote_addr=mr2.addr, rkey=mr2.rkey)
+    )
+    hosts.env.run()
+    assert mr2.read(0, 8) == b"loopback"
+    assert cq1.poll()[0].ok

@@ -1,0 +1,261 @@
+"""Unit tests for the DES kernel: environment, events, time."""
+
+import pytest
+
+from repro.sim import Environment, Event, StopSimulation, ms, secs, us
+from repro.sim.core import EmptySchedule
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=500)
+    assert env.now == 500
+
+
+def test_unit_helpers():
+    assert us(1) == 1_000
+    assert ms(1) == 1_000_000
+    assert secs(1) == 1_000_000_000
+    assert us(3.69) == 3690
+    assert ms(0.0005) == 500
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(100)
+        yield env.timeout(250)
+
+    env.process(proc())
+    env.run()
+    assert env.now == 350
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+
+    log = []
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+            log.append(env.now)
+
+    env.process(proc())
+    env.run(until=35)
+    assert env.now == 35
+    assert log == [10, 20, 30]
+
+
+def test_run_until_time_in_past_rejected():
+    env = Environment(initial_time=100)
+    with pytest.raises(ValueError):
+        env.run(until=50)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(42)
+        return "done"
+
+    result = env.run(until=env.process(proc()))
+    assert result == "done"
+    assert env.now == 42
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+    proc = env.process(iter_once(env))
+    env.run()
+    # Running again until the already-finished process returns instantly.
+    assert env.run(until=proc) == 7
+
+
+def iter_once(env):
+    yield env.timeout(1)
+    return 7
+
+
+def test_run_until_event_never_triggered_raises():
+    env = Environment()
+    orphan = env.event()
+    with pytest.raises(RuntimeError, match="ran out of events"):
+        env.run(until=orphan)
+
+
+def test_run_empty_returns_none():
+    env = Environment()
+    assert env.run() is None
+
+
+def test_step_on_empty_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_event_ordering_fifo_at_same_time():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(10)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_determinism_two_runs_identical():
+    def build():
+        env = Environment()
+        log = []
+
+        def ping(period, tag):
+            while env.now < 1000:
+                yield env.timeout(period)
+                log.append((env.now, tag))
+
+        env.process(ping(7, "x"))
+        env.process(ping(13, "y"))
+        env.run(until=1000)
+        return log
+
+    assert build() == build()
+
+
+def test_event_succeed_value():
+    env = Environment()
+    evt = env.event()
+    results = []
+
+    def waiter():
+        value = yield evt
+        results.append(value)
+
+    env.process(waiter())
+
+    def trigger():
+        yield env.timeout(5)
+        evt.succeed("payload")
+
+    env.process(trigger())
+    env.run()
+    assert results == ["payload"]
+    assert evt.ok and evt.value == "payload"
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(1)
+    with pytest.raises(RuntimeError):
+        evt.succeed(2)
+    with pytest.raises(RuntimeError):
+        evt.fail(ValueError())
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_event_value_unavailable_before_trigger():
+    env = Environment()
+    evt = env.event()
+    with pytest.raises(AttributeError):
+        _ = evt.value
+    with pytest.raises(AttributeError):
+        _ = evt.ok
+
+
+def test_unhandled_failure_crashes_simulation():
+    env = Environment()
+    evt = env.event()
+    evt.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_defused_failure_does_not_crash():
+    env = Environment()
+    evt = env.event()
+    evt.defuse()
+    evt.fail(ValueError("boom"))
+    env.run()  # no raise
+
+
+def test_failure_delivered_to_waiting_process():
+    env = Environment()
+    evt = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield evt
+        except ValueError as error:
+            caught.append(str(error))
+
+    env.process(waiter())
+    evt.fail(ValueError("delivered"))
+    env.run()
+    assert caught == ["delivered"]
+
+
+def test_add_callback_after_processed_runs_immediately():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(3)
+    env.run()
+    seen = []
+    evt.add_callback(lambda e: seen.append(e.value))
+    assert seen == [3]
+
+
+def test_trigger_chains_events():
+    env = Environment()
+    source = env.event()
+    sink = env.event()
+    source.add_callback(sink.trigger)
+    source.succeed("chained")
+    env.run()
+    assert sink.value == "chained"
+
+
+def test_events_processed_counter():
+    env = Environment()
+
+    def proc():
+        for _ in range(5):
+            yield env.timeout(1)
+
+    env.process(proc())
+    env.run()
+    assert env.events_processed >= 5
+
+
+def test_stop_simulation_is_exception():
+    assert issubclass(StopSimulation, Exception)
+
+
+def test_peek():
+    env = Environment()
+    assert env.peek() == -1
+    env.timeout(99)
+    assert env.peek() == 99

@@ -1,0 +1,102 @@
+"""Event-system edge cases."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event
+
+
+def test_trigger_on_already_triggered_is_noop():
+    env = Environment()
+    source = env.event()
+    sink = env.event()
+    sink.succeed("original")
+    source.add_callback(sink.trigger)
+    source.succeed("other")
+    env.run()
+    assert sink.value == "original"
+
+
+def test_condition_defuses_late_failures():
+    """A sub-event failing after the condition resolved must not crash
+    the simulation (AnyOf consumed it)."""
+    env = Environment()
+    fast = env.timeout(1)
+    slow = env.event()
+
+    def proc():
+        yield AnyOf(env, [fast, slow])
+
+    def failer():
+        yield env.timeout(10)
+        slow.fail(ValueError("late"))
+
+    env.process(proc())
+    env.process(failer())
+    env.run()  # no raise: the condition defused the late failure
+
+
+def test_condition_requires_same_environment():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env1.event(), env2.event()])
+
+
+def test_condition_value_mapping_interface():
+    env = Environment()
+    t1 = env.timeout(1, value="a")
+    t2 = env.timeout(2, value="b")
+    results = {}
+
+    def proc():
+        value = yield AllOf(env, [t1, t2])
+        results["keys"] = value.keys()
+        results["t1"] = value[t1]
+        results["contains"] = t2 in value
+        results["len"] = len(value)
+        results["dict"] = value.todict()
+
+    env.process(proc())
+    env.run()
+    assert results["keys"] == [t1, t2]
+    assert results["t1"] == "a"
+    assert results["contains"] is True
+    assert results["len"] == 2
+    assert results["dict"] == {t1: "a", t2: "b"}
+
+
+def test_event_repr_states():
+    env = Environment()
+    event = env.event()
+    assert "pending" in repr(event)
+    event.succeed()
+    assert "triggered" in repr(event)
+    env.run()
+    assert "processed" in repr(event)
+
+
+def test_timeout_repr_and_delay():
+    env = Environment()
+    timeout = env.timeout(42)
+    assert timeout.delay == 42
+    assert "42" in repr(timeout)
+
+
+def test_process_repr():
+    env = Environment()
+
+    def named():
+        yield env.timeout(1)
+
+    process = env.process(named())
+    assert "named" in repr(process)
+    assert "alive" in repr(process)
+    env.run()
+    assert "finished" in repr(process)
+
+
+def test_defused_property_readable():
+    env = Environment()
+    event = env.event()
+    assert not event.defused
+    event.defuse()
+    assert event.defused

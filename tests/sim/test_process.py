@@ -1,0 +1,273 @@
+"""Unit tests for processes: suspension, return values, interrupts."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+        return 123
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 123
+    assert not p.is_alive
+
+
+def test_process_is_alive_until_done():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_waiting_on_another_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(30)
+        return "child-result"
+
+    def parent():
+        result = yield env.process(child())
+        return result
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == "child-result"
+    assert env.now == 30
+
+
+def test_process_exception_propagates_to_parent():
+    env = Environment()
+
+    def child():
+        yield env.timeout(5)
+        raise RuntimeError("child failed")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except RuntimeError as error:
+            return f"caught: {error}"
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == "caught: child failed"
+
+
+def test_unhandled_process_exception_crashes_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise KeyError("unhandled")
+
+    env.process(proc())
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def victim():
+        try:
+            yield env.timeout(1000)
+        except Interrupt as interrupt:
+            causes.append((env.now, interrupt.cause))
+
+    def attacker(target):
+        yield env.timeout(50)
+        target.interrupt("preempted")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    # Delivered at t=50; the abandoned 1000ns timeout still drains the queue.
+    assert causes == [(50, "preempted")]
+
+
+def test_interrupt_unsubscribes_from_target():
+    env = Environment()
+    resumed = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+            resumed.append("timeout")
+        except Interrupt:
+            yield env.timeout(500)
+            resumed.append("after-interrupt")
+
+    def attacker(target):
+        yield env.timeout(10)
+        target.interrupt()
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    # The original 100ns timeout must NOT also resume the process.
+    assert resumed == ["after-interrupt"]
+    assert env.now == 510
+
+
+def test_interrupt_terminated_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+
+    def proc():
+        this = env.active_process
+        with pytest.raises(RuntimeError):
+            this.interrupt()
+        yield env.timeout(1)
+
+    env.process(proc())
+    env.run()
+
+
+def test_yield_non_event_raises_inside_process():
+    env = Environment()
+    caught = []
+
+    def proc():
+        try:
+            yield 42
+        except RuntimeError as error:
+            caught.append("non-event" in str(error))
+        yield env.timeout(1)
+
+    env.process(proc())
+    env.run()
+    assert caught == [True]
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(30, value="slow")
+        t2 = env.timeout(10, value="fast")
+        result = yield AllOf(env, [t1, t2])
+        return result.values()
+
+    p = env.process(proc())
+    env.run()
+    # Values in event-list order, not completion order.
+    assert p.value == ["slow", "fast"]
+    assert env.now == 30
+
+
+def test_all_of_empty_is_immediate():
+    env = Environment()
+
+    def proc():
+        result = yield AllOf(env, [])
+        return len(result)
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 0
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(30, value="slow")
+        t2 = env.timeout(10, value="fast")
+        result = yield AnyOf(env, [t1, t2])
+        return (env.now, result.values())
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == (10, ["fast"])
+
+
+def test_any_of_empty_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        AnyOf(env, [])
+
+
+def test_all_of_failure_propagates():
+    env = Environment()
+    evt = env.event()
+
+    def proc():
+        t = env.timeout(5)
+        try:
+            yield AllOf(env, [t, evt])
+        except ValueError:
+            return "failed"
+
+    def failer():
+        yield env.timeout(2)
+        evt.fail(ValueError("sub-event failed"))
+
+    p = env.process(proc())
+    env.process(failer())
+    env.run()
+    assert p.value == "failed"
+
+
+def test_env_helpers_all_of_any_of():
+    env = Environment()
+
+    def proc():
+        yield env.all_of([env.timeout(5), env.timeout(6)])
+        yield env.any_of([env.timeout(100), env.timeout(1)])
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 7
+
+
+def test_nested_processes_timing():
+    env = Environment()
+
+    def level2():
+        yield env.timeout(10)
+        return 2
+
+    def level1():
+        value = yield env.process(level2())
+        yield env.timeout(5)
+        return value + 1
+
+    def level0():
+        value = yield env.process(level1())
+        return value + 1
+
+    p = env.process(level0())
+    env.run()
+    assert p.value == 4
+    assert env.now == 15

@@ -1,0 +1,321 @@
+"""Unit tests for Resource/Store/FilterStore/Container."""
+
+import pytest
+
+from repro.sim import Container, Environment, FilterStore, Resource, Store
+
+
+# -- Resource ----------------------------------------------------------------
+
+
+def test_resource_serializes_users():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(tag, hold):
+        req = res.request()
+        yield req
+        log.append((env.now, tag, "in"))
+        yield env.timeout(hold)
+        res.release(req)
+        log.append((env.now, tag, "out"))
+
+    env.process(user("a", 10))
+    env.process(user("b", 10))
+    env.run()
+    assert log == [(0, "a", "in"), (10, "a", "out"), (10, "b", "in"), (20, "b", "out")]
+
+
+def test_resource_capacity_two_parallel():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    done = []
+
+    def user(tag):
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+        done.append((tag, env.now))
+
+    for tag in "abc":
+        env.process(user(tag))
+    env.run()
+    assert done == [("a", 10), ("b", 10), ("c", 20)]
+
+
+def test_resource_with_statement_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    times = []
+
+    def user():
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+        times.append(env.now)
+
+    env.process(user())
+    env.process(user())
+    env.run()
+    assert times == [5, 10]
+
+
+def test_resource_count_and_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(100)
+        res.release(req)
+
+    def observer():
+        yield env.timeout(50)
+        req = res.request()  # queued behind holder
+        yield env.timeout(1)
+        assert res.count == 1
+        assert len(res.queue) == 1
+        yield req  # served once holder releases at t=100
+        res.release(req)
+
+    env.process(holder())
+    env.process(observer())
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_release_unheld_request_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc():
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)  # second release: no-op, no error
+
+    env.process(proc())
+    env.run()
+
+
+# -- Store -------------------------------------------------------------------
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for item in (1, 2, 3):
+            yield store.put(item)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer():
+        yield env.timeout(40)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert times == [(40, "late")]
+
+
+def test_store_bounded_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("put-a", env.now))
+        yield store.put("b")
+        log.append(("put-b", env.now))
+
+    def consumer():
+        yield env.timeout(25)
+        item = yield store.get()
+        log.append((f"got-{item}", env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("put-a", 0) in log
+    assert ("put-b", 25) in log  # unblocked by the get
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_filter_store_selects_by_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def run():
+        yield store.put({"id": 1})
+        yield store.put({"id": 2})
+        yield store.put({"id": 3})
+        item = yield store.get(lambda entry: entry["id"] == 2)
+        got.append(item["id"])
+        item = yield store.get()
+        got.append(item["id"])
+
+    env.process(run())
+    env.run()
+    assert got == [2, 1]
+
+
+def test_filter_store_waits_for_matching_item():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda value: value > 10)
+        got.append((env.now, item))
+
+    def producer():
+        yield store.put(1)
+        yield env.timeout(7)
+        yield store.put(99)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(7, 99)]
+    assert store.items == [1]
+
+
+# -- Container ---------------------------------------------------------------
+
+
+def test_container_levels():
+    env = Environment()
+    tank = Container(env, capacity=100, init=50)
+    assert tank.level == 50
+
+    def run():
+        yield tank.get(30)
+        assert tank.level == 20
+        yield tank.put(60)
+        assert tank.level == 80
+
+    env.process(run())
+    env.run()
+    assert tank.level == 80
+
+
+def test_container_get_blocks_until_refill():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    times = []
+
+    def consumer():
+        yield tank.get(10)
+        times.append(env.now)
+
+    def producer():
+        yield env.timeout(33)
+        yield tank.put(10)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert times == [33]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    times = []
+
+    def producer():
+        yield tank.put(5)
+        times.append(env.now)
+
+    def consumer():
+        yield env.timeout(12)
+        yield tank.get(5)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [12]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=11)
+    tank = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-5)
+
+
+def test_request_cancel_leaves_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    served = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(100)
+        res.release(req)
+
+    def impatient():
+        yield env.timeout(1)
+        req = res.request()
+        # Give up immediately without waiting.
+        req.cancel()
+        served.append("cancelled")
+        yield env.timeout(1)
+
+    def patient():
+        yield env.timeout(2)
+        req = res.request()
+        yield req
+        served.append(("patient", env.now))
+        res.release(req)
+
+    env.process(holder())
+    env.process(impatient())
+    env.process(patient())
+    env.run()
+    assert ("patient", 100) in served

@@ -1,0 +1,61 @@
+"""Recorder and Span instrumentation helpers."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.trace import Recorder, Span
+
+
+def test_recorder_collects_timestamped_samples():
+    env = Environment()
+    recorder = Recorder(env)
+
+    def proc():
+        recorder.record("latency", 10.0)
+        yield env.timeout(5)
+        recorder.record("latency", 20.0)
+        recorder.record("throughput", 1.0)
+
+    env.process(proc())
+    env.run()
+    assert recorder.values("latency") == [10.0, 20.0]
+    samples = recorder.samples("latency")
+    assert [s.time for s in samples] == [0, 5]
+    assert recorder.series_names() == ["latency", "throughput"]
+
+
+def test_recorder_clear():
+    env = Environment()
+    recorder = Recorder(env)
+    recorder.record("a", 1)
+    recorder.record("b", 2)
+    recorder.clear("a")
+    assert recorder.values("a") == []
+    assert recorder.values("b") == [2]
+    recorder.clear()
+    assert recorder.series_names() == []
+
+
+def test_span_measures_elapsed_virtual_time():
+    env = Environment()
+    span = Span(env)
+
+    def proc():
+        span.start()
+        yield env.timeout(100)
+        lap = span.stop()
+        assert lap == 100
+        span.start()
+        yield env.timeout(50)
+        span.stop()
+
+    env.process(proc())
+    env.run()
+    assert span.elapsed == 150
+    assert span.laps == [100, 50]
+
+
+def test_span_stop_without_start_raises():
+    env = Environment()
+    with pytest.raises(RuntimeError):
+        Span(env).stop()

@@ -1,0 +1,91 @@
+"""TCP baseline: kernel overheads, payload delivery, netperf shape."""
+
+import pytest
+
+from repro.rdma import Fabric
+from repro.rdma.microbench import ib_write_lat
+from repro.sim import Environment, us
+from repro.tcp import TcpConfig, TcpNetwork, netperf_rr
+
+
+def make_net():
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.attach("h1")
+    fabric.attach("h2")
+    return env, TcpNetwork(fabric)
+
+
+def test_payload_delivered_intact():
+    env, net = make_net()
+    a, b = net.endpoint("h1"), net.endpoint("h2")
+    got = []
+
+    def sender():
+        yield from a.send(b, 11, payload=b"hello world")
+
+    def receiver():
+        size, payload = yield b.recv()
+        got.append((size, payload))
+
+    env.process(receiver())
+    env.process(sender())
+    env.run()
+    assert got == [(11, b"hello world")]
+
+
+def test_messages_delivered_in_order():
+    env, net = make_net()
+    a, b = net.endpoint("h1"), net.endpoint("h2")
+    got = []
+
+    def sender():
+        for i in range(5):
+            yield from a.send(b, 100, payload=i)
+
+    def receiver():
+        for _ in range(5):
+            _, payload = yield b.recv()
+            got.append(payload)
+
+    env.process(receiver())
+    env.process(sender())
+    env.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_unknown_host_rejected():
+    env, net = make_net()
+    with pytest.raises(ValueError):
+        net.endpoint("nope")
+
+
+def test_tcp_rtt_tens_of_microseconds():
+    result = netperf_rr(64, iterations=20)
+    assert us(20) < result.mean_ns < us(100)
+
+
+def test_tcp_much_slower_than_rdma_small_messages():
+    """The Sec. II-C contrast: kernel stack vs kernel bypass."""
+    tcp = netperf_rr(64, iterations=20).mean_ns
+    rdma = ib_write_lat(64, iterations=20).median_ns
+    assert tcp / rdma > 5
+
+
+def test_tcp_single_stream_below_link_bandwidth():
+    cfg = TcpConfig()
+    size = 10_000_000
+    extra = cfg.stream_extra_ns(size, link_bytes_per_sec=12.25e9)
+    assert extra > 0  # a single stream cannot saturate the 100G link
+
+
+def test_copy_cost_scales_with_size():
+    cfg = TcpConfig()
+    assert cfg.copy_ns(0) == 0
+    assert cfg.copy_ns(2_000_000) == 2 * cfg.copy_ns(1_000_000)
+
+
+def test_netperf_rtt_grows_with_size():
+    small = netperf_rr(64, iterations=10).mean_ns
+    large = netperf_rr(1_000_000, iterations=10).mean_ns
+    assert large > small * 5

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs clean end-to-end.
+
+Examples are the first thing a new user executes; these tests keep them
+from rotting as the library evolves.  Each runs in its own interpreter,
+exactly as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "cold start breakdown" in out
+    assert "hello rfaas" in out
+    assert "billing:" in out
+
+
+def test_ml_inference_service():
+    out = run_example("ml_inference_service.py")
+    assert "pipeline speedup over AWS Lambda" in out
+
+
+def test_hpc_offload():
+    out = run_example("hpc_offload.py")
+    assert "numerically exact" in out
+
+
+def test_workflow_pipeline():
+    out = run_example("workflow_pipeline.py")
+    assert "report: channels" in out
+    assert "makespan" in out
+
+
+def test_opportunistic_cluster():
+    out = run_example("opportunistic_cluster.py")
+    assert "harvest tenant" in out
+    assert "options priced" in out
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    covered = {
+        "quickstart.py",
+        "ml_inference_service.py",
+        "hpc_offload.py",
+        "workflow_pipeline.py",
+        "opportunistic_cluster.py",
+    }
+    assert scripts == covered

@@ -1,0 +1,95 @@
+"""Image format and thumbnailer correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.images import HEADER_BYTES, Image, generate_image, image_for_payload_size
+from repro.workloads.thumbnailer import (
+    THUMBNAIL_MAX_DIM,
+    make_thumbnail,
+    thumbnail_cost_ns,
+    thumbnailer_function,
+)
+
+
+def test_encode_decode_roundtrip():
+    image = generate_image(37, 23)
+    decoded = Image.decode(image.encode())
+    assert np.array_equal(decoded.pixels, image.pixels)
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ValueError):
+        Image.decode(b"abc")
+    image = generate_image(10, 10)
+    with pytest.raises(ValueError):
+        Image.decode(image.encode()[:-5])
+
+
+@given(w=st.integers(min_value=1, max_value=60), h=st.integers(min_value=1, max_value=60))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_property(w, h):
+    image = generate_image(w, h)
+    assert np.array_equal(Image.decode(image.encode()).pixels, image.pixels)
+
+
+def test_image_for_payload_size_close():
+    for target in (97_000, 3_600_000, 53_000, 230_000):
+        image = image_for_payload_size(target)
+        assert abs(image.nbytes - target) / target < 0.05
+
+
+def test_thumbnail_bounded_dimensions():
+    image = generate_image(1200, 900)
+    thumb = make_thumbnail(image)
+    assert max(thumb.width, thumb.height) <= THUMBNAIL_MAX_DIM
+    assert thumb.channels == 3
+
+
+def test_thumbnail_small_image_unchanged():
+    image = generate_image(100, 80)
+    thumb = make_thumbnail(image)
+    assert np.array_equal(thumb.pixels, image.pixels)
+
+
+def test_thumbnail_preserves_mean_brightness():
+    """Area averaging must keep the global mean (within rounding)."""
+    image = generate_image(800, 600)
+    thumb = make_thumbnail(image)
+    assert float(thumb.pixels.mean()) == pytest.approx(float(image.pixels.mean()), abs=1.5)
+
+
+def test_thumbnail_preserves_gradient_direction():
+    image = generate_image(640, 480)
+    thumb = make_thumbnail(image)
+    # The generator ramps brightness left to right (modulo wrap);
+    # compare the first fifth to the second fifth of columns.
+    w = thumb.width
+    left = float(thumb.pixels[:, : w // 5, 0].mean())
+    mid = float(thumb.pixels[:, w // 5 : 2 * w // 5, 0].mean())
+    assert mid > left
+
+
+def test_thumbnailer_function_end_to_end():
+    spec = thumbnailer_function()
+    image = generate_image(500, 400)
+    output, size = spec.execute(image.encode(), image.nbytes)
+    thumb = Image.decode(output)
+    assert size == len(output)
+    assert max(thumb.width, thumb.height) <= THUMBNAIL_MAX_DIM
+    assert np.array_equal(thumb.pixels, make_thumbnail(image).pixels)
+
+
+def test_thumbnailer_cost_scales_with_pixels():
+    small = thumbnail_cost_ns(97_000)
+    large = thumbnail_cost_ns(3_600_000)
+    assert large > small * 20  # ~37x more pixels
+
+
+def test_thumbnailer_virtual_output_size_reasonable():
+    spec = thumbnailer_function()
+    output, size = spec.execute(None, 3_600_000)
+    assert output is None
+    assert HEADER_BYTES < size <= HEADER_BYTES + 3 * THUMBNAIL_MAX_DIM**2 * 1.1

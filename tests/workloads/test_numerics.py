@@ -1,0 +1,227 @@
+"""Numerical correctness: Black-Scholes, GEMM, Jacobi, ResNet kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sp_stats
+
+from repro.workloads.black_scholes import (
+    BYTES_PER_OPTION,
+    black_scholes_price,
+    bs_function,
+    generate_options,
+    norm_cdf,
+    pack_options,
+    price_options,
+    unpack_options,
+)
+from repro.workloads.gemm import gemm_cost_ns, gemm_function, pack_matrices, unpack_result
+from repro.workloads.jacobi import (
+    JacobiWorkspace,
+    generate_system,
+    jacobi_function,
+    jacobi_iteration_cost_ns,
+    jacobi_sweep,
+    pack_iterate,
+    pack_setup,
+)
+from repro.workloads.resnet import TinyResNet, decode_result, resnet_function
+from repro.workloads.images import generate_image
+
+
+# -- Black-Scholes -------------------------------------------------------------
+
+
+def test_norm_cdf_matches_scipy():
+    x = np.linspace(-6, 6, 1001)
+    assert np.max(np.abs(norm_cdf(x) - sp_stats.norm.cdf(x))) < 1e-7
+
+
+def test_bs_put_call_parity():
+    """C - P = S - K e^{-rT} for identical parameters."""
+    n = 500
+    options = generate_options(n)
+    call = black_scholes_price(*[options[:, i] for i in range(5)], np.ones(n))
+    put = black_scholes_price(*[options[:, i] for i in range(5)], np.zeros(n))
+    s, k, r, t = options[:, 0], options[:, 1], options[:, 2], options[:, 4]
+    parity = s - k * np.exp(-r * t)
+    assert np.allclose(call - put, parity, atol=1e-7)
+
+
+def test_bs_known_value():
+    """Classic textbook value: S=100, K=100, r=5%, sigma=20%, T=1."""
+    price = black_scholes_price(
+        np.array([100.0]), np.array([100.0]), np.array([0.05]),
+        np.array([0.2]), np.array([1.0]), np.array([1.0]),
+    )
+    assert price[0] == pytest.approx(10.4506, abs=1e-3)
+
+
+def test_bs_prices_positive_and_bounded():
+    options = generate_options(2000)
+    prices = price_options(options)
+    assert np.all(prices >= -1e-9)
+    assert np.all(prices <= options[:, 0] + options[:, 1])
+
+
+def test_bs_pack_unpack_roundtrip():
+    options = generate_options(100)
+    assert np.allclose(unpack_options(pack_options(options)), options)
+    with pytest.raises(ValueError):
+        unpack_options(b"x" * 47)
+    with pytest.raises(ValueError):
+        pack_options(np.zeros((3, 5)))
+
+
+def test_bs_function_end_to_end():
+    spec = bs_function()
+    options = generate_options(64)
+    payload = pack_options(options)
+    output, size = spec.execute(payload, len(payload))
+    prices = np.frombuffer(output, dtype=np.float64)
+    assert np.allclose(prices, price_options(options))
+    assert size == 64 * 8
+    # Cost model: 150 ns per option.
+    assert spec.cost_ns(len(payload)) == 64 * 150
+
+
+def test_bs_paper_workload_arithmetic():
+    from repro.workloads.black_scholes import PAPER_NUM_OPTIONS
+
+    input_mb = PAPER_NUM_OPTIONS * BYTES_PER_OPTION / 1e6
+    output_mb = PAPER_NUM_OPTIONS * 8 / 1e6
+    assert input_mb == pytest.approx(228, rel=0.01)  # "approx. 229 MB"
+    assert output_mb == pytest.approx(38, rel=0.01)  # "38 MB of output"
+
+
+# -- GEMM -------------------------------------------------------------------
+
+
+def test_gemm_function_matches_numpy():
+    rng = np.random.default_rng(0)
+    n = 24
+    a, b = rng.normal(size=(n, n)), rng.normal(size=(n, n))
+    spec = gemm_function()
+    payload = pack_matrices(a, b, 8, 16)
+    output, _ = spec.execute(payload, len(payload))
+    result = unpack_result(output, n)
+    assert np.allclose(result, (a @ b)[8:16])
+
+
+def test_gemm_pack_validation():
+    with pytest.raises(ValueError):
+        pack_matrices(np.zeros((3, 4)), np.zeros((3, 4)), 0, 3)
+    with pytest.raises(ValueError):
+        pack_matrices(np.zeros((4, 4)), np.zeros((4, 4)), 3, 2)
+
+
+def test_gemm_cost_cubic():
+    assert gemm_cost_ns(512) * 7.9 < gemm_cost_ns(1024) < gemm_cost_ns(512) * 8.1
+    assert gemm_cost_ns(1000, rows=500) * 2 == pytest.approx(gemm_cost_ns(1000), rel=0.01)
+
+
+# -- Jacobi -------------------------------------------------------------------
+
+
+def test_jacobi_converges_to_solution():
+    n = 60
+    a, b = generate_system(n)
+    x = np.zeros(n)
+    for _ in range(200):
+        x = jacobi_sweep(a, b, x, 0, n)
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_jacobi_half_sweeps_compose():
+    n = 40
+    a, b = generate_system(n)
+    x = np.linspace(0, 1, n)
+    full = jacobi_sweep(a, b, x, 0, n)
+    top = jacobi_sweep(a, b, x, 0, n // 2)
+    bottom = jacobi_sweep(a, b, x, n // 2, n)
+    assert np.allclose(np.concatenate([top, bottom]), full)
+
+
+def test_jacobi_workspace_caches_matrix():
+    n = 30
+    a, b = generate_system(n)
+    x = np.zeros(n)
+    workspace = JacobiWorkspace()
+    out = workspace.handle(pack_setup(a, b, x, 0, n))
+    x = np.frombuffer(out, dtype=np.float64)
+    # Subsequent iterations send only x (the warm-cache optimization).
+    for _ in range(150):
+        out = workspace.handle(pack_iterate(np.asarray(x), 0, n))
+        x = np.frombuffer(out, dtype=np.float64)
+    assert np.allclose(a @ x, b, atol=1e-8)
+    assert workspace.setup_calls == 1
+    assert workspace.iterate_calls == 150
+
+
+def test_jacobi_workspace_errors():
+    workspace = JacobiWorkspace()
+    with pytest.raises(RuntimeError):
+        workspace.handle(pack_iterate(np.zeros(5), 0, 5))
+    n = 10
+    a, b = generate_system(n)
+    workspace.handle(pack_setup(a, b, np.zeros(n), 0, n))
+    with pytest.raises(RuntimeError):
+        workspace.handle(pack_iterate(np.zeros(n + 1), 0, n))
+
+
+def test_jacobi_iteration_cost_in_paper_band():
+    """Per-iteration costs must land in the 1-15 ms window."""
+    from repro.sim import ms
+
+    assert ms(1) <= jacobi_iteration_cost_ns(1200) <= ms(15)
+    assert ms(1) <= jacobi_iteration_cost_ns(3500) <= ms(15)
+
+
+def test_jacobi_function_stateful_cost():
+    n = 20
+    a, b = generate_system(n)
+    spec = jacobi_function()
+    payload = pack_setup(a, b, np.zeros(n), 0, n // 2)
+    spec.execute(payload, len(payload))
+    iterate_payload = pack_iterate(np.zeros(n), 0, n // 2)
+    cost = spec.cost_ns(len(iterate_payload))
+    assert cost == jacobi_iteration_cost_ns(n, rows=n // 2)
+
+
+# -- TinyResNet ---------------------------------------------------------------
+
+
+def test_resnet_deterministic():
+    model = TinyResNet()
+    image = generate_image(64, 64)
+    l1, s1 = model.predict(image)
+    l2, s2 = model.predict(image)
+    assert (l1, s1) == (l2, s2)
+    assert 0 <= l1 < 1000
+
+
+def test_resnet_distinguishes_images():
+    model = TinyResNet()
+    logits_a = model.forward(generate_image(64, 64, seed=1).pixels)
+    logits_b = model.forward(generate_image(64, 64, seed=99).pixels)
+    assert not np.allclose(logits_a, logits_b)
+
+
+def test_resnet_function_end_to_end():
+    spec = resnet_function()
+    image = generate_image(120, 90)
+    output, size = spec.execute(image.encode(), image.nbytes)
+    label, score = decode_result(output)
+    assert size == 8
+    model = TinyResNet()
+    expected_label, _ = model.predict(image)
+    assert label == expected_label
+
+
+def test_resnet_cost_dominated_by_inference():
+    spec = resnet_function()
+    from repro.sim import ms
+
+    assert spec.cost_ns(53_000) >= ms(150)
+    assert spec.cost_ns(230_000) - spec.cost_ns(53_000) < ms(5)

@@ -1,0 +1,167 @@
+"""Extra SeBS workloads: cross-checked against zlib and networkx."""
+
+import zlib
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.sebs_extra import (
+    bfs_distances,
+    bfs_function,
+    compression_function,
+    graph_bytes,
+    pack_graph,
+    pagerank_function,
+    pagerank_scores,
+    random_graph,
+    sebs_extra_package,
+    unpack_graph,
+)
+
+
+# -- compression ---------------------------------------------------------------
+
+
+def test_compression_roundtrips_through_zlib():
+    spec = compression_function()
+    payload = (b"the quick brown fox " * 400)[:7000]
+    output, size = spec.execute(payload, len(payload))
+    assert zlib.decompress(output) == payload
+    assert size < len(payload)  # text compresses
+
+
+def test_compression_cost_linear():
+    spec = compression_function()
+    assert spec.cost_ns(2_000_000) == 2 * spec.cost_ns(1_000_000)
+
+
+# -- graph format ----------------------------------------------------------------
+
+
+def test_graph_pack_unpack_roundtrip():
+    edges = random_graph(50, 200)
+    payload = pack_graph(50, edges, arg=7)
+    n, decoded, arg = unpack_graph(payload)
+    assert n == 50 and arg == 7
+    assert np.array_equal(decoded, edges)
+    assert len(payload) == graph_bytes(50, 200)
+
+
+def test_graph_pack_validation():
+    with pytest.raises(ValueError):
+        pack_graph(5, np.array([[0, 9]], dtype=np.uint32), 0)  # endpoint 9 >= n
+    with pytest.raises(ValueError):
+        pack_graph(5, np.zeros((3, 3), dtype=np.uint32), 0)
+
+
+# -- BFS ----------------------------------------------------------------------
+
+
+def nx_digraph(n, edges):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((int(u), int(v)) for u, v in edges)
+    return graph
+
+
+def test_bfs_matches_networkx():
+    n = 80
+    edges = random_graph(n, 300, seed=9)
+    ours = bfs_distances(n, edges, source=0)
+    reference = nx.single_source_shortest_path_length(nx_digraph(n, edges), 0)
+    for node in range(n):
+        expected = reference.get(node, -1)
+        assert ours[node] == expected
+
+
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    m=st.integers(min_value=0, max_value=120),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_bfs_matches_networkx_property(n, m, seed):
+    edges = random_graph(n, m, seed=seed)
+    ours = bfs_distances(n, edges, source=0)
+    reference = nx.single_source_shortest_path_length(nx_digraph(n, edges), 0)
+    assert all(ours[node] == reference.get(node, -1) for node in range(n))
+
+
+def test_bfs_function_end_to_end():
+    n = 40
+    edges = random_graph(n, 160, seed=4)
+    payload = pack_graph(n, edges, arg=3)
+    spec = bfs_function()
+    output, _ = spec.execute(payload, len(payload))
+    distances = np.frombuffer(output, dtype=np.int32)
+    assert distances[3] == 0
+
+
+def test_bfs_bad_source_raises():
+    payload = pack_graph(4, random_graph(4, 6), arg=99)
+    with pytest.raises(ValueError):
+        bfs_function().handler(payload)
+
+
+# -- PageRank --------------------------------------------------------------------
+
+
+def test_pagerank_matches_networkx():
+    n = 60
+    edges = random_graph(n, 240, seed=5)
+    ours = pagerank_scores(n, edges, iterations=60)
+    graph = nx.MultiDiGraph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((int(u), int(v)) for u, v in edges)
+    reference = nx.pagerank(graph, alpha=0.85, max_iter=200, tol=1e-12)
+    for node in range(n):
+        assert ours[node] == pytest.approx(reference[node], abs=2e-6)
+
+
+def test_pagerank_is_a_distribution():
+    n = 30
+    scores = pagerank_scores(n, random_graph(n, 90), iterations=40)
+    assert scores.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(scores > 0)
+
+
+def test_pagerank_function_end_to_end():
+    n = 25
+    edges = random_graph(n, 80, seed=6)
+    payload = pack_graph(n, edges, arg=40)
+    output, size = pagerank_function().execute(payload, len(payload))
+    scores = np.frombuffer(output, dtype=np.float64)
+    assert len(scores) == n and size == 8 * n
+    assert np.allclose(scores, pagerank_scores(n, edges, 40))
+
+
+# -- deployability ----------------------------------------------------------------
+
+
+def test_sebs_extra_package_deploys_and_serves():
+    from repro.core import Deployment
+
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    invoker = dep.new_invoker()
+    package = sebs_extra_package()
+    n = 30
+    edges = random_graph(n, 100, seed=8)
+    graph_payload = pack_graph(n, edges, arg=0)
+    text = b"serverless " * 300
+
+    def driver():
+        yield from invoker.allocate(package, workers=3)
+        compressed = yield from invoker.invoke("compression", text, out_capacity=len(text))
+        bfs_out = yield from invoker.invoke(
+            "graph-bfs", graph_payload, out_capacity=4 * n
+        )
+        return compressed, bfs_out
+
+    compressed, bfs_out = dep.run(driver())
+    assert zlib.decompress(compressed) == text
+    distances = np.frombuffer(bfs_out, dtype=np.int32)
+    assert distances[0] == 0

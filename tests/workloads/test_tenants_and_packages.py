@@ -1,0 +1,66 @@
+"""Tenant profiles, the noop package, and package instantiation."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import CodePackage
+from repro.sim import us
+from repro.sim.rng import RngStreams
+from repro.workloads.noop import noop_package
+from repro.workloads.jacobi import jacobi_package
+from repro.workloads.tenants import TenantSpec, standard_mix
+
+
+def test_noop_package_shape():
+    package = noop_package()
+    assert package.size_bytes == 7_880
+    assert package.index_of("echo") == 0
+    output, size = package.by_index(0).execute(b"abc", 3)
+    assert output == b"abc" and size == 3
+
+
+def test_stateless_package_fresh_is_identity():
+    package = noop_package()
+    assert package.fresh() is package
+
+
+def test_stateful_package_fresh_rebuilds():
+    package = jacobi_package()
+    fresh = package.fresh()
+    assert fresh is not package
+    assert fresh.name == package.name
+    # Different workspace state: the closures are distinct.
+    assert fresh.by_index(0).handler is not package.by_index(0).handler
+
+
+def test_tenant_spec_package_runs():
+    spec = TenantSpec(name="t", compute_ns=us(10), payload_bytes=128)
+    package = spec.package()
+    output, size = package.by_index(0).execute(b"x" * 128, 128)
+    assert size == 8
+    assert package.by_index(0).cost_ns(128) == us(10)
+    # Virtual execution reports the fixed output size too.
+    output, size = package.by_index(0).execute(None, 128)
+    assert output is None and size == 8
+
+
+def test_tenant_interarrival_positive_and_seeded():
+    spec = TenantSpec(name="t", rate_per_s=1000.0)
+    rng1 = RngStreams(5).stream("t")
+    rng2 = RngStreams(5).stream("t")
+    draws1 = [spec.interarrival_ns(rng1) for _ in range(10)]
+    draws2 = [spec.interarrival_ns(rng2) for _ in range(10)]
+    assert draws1 == draws2
+    assert all(d >= 1 for d in draws1)
+    # Mean roughly 1/rate.
+    assert 0.2e6 < np.mean(draws1) < 5e6
+
+
+def test_standard_mix_profiles():
+    mix = standard_mix()
+    names = [spec.name for spec in mix]
+    assert names == ["latency-critical", "bursty-service", "batch-analytics"]
+    by_name = {spec.name: spec for spec in mix}
+    assert by_name["latency-critical"].hot_timeout_ns is None  # always hot
+    assert by_name["batch-analytics"].hot_timeout_ns == 0  # always warm
+    assert by_name["bursty-service"].arrival == "bursty"
