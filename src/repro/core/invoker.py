@@ -119,6 +119,9 @@ class RemoteFuture:
         #: Set when a wait_for deadline fired; late results/failures
         #: are silently dropped instead of crashing the simulation.
         self.abandoned = False
+        #: The pooled SendWR this invocation went out on (recycled by
+        #: the completion loop once the response arrives).
+        self._send_wr: Optional[SendWR] = None
 
     def wait(self):
         """Event to ``yield`` on; value is an :class:`InvocationResult`."""
@@ -167,13 +170,31 @@ class WorkerConnection:
     _queue: list[RemoteFuture] = field(default_factory=list)
     _active: int = 0
 
+    def __post_init__(self) -> None:
+        # The per-dispatch fast path: settings are immutable after the
+        # CM handshake, so hoist the dict lookups out of _dispatch().
+        settings = self.settings
+        self._worker_id: int = settings["worker_id"]
+        self._slots: int = settings.get("slots", 1)
+        self._slot_stride: int = settings.get("slot_stride", settings["input_capacity"])
+        self._input_addr: int = settings["input_addr"]
+        self._input_rkey: int = settings["input_rkey"]
+        # Receives are stateless (zero-byte landing zone), so one WR
+        # object is re-posted for every outstanding invocation.
+        self._recv_wr = RecvWR(local=sge(self.scratch_mr, 0, 0))
+        #: Recycled request descriptors (see _dispatch / completion loop).
+        self._send_pool: list[SendWR] = []
+        #: Packed 12-byte result headers, keyed by output MR: an output
+        #: buffer's (addr, rkey) never changes, so pack once.
+        self._header_cache: dict[Any, bytes] = {}
+
     @property
     def worker_id(self) -> int:
-        return self.settings["worker_id"]
+        return self._worker_id
 
     @property
     def slots(self) -> int:
-        return self.settings.get("slots", 1)
+        return self._slots
 
     def serves(self, fn: "str | int") -> bool:
         """Can this connection's package execute *fn*?"""
@@ -202,30 +223,44 @@ class WorkerConnection:
         )
         invocation_id = next(self._inv_ids) % 65_536
         self.futures[invocation_id] = future
-        future.tried_workers.append(self.worker_id)
+        future.tried_workers.append(self._worker_id)
         # The target slot rotates with the invocation id (the worker
         # derives the same slot from the request immediate).
-        slot_offset = (invocation_id % self.slots) * self.settings.get(
-            "slot_stride", self.settings["input_capacity"]
-        )
+        slot_offset = (invocation_id % self._slots) * self._slot_stride
         # Header: where the worker should write the result.
-        future.in_buf.mr.write(
-            0, protocol.pack_header(future.out_buf.mr.addr, future.out_buf.mr.rkey)
-        )
+        out_mr = future.out_buf.mr
+        header = self._header_cache.get(out_mr)
+        if header is None:
+            header = protocol.pack_header(out_mr.addr, out_mr.rkey)
+            self._header_cache[out_mr] = header
+        future.in_buf.mr.write(0, header)
         total = protocol.HEADER_BYTES + future.size
         # Land the response: one receive per outstanding invocation.
-        self.qp.post_recv(RecvWR(local=sge(self.scratch_mr, 0, 0)))
-        self.qp.post_send(
-            SendWR(
+        self.qp.post_recv(self._recv_wr)
+        # Reuse a recycled request descriptor when one is available;
+        # safe because a response implies (RC ordering) the request WR
+        # is fully delivered, and these WRs are unsignaled so nothing
+        # downstream reads their fields afterwards.
+        pool = self._send_pool
+        if pool:
+            wr = pool.pop()
+            wr.local.mr = future.in_buf.mr
+            wr.local.length = total
+            wr.remote_addr = self._input_addr + slot_offset
+            wr.imm_data = protocol.pack_request_imm(invocation_id, fn_index)
+            wr.inline = total <= self.qp.max_inline_data
+        else:
+            wr = SendWR(
                 opcode=Opcode.RDMA_WRITE_WITH_IMM,
                 local=sge(future.in_buf.mr, 0, total),
-                remote_addr=self.settings["input_addr"] + slot_offset,
-                rkey=self.settings["input_rkey"],
+                remote_addr=self._input_addr + slot_offset,
+                rkey=self._input_rkey,
                 imm_data=protocol.pack_request_imm(invocation_id, fn_index),
                 inline=total <= self.qp.max_inline_data,
                 signaled=False,
             )
-        )
+        future._send_wr = wr
+        self.qp.post_send(wr)
 
     def _completed_one(self) -> None:
         """Response consumed: dispatch the next queued request, if any."""
@@ -510,6 +545,10 @@ class Invoker:
                 future = connection.futures.pop(invocation_id, None)
                 if future is None:
                     continue
+                wr = future._send_wr
+                if wr is not None:
+                    future._send_wr = None
+                    connection._send_pool.append(wr)
                 connection.inflight -= 1
                 connection._completed_one()
                 if status == protocol.STATUS_REJECTED:

@@ -97,6 +97,8 @@ class Worker:
         self.output_mr = pd.register(self._output_block, Access.LOCAL_WRITE)
         # Tiny landing zone for the zero-byte parts of WRITE_WITH_IMM.
         self._scratch_mr = pd.register(self.nic.alloc(64), Access.LOCAL_WRITE)
+        # Stateless zero-byte landing WR, re-posted for every receive.
+        self._recv_wr = RecvWR(local=sge(self._scratch_mr, 0, 0))
         self.recv_cq = self.nic.create_cq(name=f"{executor.name}.w{worker_id}.recv")
         self.send_cq = self.nic.create_cq(name=f"{executor.name}.w{worker_id}.send")
         self.qp = self.nic.create_qp(pd, self.send_cq, self.recv_cq)
@@ -122,7 +124,7 @@ class Worker:
 
     def start(self) -> None:
         for _ in range(self.config.recv_ring_depth):
-            self.qp.post_recv(RecvWR(local=sge(self._scratch_mr, 0, 0)))
+            self.qp.post_recv(self._recv_wr)
         self.stats.last_activity_ns = self.env.now
         self._process = self.env.process(
             self._loop(), name=f"{self.executor.name}-worker{self.worker_id}"
@@ -257,14 +259,27 @@ class Worker:
         result_addr: int,
         result_rkey: int,
     ) -> None:
-        """One WRITE_WITH_IMM straight into the client's result buffer."""
+        """One WRITE_WITH_IMM straight into the client's result buffer.
+
+        The staging buffer rotates slots with the invocation id, exactly
+        like the input buffer: the response payload is captured by
+        reference (zero-copy), so with pipelining a later invocation's
+        output must not land on top of an in-flight response.  Outputs
+        too large for a slot fall back to offset 0 (a depth-1 layout).
+        """
+        depth = self.pipeline_depth
+        offset = 0
+        if depth > 1:
+            stride = self.output_mr.length // depth
+            if out_size <= stride:
+                offset = (invocation_id % depth) * stride
         if output is not None:
-            self.output_mr.write(0, output)
+            self.output_mr.write(offset, output)
         inline = out_size <= self.qp.max_inline_data
         self.qp.post_send(
             SendWR(
                 opcode=Opcode.RDMA_WRITE_WITH_IMM,
-                local=sge(self.output_mr, 0, out_size),
+                local=sge(self.output_mr, offset, out_size),
                 remote_addr=result_addr,
                 rkey=result_rkey,
                 imm_data=protocol.pack_response_imm(invocation_id, status),
@@ -274,7 +289,7 @@ class Worker:
         )
 
     def _repost(self) -> None:
-        self.qp.post_recv(RecvWR(local=sge(self._scratch_mr, 0, 0)))
+        self.qp.post_recv(self._recv_wr)
 
     @property
     def idle_ns(self) -> int:

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig8
     python -m repro.experiments fig13 --quick
     python -m repro.experiments all --quick
+    python -m repro.experiments bench --json BENCH_PR1.json --label pr1
 """
 
 from __future__ import annotations
@@ -24,7 +25,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', 'report', or 'list'",
+        help="experiment id (see 'list'), 'all', 'report', 'bench', or 'list'",
     )
     parser.add_argument(
         "--out",
@@ -37,7 +38,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         metavar="DIR",
-        help="also write each result as DIR/<experiment>.json",
+        help="also write each result as DIR/<experiment>.json "
+        "(for 'bench': the trajectory FILE to merge into)",
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="for 'bench': entry name in the trajectory file (e.g. pr1)",
     )
     args = parser.parse_args(argv)
 
@@ -45,6 +52,16 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(key) for key in EXPERIMENTS)
         for key, experiment in EXPERIMENTS.items():
             print(f"{key:<{width}}  {experiment.description}")
+        return 0
+
+    if args.experiment == "bench":
+        from repro.experiments.bench import run_bench, show, write_bench
+
+        results = run_bench(quick=args.quick)
+        show(results)
+        if args.json:
+            written = write_bench(args.json, results, label=args.label)
+            print(f"[wrote {written}]")
         return 0
 
     if args.experiment == "report":

@@ -1,0 +1,167 @@
+"""Wall-clock benchmarks of the simulator's own three hot loops.
+
+This is the bench *trajectory*: each PR that touches a hot path appends
+its numbers to a committed JSON (``BENCH_PR1.json`` seeded the file), so
+regressions in the simulator's wall-clock cost are visible in review,
+not just in pytest-benchmark runs that nobody diffs.
+
+The three loops mirror ``benchmarks/test_simulator_performance.py``
+exactly -- the DES kernel, the verbs data path, and a full rFaaS
+invocation -- plus the opt-in :mod:`repro.perf` counters (allocations
+avoided, bytes copied vs. referenced) that wall-clock numbers alone
+cannot show.
+
+Usage::
+
+    python -m repro.experiments bench --json BENCH_PR1.json --label pr1
+
+Merging semantics: ``--json`` loads the file if it exists and replaces
+only the ``--label`` entry, so a baseline recorded by an older checkout
+survives re-runs on the optimized one.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro import perf
+
+
+def _timed(fn: Callable[[], Any], repeats: int) -> tuple[list[float], Any]:
+    """Run *fn* *repeats* times; return per-run wall seconds + last result."""
+    runs: list[float] = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        runs.append(time.perf_counter() - t0)
+    return runs, result
+
+
+def _stats(runs: list[float]) -> dict[str, Any]:
+    return {
+        "median_s": statistics.median(runs),
+        "min_s": min(runs),
+        "runs_s": runs,
+    }
+
+
+def bench_kernel(repeats: int) -> dict[str, Any]:
+    """Pure event-loop throughput: ping-pong timeouts (5000 events)."""
+    from repro.sim import Environment
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(5_000):
+                yield env.timeout(10)
+
+        env.process(ticker())
+        env.run()
+        return env
+
+    runs, env = _timed(run, repeats)
+    out = _stats(runs)
+    out["events_processed"] = env.events_processed
+    out["events_per_sec"] = round(env.events_processed / out["median_s"])
+    pool_hits = getattr(env, "timeout_pool_hits", 0)
+    out["timeout_pool_hits"] = pool_hits
+    if perf.enabled:
+        perf.counters.alloc_avoided += pool_hits
+    return out
+
+
+def bench_pingpong(repeats: int) -> dict[str, Any]:
+    """Full verbs data path: 100 WRITE_WITH_IMM ping-pongs of 64 B."""
+    from repro.rdma.microbench import ib_write_lat
+
+    runs, result = _timed(lambda: ib_write_lat(64, iterations=100), repeats)
+    out = _stats(runs)
+    out["iterations"] = len(result.rtts_ns)
+    out["median_rtt_ns"] = statistics.median(result.rtts_ns)
+    return out
+
+
+def bench_invocation(repeats: int) -> dict[str, Any]:
+    """End-to-end rFaaS invocations incl. control-plane setup (50 calls)."""
+    from repro.core.deployment import Deployment
+    from repro.workloads.noop import noop_package
+
+    def run():
+        dep = Deployment.build(executors=1, clients=1)
+        dep.settle()
+        invoker = dep.new_invoker()
+        package = noop_package()
+
+        def driver():
+            yield from invoker.allocate(package, workers=1)
+            in_buf = invoker.alloc_input(1024)
+            in_buf.write(bytes(1024))
+            out_buf = invoker.alloc_output(1024)
+            for _ in range(50):
+                future = invoker.submit("echo", in_buf, 1024, out_buf)
+                yield future.wait()
+            return 50
+
+        dep.run(driver())
+        return dep
+
+    runs, dep = _timed(run, repeats)
+    out = _stats(runs)
+    out["invocations"] = 50
+    out["events_processed"] = dep.env.events_processed
+    out["final_now_ns"] = dep.env.now
+    return out
+
+
+def run_bench(quick: bool = False) -> dict[str, Any]:
+    """Run all three hot-loop benchmarks; returns a JSON-ready dict."""
+    repeats = 3 if quick else 9
+    perf.reset()
+    perf.enable()
+    try:
+        results = {
+            "kernel_event_throughput": bench_kernel(repeats),
+            "rdma_pingpong": bench_pingpong(max(3, repeats - 2)),
+            "invocation": bench_invocation(max(3, repeats - 4)),
+        }
+    finally:
+        perf.disable()
+    results["perf_counters"] = perf.snapshot()
+    return results
+
+
+def write_bench(path: str, results: dict[str, Any], label: Optional[str] = None) -> str:
+    """Merge *results* under *label* into the bench-trajectory file."""
+    target = Path(path)
+    doc: dict[str, Any] = {"schema": "rfaas-repro-bench-v1", "entries": {}}
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text())
+            if isinstance(existing, dict) and "entries" in existing:
+                doc = existing
+        except (OSError, json.JSONDecodeError):
+            pass
+    doc["entries"][label or "run"] = results
+    target.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return str(target)
+
+
+def show(results: dict[str, Any]) -> None:
+    for name in ("kernel_event_throughput", "rdma_pingpong", "invocation"):
+        r = results[name]
+        line = f"{name:<28} median {r['median_s'] * 1e3:8.3f} ms  (min {r['min_s'] * 1e3:.3f})"
+        if "events_per_sec" in r:
+            line += f"  {r['events_per_sec']:,} events/s"
+        print(line)
+    counters = results.get("perf_counters", {})
+    if counters:
+        print(
+            "perf: alloc_avoided={alloc_avoided:,} bytes_copied={bytes_copied:,} "
+            "bytes_referenced={bytes_referenced:,}".format(**counters)
+        )

@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.events import Event
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkCompletion:
     """One CQE (``ibv_wc``)."""
 
@@ -104,7 +104,11 @@ class CompletionQueue:
         Latency: poll_detect_ns after the CQE lands.
         """
         while True:
-            yield self._arrival_event()
+            if not self._entries:
+                # Only allocate + schedule a wakeup event when the CQ is
+                # actually empty; same-tick batches of completions are
+                # drained in one poll with no event per CQE.
+                yield self._arrival_event()
             yield self.env.timeout(self.nic.model.poll_detect_ns)
             wcs = self.poll(max_entries)
             if wcs:
@@ -118,7 +122,8 @@ class CompletionQueue:
         Latency: blocking_notify_ns (interrupt + wakeup) after the CQE.
         """
         while True:
-            yield self._arrival_event()
+            if not self._entries:
+                yield self._arrival_event()
             yield self.env.timeout(self.nic.model.blocking_notify_ns)
             wcs = self.poll(max_entries)
             if wcs:

@@ -106,6 +106,28 @@ class Attachment:
         self.ingress = LinkQueue(env, model, f"{name}.ingress")
 
 
+class _Path:
+    """Resolved (src, dst) route: bound link queues + fixed delays.
+
+    Caching these per direction saves two dict lookups and a
+    propagation computation per message on the data path.
+    """
+
+    __slots__ = ("loopback", "egress", "ingress", "propagation_ns")
+
+    def __init__(
+        self,
+        loopback: bool,
+        egress: Optional[LinkQueue],
+        ingress: Optional[LinkQueue],
+        propagation_ns: int,
+    ) -> None:
+        self.loopback = loopback
+        self.egress = egress
+        self.ingress = ingress
+        self.propagation_ns = propagation_ns
+
+
 class Fabric:
     """A single-switch RDMA network connecting named hosts."""
 
@@ -120,6 +142,7 @@ class Fabric:
         self.faults = faults
         self._attachments: dict[str, Attachment] = {}
         self._nics: dict[str, "NIC"] = {}
+        self._paths: dict[tuple[str, str], _Path] = {}
 
     def attach(self, name: str) -> "NIC":
         """Create and attach a NIC named *name* (names are unique)."""
@@ -139,6 +162,24 @@ class Fabric:
     def names(self) -> list[str]:
         return sorted(self._nics)
 
+    def path(self, src: str, dst: str) -> _Path:
+        """The cached route from *src* to *dst* (resolved once per pair)."""
+        key = (src, dst)
+        path = self._paths.get(key)
+        if path is None:
+            if src == dst:
+                self._attachments[src]  # raise KeyError for unknown hosts
+                path = _Path(True, None, None, 0)
+            else:
+                path = _Path(
+                    False,
+                    self._attachments[src].egress,
+                    self._attachments[dst].ingress,
+                    self.model.propagation_ns(),
+                )
+            self._paths[key] = path
+        return path
+
     def transfer(self, src: str, dst: str, size: int, inline: bool):
         """Process generator: move *size* bytes from *src* to *dst*.
 
@@ -146,27 +187,33 @@ class Fabric:
         The caller layers NIC processing (tx/rx, DMA fetch) on top.
         Loopback (src == dst) skips the wire entirely.
         """
+        return self.transfer_path(self.path(src, dst), size)
+
+    def transfer_path(self, path: _Path, size: int):
+        """Like :meth:`transfer` but over a pre-resolved :class:`_Path`.
+
+        Data-path callers (one per work request) resolve the path once
+        per connection and reuse it here.  The fault-penalty draw stays
+        first so RNG consumption order matches the uncached code.
+        """
         env = self.env
         if self.faults is not None:
             penalty = self.faults.penalty_ns()
             if penalty:
                 # The requester sits out the retransmission timeout.
                 yield env.timeout(penalty)
-        if src == dst:
+        if path.loopback:
             # NIC-internal loopback: serialization only, no propagation.
             yield env.timeout(self.model.serialization_ns(size) // 2)
             return
 
-        egress = self._attachments[src].egress
-        ingress = self._attachments[dst].ingress
-
-        _, egress_done = egress.reserve(size)
+        _, egress_done = path.egress.reserve(size)
         # Cut-through: the head of the message reaches the destination
         # after propagation; the tail arrives when the slower of the two
         # links has clocked all bytes through.
-        head_arrival = egress_done - self.model.serialization_ns(size) + self.model.propagation_ns()
+        head_arrival = egress_done - self.model.serialization_ns(size) + path.propagation_ns
         if head_arrival > env.now:
             yield env.timeout(head_arrival - env.now)
-        _, ingress_done = ingress.reserve(size)
+        _, ingress_done = path.ingress.reserve(size)
         if ingress_done > env.now:
             yield env.timeout(ingress_done - env.now)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro import perf
 from repro.rdma.constants import Access
 from repro.rdma.errors import MemoryRegistrationError, OutOfMemory
 
@@ -73,7 +74,15 @@ class MemoryBlock:
             )
         offset = addr - self.base
         if self.data is not None:
+            if type(payload) is memoryview and payload.obj is self.data:
+                # Self-copy within one block (e.g. loopback RDMA between
+                # two windows of the same allocation): slice assignment
+                # over overlapping ranges of the same bytearray is not
+                # well-defined, so materialize the source first.
+                payload = bytes(payload)
             self.data[offset : offset + length] = payload
+            if perf.enabled:
+                perf.counters.bytes_copied += length
         elif self.shadow is not None and offset < len(self.shadow):
             keep = min(length, len(self.shadow) - offset)
             self.shadow[offset : offset + keep] = bytes(payload[:keep])
@@ -95,6 +104,26 @@ class MemoryBlock:
                 out[:keep] = self.shadow[offset : offset + keep]
             return bytes(out)
         return bytes(self.data[offset : offset + length])
+
+    def view(self, addr: int, length: int) -> memoryview:
+        """Zero-copy read-only view of *length* bytes at *addr*.
+
+        Only valid for real blocks (virtual blocks have no bytes to
+        reference; callers fall back to :meth:`read` / shadow capture).
+        The view aliases live memory: it observes later writes, which is
+        exactly the verbs contract -- a posted buffer must stay stable
+        until the send completes.
+        """
+        if self.data is None:
+            raise MemoryRegistrationError("cannot take a view of a virtual block")
+        if not self.contains(addr, length):
+            raise MemoryRegistrationError(
+                f"view [{addr}, {addr + length}) outside block [{self.base}, {self.end})"
+            )
+        offset = addr - self.base
+        if perf.enabled:
+            perf.counters.bytes_referenced += length
+        return memoryview(self.data)[offset : offset + length].toreadonly()
 
     def read_u64(self, addr: int) -> int:
         return int.from_bytes(self.read(addr, 8), "little")
@@ -198,6 +227,10 @@ class MemoryRegion:
     def read(self, offset: int, length: int) -> bytes:
         """Local read at *offset* within the region."""
         return self.block.read(self.addr + offset, length)
+
+    def view(self, offset: int, length: int) -> memoryview:
+        """Zero-copy read-only view at *offset* (real blocks only)."""
+        return self.block.view(self.addr + offset, length)
 
     def deregister(self) -> None:
         self._revoked = True

@@ -11,27 +11,30 @@ the error state exactly as hardware would.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.rdma.constants import ATOMIC_SIZE, Access, Opcode, QPState, WCOpcode, WCStatus
 from repro.rdma.completion import CompletionQueue, WorkCompletion
 from repro.rdma.errors import QPStateError, RdmaError
+from repro.rdma.memory import SHADOW_BYTES
 from repro.rdma.verbs import RecvWR, SendWR
 from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rdma.device import NIC
+    from repro.rdma.fabric import _Path
     from repro.rdma.memory import ProtectionDomain
 
 
-@dataclass
+@dataclass(slots=True)
 class _WireOp:
     """What actually crosses the fabric for one work request."""
 
     wr: SendWR
     src_qp: "QueuePair"
-    #: Payload bytes, or None when the source buffer is virtual.
-    payload: Optional[bytes]
+    #: Payload bytes -- a zero-copy memoryview over the (stable, per the
+    #: verbs contract) source buffer -- or None when the source is virtual.
+    payload: Optional[Union[bytes, memoryview]]
     nbytes: int
     inline: bool
     #: Shadow prefix of a virtual source (control headers survive).
@@ -77,6 +80,10 @@ class QueuePair:
         self.rnr_retry = rnr_retry
         self.max_send_wr = max_send_wr
         self.remote: Optional["QueuePair"] = None
+        #: Cached fabric routes, resolved per connected peer.
+        self._cached_remote: Optional["QueuePair"] = None
+        self._path_fwd: Optional["_Path"] = None
+        self._path_rev: Optional["_Path"] = None
         self._recv_queue: list[RecvWR] = []
         self._send_fifo = Store(self.env)
         self._send_loop_proc = self.env.process(self._send_loop(), name=f"qp{qpn}-send")
@@ -184,10 +191,12 @@ class QueuePair:
                 nbytes = ATOMIC_SIZE
             elif wr.opcode is not Opcode.RDMA_READ and wr.local is not None and nbytes > 0:
                 if not wr.local.mr.block.is_virtual:
-                    payload = wr.local.mr.read(wr.local.offset, nbytes)
+                    # Zero-copy: reference the source buffer instead of
+                    # materializing it.  The verbs contract (the buffer
+                    # is stable until the send completes) makes this
+                    # equivalent to the DMA-fetch-time copy it replaces.
+                    payload = wr.local.mr.view(wr.local.offset, nbytes)
                 else:
-                    from repro.rdma.memory import SHADOW_BYTES
-
                     prefix = wr.local.mr.read(wr.local.offset, min(nbytes, SHADOW_BYTES))
 
             op = _WireOp(
@@ -205,8 +214,16 @@ class QueuePair:
             self._complete_send(op.wr, WCStatus.WR_FLUSH_ERR)
             return
 
+        if remote is not self._cached_remote:
+            # Resolve both directions once per peer; reconnecting to a
+            # different QP (identity check) re-resolves.
+            fabric = self.nic.fabric
+            self._path_fwd = fabric.path(self.nic.name, remote.nic.name)
+            self._path_rev = fabric.path(remote.nic.name, self.nic.name)
+            self._cached_remote = remote
+
         wire_size = op.nbytes if op.wr.opcode is not Opcode.RDMA_READ else 0
-        yield from self.nic.fabric.transfer(self.nic.name, remote.nic.name, wire_size, op.inline)
+        yield from self.nic.fabric.transfer_path(self._path_fwd, wire_size)
         yield env.timeout(model.nic_rx_ns)
 
         if remote.state is not QPState.RTS:
@@ -221,7 +238,7 @@ class QueuePair:
         if op.wr.opcode.has_response_data:
             # READ/atomic response carries data back to the requester.
             resp_size = op.nbytes if op.wr.opcode is Opcode.RDMA_READ else ATOMIC_SIZE
-            yield from self.nic.fabric.transfer(remote.nic.name, self.nic.name, resp_size, False)
+            yield from self.nic.fabric.transfer_path(self._path_rev, resp_size)
             yield env.timeout(model.nic_rx_ns)
             self._complete_send(op.wr, WCStatus.SUCCESS)
         else:
@@ -293,8 +310,10 @@ class QueuePair:
             mr = remote.nic.lookup_rkey(wr.rkey)
             assert mr is not None  # validated above
             if not mr.block.is_virtual and wr.local is not None and not wr.local.mr.block.is_virtual:
-                data = mr.block.read(wr.remote_addr, op.nbytes)
-                wr.local.mr.write(wr.local.offset, data)
+                # Zero-copy: the write happens at the same instant the
+                # view is taken, so aliasing is safe (and a same-block
+                # overlap is handled inside MemoryBlock.write).
+                wr.local.mr.write(wr.local.offset, mr.block.view(wr.remote_addr, op.nbytes))
             return WCStatus.SUCCESS
 
         if wr.opcode.is_atomic:

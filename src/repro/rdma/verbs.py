@@ -23,9 +23,13 @@ def next_wr_id() -> int:
     return next(_wr_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class sge:
-    """Scatter-gather element over a local MR."""
+    """Scatter-gather element over a local MR.
+
+    Mutable so pooled work requests can be retargeted in place on the
+    invocation fast path (identity hash/eq, like ``ibv_sge`` structs).
+    """
 
     mr: MemoryRegion
     offset: int = 0
@@ -50,7 +54,7 @@ class sge:
             raise RdmaError("sge references a deregistered MR")
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class SendWR:
     """A send-queue work request (``ibv_send_wr``)."""
 
@@ -95,7 +99,7 @@ class SendWR:
                 )
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class RecvWR:
     """A receive-queue work request (``ibv_recv_wr``)."""
 

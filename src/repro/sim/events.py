@@ -31,6 +31,8 @@ class Event:
     failure exception thrown into it).
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         #: Callables invoked with the event once it is processed.  Set to
@@ -121,7 +123,15 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers *delay* nanoseconds after creation."""
+    """An event that triggers *delay* nanoseconds after creation.
+
+    Timeouts dominate event volume, so :meth:`Environment.timeout`
+    recycles processed instances through a free list instead of
+    constructing a new one per call whenever that is provably safe
+    (no outstanding references).
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: int, value: Any = None) -> None:
         if delay < 0:
@@ -130,7 +140,7 @@ class Timeout(Event):
         self._delay = int(delay)
         self._ok = True
         self._value = value
-        env.schedule(self, delay=self._delay)
+        env.schedule_timeout(self, self._delay)
 
     @property
     def delay(self) -> int:
@@ -147,6 +157,8 @@ class ConditionValue:
     access keyed by the original events and ``.values()`` in trigger
     order, which is what most call sites use.
     """
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: list[Event] = []
@@ -188,6 +200,8 @@ class Condition(Event):
     *evaluate* decides, given (events, number_processed), whether the
     condition holds.  Failure of any sub-event fails the condition.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -239,12 +253,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once *all* sub-events have triggered successfully."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, lambda evts, count: count >= len(evts), events)
 
 
 class AnyOf(Condition):
     """Triggers once *any* sub-event has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         events = list(events)

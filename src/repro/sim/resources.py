@@ -20,6 +20,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class _ResourceEvent(Event):
     """Base for put/get events; supports ``with`` for auto-cancel."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "_BaseResource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -79,6 +81,8 @@ class _BaseResource:
 
 class Request(_ResourceEvent):
     """A claim on one slot of a :class:`Resource`."""
+
+    __slots__ = ()
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource)
@@ -144,6 +148,8 @@ class Resource(_BaseResource):
 
 
 class StorePut(_ResourceEvent):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store)
         self.item = item
@@ -156,6 +162,8 @@ class StorePut(_ResourceEvent):
 
 
 class StoreGet(_ResourceEvent):
+    __slots__ = ()
+
     def __init__(self, store: "Store") -> None:
         super().__init__(store)
         store._get_waiters.append(self)
@@ -199,6 +207,8 @@ class Store(_BaseResource):
 
 
 class FilterStoreGet(StoreGet):
+    __slots__ = ("predicate",)
+
     def __init__(self, store: "FilterStore", predicate: Callable[[Any], bool]) -> None:
         self.predicate = predicate
         super().__init__(store)
@@ -226,6 +236,8 @@ class FilterStore(Store):
 
 
 class ContainerPut(_ResourceEvent):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: int) -> None:
         if amount <= 0:
             raise ValueError("amount must be positive")
@@ -240,6 +252,8 @@ class ContainerPut(_ResourceEvent):
 
 
 class ContainerGet(_ResourceEvent):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: int) -> None:
         if amount <= 0:
             raise ValueError("amount must be positive")

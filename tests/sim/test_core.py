@@ -256,6 +256,17 @@ def test_stop_simulation_is_exception():
 
 def test_peek():
     env = Environment()
-    assert env.peek() == -1
+    assert env.peek() is None
     env.timeout(99)
     assert env.peek() == 99
+
+
+def test_peek_empty_queue_returns_none_not_sentinel():
+    """Regression: peek() used to return the magic -1 for an empty
+    queue, which is indistinguishable from a (bogus) scheduled time."""
+    env = Environment()
+    assert env.peek() is None
+    env.timeout(0)
+    assert env.peek() == 0  # a real time-zero event, not "empty"
+    env.run()
+    assert env.peek() is None
