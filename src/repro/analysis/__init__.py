@@ -15,9 +15,10 @@ from repro.analysis.stats import (
 )
 from repro.analysis.plotting import bar_chart, cdf_points, sparkline
 from repro.analysis.reporting import Table, format_ns, format_bytes
-from repro.analysis.sweep import Sweep, SweepPoint
+from repro.analysis.sweep import ParallelSweep, Sweep, SweepPoint
 
 __all__ = [
+    "ParallelSweep",
     "SummaryStats",
     "Sweep",
     "SweepPoint",

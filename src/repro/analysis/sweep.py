@@ -3,23 +3,52 @@
 Each benchmark is a sweep over one axis (payload size, worker count,
 rank count, ...); this helper keeps the iteration and bookkeeping
 uniform across all of them.
+
+Sweeps can fan out across CPU cores (``parallel`` field, or the
+:class:`ParallelSweep` mode) via :mod:`repro.parallel`: grid points are
+shipped to worker processes as picklable :class:`~repro.parallel.RunSpec`
+objects and reassembled in grid order, bit-identical to serial
+execution.  Set ``seed_arg`` to give every point an explicit seed split
+off ``root_seed`` with :func:`repro.sim.rng.derive_seed`; the seed
+depends only on the point's parameters, never on execution order.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.rng import derive_seed
+
+DEFAULT_ROOT_SEED = 0xC0FFEE
 
 
 @dataclass
 class SweepPoint:
-    """One grid point: the parameter values and whatever the run returned."""
+    """One grid point: the parameter values and whatever the run returned.
+
+    ``index`` is the point's position in row-major axis order -- the
+    explicit ordering key the parallel engine reassembles results by.
+    """
 
     params: dict[str, Any]
     result: Any
+    index: int = -1
 
     def __getitem__(self, key: str) -> Any:
         return self.params[key]
+
+    @property
+    def failed(self) -> bool:
+        from repro.parallel.runspec import FailedPoint
+
+        return isinstance(self.result, FailedPoint)
+
+
+def _point_key(params: dict[str, Any]) -> str:
+    """Stable identity of a grid point, independent of axis order."""
+    return "&".join(f"{name}={params[name]!r}" for name in sorted(params))
 
 
 @dataclass
@@ -28,26 +57,67 @@ class Sweep:
 
     fn: Callable[..., Any]
     points: list[SweepPoint] = field(default_factory=list)
+    #: Worker processes: 1 = serial (the default), 0 = one per CPU core.
+    parallel: int = 1
+    #: Per-chunk timeout when running in worker processes.
+    timeout_s: Optional[float] = None
+    #: Grid points shipped per worker round trip.
+    chunksize: int = 1
+    #: When set, each point receives ``{seed_arg: derive_seed(root_seed, key)}``.
+    seed_arg: Optional[str] = None
+    root_seed: int = DEFAULT_ROOT_SEED
+
+    def grid(self, **axes: Iterable[Any]) -> list[dict[str, Any]]:
+        """Row-major cartesian product over *axes*."""
+        names = list(axes)
+        values = [list(axis) for axis in axes.values()]
+        return [dict(zip(names, combo)) for combo in itertools.product(*values)]
+
+    def _call_kwargs(self, params: dict[str, Any]) -> dict[str, Any]:
+        kwargs = dict(params)
+        if self.seed_arg is not None:
+            kwargs[self.seed_arg] = derive_seed(self.root_seed, _point_key(params))
+        return kwargs
 
     def run(self, **axes: Iterable[Any]) -> "Sweep":
         """Cartesian product over *axes* (single values allowed as lists)."""
-        names = list(axes)
-        grids: list[list[Any]] = [list(values) for values in axes.values()]
-
-        def recurse(index: int, chosen: dict[str, Any]) -> None:
-            if index == len(names):
-                self.points.append(SweepPoint(dict(chosen), self.fn(**chosen)))
-                return
-            for value in grids[index]:
-                chosen[names[index]] = value
-                recurse(index + 1, chosen)
-            chosen.pop(names[index], None)
-
-        recurse(0, {})
+        combos = self.grid(**axes)
+        base = len(self.points)
+        outcomes = self._execute(combos)
+        for offset, (params, outcome) in enumerate(zip(combos, outcomes)):
+            self.points.append(SweepPoint(dict(params), outcome, index=base + offset))
         return self
+
+    def _execute(self, combos: list[dict[str, Any]]) -> list[Any]:
+        workers = self.parallel if self.parallel > 0 else None  # None = auto
+        if workers == 1 or not combos:
+            return [self.fn(**self._call_kwargs(params)) for params in combos]
+
+        from repro.parallel import run_specs, spec_for_callable
+
+        try:
+            specs = [
+                spec_for_callable(
+                    self.fn,
+                    self._call_kwargs(params),
+                    index=index,
+                    label=_point_key(params),
+                )
+                for index, params in enumerate(combos)
+            ]
+        except ValueError:
+            # fn is a lambda/closure: not shippable, run in-process.
+            return [self.fn(**self._call_kwargs(params)) for params in combos]
+        return run_specs(
+            specs, workers, timeout_s=self.timeout_s, chunksize=self.chunksize
+        )
 
     def column(self, extract: Callable[[SweepPoint], Any]) -> list[Any]:
         return [extract(point) for point in self.points]
+
+    def failures(self) -> list[SweepPoint]:
+        """Points whose run failed (parallel/engine modes only)."""
+        return [point for point in self.points if point.failed]
 
     def where(self, **filters: Any) -> list[SweepPoint]:
         return [
@@ -55,3 +125,10 @@ class Sweep:
             for point in self.points
             if all(point.params.get(key) == value for key, value in filters.items())
         ]
+
+
+@dataclass
+class ParallelSweep(Sweep):
+    """A :class:`Sweep` that defaults to one worker per CPU core."""
+
+    parallel: int = 0

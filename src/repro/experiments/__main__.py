@@ -6,7 +6,18 @@ Usage::
     python -m repro.experiments fig8
     python -m repro.experiments fig13 --quick
     python -m repro.experiments all --quick
+    python -m repro.experiments all --quick --parallel 4
     python -m repro.experiments bench --json BENCH_PR1.json --label pr1
+    python -m repro.experiments bench --quick --parallel 2
+
+``--parallel N`` fans independent work out across N worker processes
+via :mod:`repro.parallel` (``0`` = one per CPU core, ``1`` = serial):
+for ``all`` each experiment runs in its own worker; for ``bench`` the
+repetitions of each hot-loop benchmark run concurrently (each run is
+wall-clock-timed inside its own process, so medians stay comparable)
+and a multi-experiment batch is timed serial-vs-parallel.  Simulated
+results are bit-identical to serial runs; a crashed or raising
+experiment is reported and the rest of the batch completes.
 """
 
 from __future__ import annotations
@@ -15,7 +26,21 @@ import argparse
 import sys
 import time
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.analysis.reporting import Table
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment_timed
+from repro.parallel import FailedPoint, RunSpec, run_specs
+
+
+def _batch_specs(targets: list[str], quick: bool) -> list[RunSpec]:
+    return [
+        RunSpec(
+            factory="repro.experiments.registry:run_experiment_timed",
+            kwargs={"experiment_id": target, "quick": quick},
+            index=index,
+            label=target,
+        )
+        for index, target in enumerate(targets)
+    ]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,6 +61,14 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true", help="CI-sized sweeps instead of paper scale"
     )
     parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent runs "
+        "(0 = one per CPU core, 1 = serial; default 1)",
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         help="also write each result as DIR/<experiment>.json "
@@ -50,14 +83,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "list":
         width = max(len(key) for key in EXPERIMENTS)
-        for key, experiment in EXPERIMENTS.items():
-            print(f"{key:<{width}}  {experiment.description}")
+        for key in experiment_ids():
+            print(f"{key:<{width}}  {EXPERIMENTS[key].description}")
         return 0
 
     if args.experiment == "bench":
         from repro.experiments.bench import run_bench, show, write_bench
 
-        results = run_bench(quick=args.quick)
+        results = run_bench(quick=args.quick, parallel=args.parallel)
         show(results)
         if args.json:
             written = write_bench(args.json, results, label=args.label)
@@ -71,23 +104,48 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {path}")
         return 0
 
-    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    batch = args.experiment == "all"
+    targets = experiment_ids() if batch else [args.experiment]
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("use 'list' to see the available ids", file=sys.stderr)
         return 2
 
-    for target in targets:
-        started = time.perf_counter()
-        result = run_experiment(target, quick=args.quick)
-        result.table().show()
+    batch_started = time.perf_counter()
+    outcomes = run_specs(_batch_specs(targets, args.quick), args.parallel)
+    batch_wall = time.perf_counter() - batch_started
+
+    failures: list[FailedPoint] = []
+    timings: list[tuple[str, float]] = []
+    for target, outcome in zip(targets, outcomes):
+        if isinstance(outcome, FailedPoint):
+            failures.append(outcome)
+            print(f"[{outcome.summary()}]", file=sys.stderr)
+            if outcome.traceback:
+                print(outcome.traceback, file=sys.stderr)
+            continue
+        outcome.result.table().show()
+        timings.append((target, outcome.wall_s))
         if args.json:
             from repro.experiments.io import save_result
 
-            written = save_result(result, f"{args.json}/{target}.json", target)
+            written = save_result(outcome.result, f"{args.json}/{target}.json", target)
             print(f"[wrote {written}]")
-        print(f"[{target}: {time.perf_counter() - started:.1f}s wall]")
+        print(f"[{target}: {outcome.wall_s:.1f}s wall]")
+
+    if batch:
+        summary = Table("Wall-clock per experiment", ["experiment", "wall"])
+        for target, wall_s in timings:
+            summary.add_row(target, f"{wall_s:.1f}s")
+        for failure in failures:
+            summary.add_row(failure.label, f"FAILED ({failure.error_type})")
+        summary.add_row("total (sum)", f"{sum(w for _, w in timings):.1f}s")
+        summary.add_row(f"batch (parallel={args.parallel})", f"{batch_wall:.1f}s")
+        summary.show()
+    if failures:
+        print(f"{len(failures)} experiment(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -14,6 +14,15 @@ cannot show.
 Usage::
 
     python -m repro.experiments bench --json BENCH_PR1.json --label pr1
+    python -m repro.experiments bench --quick --parallel 4
+
+``--parallel N`` runs the repetitions of each loop concurrently via
+:mod:`repro.parallel`.  Every repetition times *itself* inside its own
+process, so the per-run wall-clock numbers (and their medians) remain
+comparable with serial entries; only the batch finishes sooner.  It
+also times a multi-experiment quick batch serial-vs-parallel
+(``parallel_batch``) -- the headline fan-out speedup for
+``python -m repro.experiments all``.
 
 Merging semantics: ``--json`` loads the file if it exists and replaces
 only the ``--label`` entry, so a baseline recorded by an older checkout
@@ -26,20 +35,104 @@ import json
 import statistics
 import time
 from pathlib import Path
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from repro import perf
+from repro.parallel import FailedPoint, RunSpec, available_workers, run_specs
+
+#: The multi-experiment batch timed serial-vs-parallel (quick kwargs).
+#: Deliberately the *heavier* quick experiments, so worker startup and
+#: result pickling are amortized and the speedup reflects the engine.
+BATCH_EXPERIMENTS = (
+    "fig10",
+    "fig11",
+    "fig13",
+    "suite",
+    "fig8",
+    "concurrency",
+    "multitenant",
+    "billing",
+)
 
 
-def _timed(fn: Callable[[], Any], repeats: int) -> tuple[list[float], Any]:
-    """Run *fn* *repeats* times; return per-run wall seconds + last result."""
-    runs: list[float] = []
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        runs.append(time.perf_counter() - t0)
-    return runs, result
+def _kernel_once() -> dict[str, Any]:
+    """One self-timed run of the pure event loop (5000 ping-pong timeouts)."""
+    from repro.sim import Environment
+
+    t0 = time.perf_counter()
+    env = Environment()
+
+    def ticker():
+        for _ in range(5_000):
+            yield env.timeout(10)
+
+    env.process(ticker())
+    env.run()
+    wall_s = time.perf_counter() - t0
+    pool_hits = getattr(env, "timeout_pool_hits", 0)
+    if perf.enabled:
+        perf.counters.alloc_avoided += pool_hits
+    return {
+        "wall_s": wall_s,
+        "events_processed": env.events_processed,
+        "timeout_pool_hits": pool_hits,
+    }
+
+
+def _pingpong_once() -> dict[str, Any]:
+    """One self-timed run of 100 WRITE_WITH_IMM ping-pongs of 64 B."""
+    from repro.rdma.microbench import ib_write_lat
+
+    t0 = time.perf_counter()
+    result = ib_write_lat(64, iterations=100)
+    return {
+        "wall_s": time.perf_counter() - t0,
+        "iterations": len(result.rtts_ns),
+        "median_rtt_ns": statistics.median(result.rtts_ns),
+    }
+
+
+def _invocation_once() -> dict[str, Any]:
+    """One self-timed end-to-end run: 50 rFaaS invocations incl. setup."""
+    from repro.core.deployment import Deployment
+    from repro.workloads.noop import noop_package
+
+    t0 = time.perf_counter()
+    dep = Deployment.build(executors=1, clients=1)
+    dep.settle()
+    invoker = dep.new_invoker()
+    package = noop_package()
+
+    def driver():
+        yield from invoker.allocate(package, workers=1)
+        in_buf = invoker.alloc_input(1024)
+        in_buf.write(bytes(1024))
+        out_buf = invoker.alloc_output(1024)
+        for _ in range(50):
+            future = invoker.submit("echo", in_buf, 1024, out_buf)
+            yield future.wait()
+        return 50
+
+    dep.run(driver())
+    return {
+        "wall_s": time.perf_counter() - t0,
+        "invocations": 50,
+        "events_processed": dep.env.events_processed,
+        "final_now_ns": dep.env.now,
+    }
+
+
+def _repeated(factory: str, repeats: int, parallel: int) -> list[dict[str, Any]]:
+    """Run a self-timed benchmark function *repeats* times, maybe fanned out."""
+    specs = [
+        RunSpec(factory=f"repro.experiments.bench:{factory}", index=i, label=f"{factory}[{i}]")
+        for i in range(repeats)
+    ]
+    outcomes = run_specs(specs, parallel)
+    failed = [o for o in outcomes if isinstance(o, FailedPoint)]
+    if failed:
+        raise RuntimeError(f"benchmark repetition failed: {failed[0].summary()}")
+    return outcomes
 
 
 def _stats(runs: list[float]) -> dict[str, Any]:
@@ -50,89 +143,88 @@ def _stats(runs: list[float]) -> dict[str, Any]:
     }
 
 
-def bench_kernel(repeats: int) -> dict[str, Any]:
+def bench_kernel(repeats: int, parallel: int = 1) -> dict[str, Any]:
     """Pure event-loop throughput: ping-pong timeouts (5000 events)."""
-    from repro.sim import Environment
-
-    def run():
-        env = Environment()
-
-        def ticker():
-            for _ in range(5_000):
-                yield env.timeout(10)
-
-        env.process(ticker())
-        env.run()
-        return env
-
-    runs, env = _timed(run, repeats)
-    out = _stats(runs)
-    out["events_processed"] = env.events_processed
-    out["events_per_sec"] = round(env.events_processed / out["median_s"])
-    pool_hits = getattr(env, "timeout_pool_hits", 0)
-    out["timeout_pool_hits"] = pool_hits
-    if perf.enabled:
-        perf.counters.alloc_avoided += pool_hits
+    reps = _repeated("_kernel_once", repeats, parallel)
+    out = _stats([r["wall_s"] for r in reps])
+    out["events_processed"] = reps[-1]["events_processed"]
+    out["events_per_sec"] = round(out["events_processed"] / out["median_s"])
+    out["timeout_pool_hits"] = reps[-1]["timeout_pool_hits"]
     return out
 
 
-def bench_pingpong(repeats: int) -> dict[str, Any]:
+def bench_pingpong(repeats: int, parallel: int = 1) -> dict[str, Any]:
     """Full verbs data path: 100 WRITE_WITH_IMM ping-pongs of 64 B."""
-    from repro.rdma.microbench import ib_write_lat
-
-    runs, result = _timed(lambda: ib_write_lat(64, iterations=100), repeats)
-    out = _stats(runs)
-    out["iterations"] = len(result.rtts_ns)
-    out["median_rtt_ns"] = statistics.median(result.rtts_ns)
+    reps = _repeated("_pingpong_once", repeats, parallel)
+    out = _stats([r["wall_s"] for r in reps])
+    out["iterations"] = reps[-1]["iterations"]
+    out["median_rtt_ns"] = reps[-1]["median_rtt_ns"]
     return out
 
 
-def bench_invocation(repeats: int) -> dict[str, Any]:
+def bench_invocation(repeats: int, parallel: int = 1) -> dict[str, Any]:
     """End-to-end rFaaS invocations incl. control-plane setup (50 calls)."""
-    from repro.core.deployment import Deployment
-    from repro.workloads.noop import noop_package
-
-    def run():
-        dep = Deployment.build(executors=1, clients=1)
-        dep.settle()
-        invoker = dep.new_invoker()
-        package = noop_package()
-
-        def driver():
-            yield from invoker.allocate(package, workers=1)
-            in_buf = invoker.alloc_input(1024)
-            in_buf.write(bytes(1024))
-            out_buf = invoker.alloc_output(1024)
-            for _ in range(50):
-                future = invoker.submit("echo", in_buf, 1024, out_buf)
-                yield future.wait()
-            return 50
-
-        dep.run(driver())
-        return dep
-
-    runs, dep = _timed(run, repeats)
-    out = _stats(runs)
-    out["invocations"] = 50
-    out["events_processed"] = dep.env.events_processed
-    out["final_now_ns"] = dep.env.now
+    reps = _repeated("_invocation_once", repeats, parallel)
+    out = _stats([r["wall_s"] for r in reps])
+    out["invocations"] = reps[-1]["invocations"]
+    out["events_processed"] = reps[-1]["events_processed"]
+    out["final_now_ns"] = reps[-1]["final_now_ns"]
     return out
 
 
-def run_bench(quick: bool = False) -> dict[str, Any]:
+def bench_parallel_batch(parallel: int) -> dict[str, Any]:
+    """Time a quick multi-experiment batch serially, then fanned out.
+
+    This is the number the parallel engine exists for: the same
+    independent experiment runs, serial vs. ``parallel`` workers.
+    """
+    specs = [
+        RunSpec(
+            factory="repro.experiments.registry:run_experiment",
+            kwargs={"experiment_id": experiment_id, "quick": True},
+            index=index,
+            label=experiment_id,
+        )
+        for index, experiment_id in enumerate(BATCH_EXPERIMENTS)
+    ]
+
+    def timed(workers: int) -> float:
+        t0 = time.perf_counter()
+        outcomes = run_specs(specs, workers)
+        wall = time.perf_counter() - t0
+        failed = [o for o in outcomes if isinstance(o, FailedPoint)]
+        if failed:
+            raise RuntimeError(f"batch experiment failed: {failed[0].summary()}")
+        return wall
+
+    serial_s = timed(1)
+    parallel_s = timed(parallel)
+    return {
+        "experiments": list(BATCH_EXPERIMENTS),
+        "workers": parallel,
+        "cpus_available": available_workers(),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else 0.0,
+    }
+
+
+def run_bench(quick: bool = False, parallel: int = 1) -> dict[str, Any]:
     """Run all three hot-loop benchmarks; returns a JSON-ready dict."""
     repeats = 3 if quick else 9
     perf.reset()
     perf.enable()
     try:
         results = {
-            "kernel_event_throughput": bench_kernel(repeats),
-            "rdma_pingpong": bench_pingpong(max(3, repeats - 2)),
-            "invocation": bench_invocation(max(3, repeats - 4)),
+            "kernel_event_throughput": bench_kernel(repeats, parallel),
+            "rdma_pingpong": bench_pingpong(max(3, repeats - 2), parallel),
+            "invocation": bench_invocation(max(3, repeats - 4), parallel),
         }
     finally:
         perf.disable()
     results["perf_counters"] = perf.snapshot()
+    if parallel != 1:
+        results["parallel_batch"] = bench_parallel_batch(parallel)
     return results
 
 
@@ -164,4 +256,12 @@ def show(results: dict[str, Any]) -> None:
         print(
             "perf: alloc_avoided={alloc_avoided:,} bytes_copied={bytes_copied:,} "
             "bytes_referenced={bytes_referenced:,}".format(**counters)
+        )
+    batch = results.get("parallel_batch")
+    if batch:
+        print(
+            "parallel_batch: {n} experiments  serial {serial_s:.1f}s -> "
+            "{workers} workers {parallel_s:.1f}s  ({speedup:.2f}x, {cpus_available} cpus)".format(
+                n=len(batch["experiments"]), **batch
+            )
         )

@@ -6,6 +6,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -122,9 +123,39 @@ EXPERIMENTS: dict[str, Experiment] = {
 }
 
 
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(EXPERIMENTS)
+
+
 def run_experiment(experiment_id: str, quick: bool = False, **overrides: Any):
     """Run one experiment by id; ``quick=True`` uses CI-sized sweeps."""
     experiment = EXPERIMENTS[experiment_id]
     kwargs = dict(experiment.quick_kwargs) if quick else {}
     kwargs.update(overrides)
     return experiment.run(**kwargs)
+
+
+@dataclass
+class TimedRun:
+    """An experiment's result plus the wall-clock seconds it took.
+
+    Timing happens *inside* the process that ran the experiment, so the
+    per-experiment numbers stay comparable whether the batch executed
+    serially or fanned out across workers.
+    """
+
+    experiment_id: str
+    wall_s: float
+    result: Any
+
+
+def run_experiment_timed(experiment_id: str, quick: bool = False, **overrides: Any) -> TimedRun:
+    """Like :func:`run_experiment`, wrapped with a wall-clock measurement.
+
+    Module-level on purpose: this is the picklable factory that
+    ``python -m repro.experiments all --parallel N`` ships to workers.
+    """
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, quick=quick, **overrides)
+    return TimedRun(experiment_id, time.perf_counter() - started, result)

@@ -1,0 +1,152 @@
+"""Process-pool execution engine for independent simulation runs.
+
+``run_specs`` fans a list of :class:`RunSpec` out across CPU cores and
+reassembles results **in input order**, regardless of completion order.
+Guarantees:
+
+* bit-identical to serial execution -- each worker runs one spec from a
+  fresh, explicitly seeded state, so no cross-run state can leak;
+* crash capture -- a spec that raises, returns an unpicklable value,
+  times out, or takes its worker down (segfault) yields a structured
+  :class:`FailedPoint` in its slot instead of hanging the suite;
+* automatic serial fallback -- ``max_workers <= 1``, a platform without
+  ``fork``, or an empty spec list runs everything inline with the same
+  failure-capture semantics;
+* :mod:`repro.perf` aggregation -- worker-side counters are snapshotted
+  and merged into the parent's counters when perf is enabled.
+
+Chunking batches several specs per IPC round trip (``chunksize``); the
+per-task timeout then applies to each chunk as submitted.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Optional, Sequence
+
+from repro import perf
+from repro.parallel.runspec import FailedPoint, RunSpec, failure_from_exception
+
+
+def available_workers() -> int:
+    """CPU cores this process may use (affinity-aware, never < 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def fork_available() -> bool:
+    """Whether the platform supports fork-start workers (Linux/macOS)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_one(spec: RunSpec) -> Any:
+    """Run one spec in the current process, capturing failure as data."""
+    try:
+        return spec.call()
+    except Exception as exc:
+        return failure_from_exception(spec, exc)
+
+
+def _worker_chunk(payload: tuple[list[RunSpec], bool]) -> list[tuple[Any, Optional[dict]]]:
+    """Worker entry point: run a chunk of specs, snapshot perf per spec."""
+    specs, with_perf = payload
+    out: list[tuple[Any, Optional[dict]]] = []
+    for spec in specs:
+        snapshot: Optional[dict] = None
+        if with_perf:
+            perf.reset()
+            perf.enable()
+        try:
+            outcome = _run_one(spec)
+        finally:
+            if with_perf:
+                snapshot = perf.snapshot()
+                perf.disable()
+        out.append((outcome, snapshot))
+    return out
+
+
+def _chunked(specs: list[RunSpec], chunksize: int) -> list[list[RunSpec]]:
+    size = max(1, int(chunksize))
+    return [specs[i : i + size] for i in range(0, len(specs), size)]
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    max_workers: Optional[int] = None,
+    *,
+    timeout_s: Optional[float] = None,
+    chunksize: int = 1,
+) -> list[Any]:
+    """Execute *specs*, returning one outcome per spec, in input order.
+
+    Each outcome is either the factory's return value or a
+    :class:`FailedPoint`.  ``max_workers=None`` or ``0`` uses one worker
+    per available core; ``<= 1`` runs serially in-process (where
+    ``timeout_s`` cannot be enforced and is ignored).
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    if max_workers is None or max_workers <= 0:
+        max_workers = available_workers()
+    if max_workers <= 1 or not fork_available():
+        return [_run_one(spec) for spec in specs]
+
+    with_perf = perf.enabled
+    chunks = _chunked(specs, chunksize)
+    results: list[Any] = [None] * len(specs)
+    context = multiprocessing.get_context("fork")
+    pool = ProcessPoolExecutor(
+        max_workers=min(max_workers, len(chunks)), mp_context=context
+    )
+    try:
+        futures = [pool.submit(_worker_chunk, (chunk, with_perf)) for chunk in chunks]
+        position = 0
+        broken = False
+        for future, chunk in zip(futures, chunks):
+            try:
+                if broken:
+                    raise BrokenProcessPool("pool already broken by an earlier crash")
+                outcomes = future.result(timeout=timeout_s)
+            except FuturesTimeout:
+                future.cancel()
+                outcomes = [
+                    (
+                        FailedPoint(
+                            index=spec.index,
+                            label=spec.name,
+                            params=dict(spec.kwargs),
+                            error_type="TimeoutError",
+                            message=f"no result within {timeout_s}s",
+                        ),
+                        None,
+                    )
+                    for spec in chunk
+                ]
+            except BrokenProcessPool as exc:
+                # A worker died hard (segfault, OOM-kill): every not-yet-
+                # collected chunk fails structurally instead of hanging.
+                broken = True
+                outcomes = [
+                    (failure_from_exception(spec, exc, tb=""), None) for spec in chunk
+                ]
+            except Exception as exc:  # e.g. result failed to unpickle
+                outcomes = [
+                    (failure_from_exception(spec, exc, tb=""), None) for spec in chunk
+                ]
+            for outcome, snapshot in outcomes:
+                if snapshot is not None and perf.enabled:
+                    perf.merge(snapshot)
+                results[position] = outcome
+                position += 1
+    finally:
+        # Abandon stragglers (timeouts) rather than blocking on them.
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results

@@ -62,6 +62,19 @@ def reset() -> None:
     counters.reset()
 
 
+def merge(other: dict[str, Any]) -> None:
+    """Fold a worker-process snapshot into this process's counters.
+
+    The parallel engine runs instrumented code in worker processes whose
+    module-level counters the parent never sees; workers therefore ship
+    a :func:`snapshot` back with each result and the parent aggregates
+    here, so ``perf`` totals are execution-mode independent.
+    """
+    counters.bytes_copied += int(other.get("bytes_copied", 0))
+    counters.bytes_referenced += int(other.get("bytes_referenced", 0))
+    counters.alloc_avoided += int(other.get("alloc_avoided", 0))
+
+
 def snapshot() -> dict[str, Any]:
     """Current counter values as a plain dict (JSON-friendly)."""
     return {

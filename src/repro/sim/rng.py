@@ -13,6 +13,23 @@ import hashlib
 import numpy as np
 
 
+def derive_seed(root_seed: int, *path: str) -> int:
+    """Deterministically split *root_seed* along a name path.
+
+    Folds each path element with SHA-256, exactly as chained
+    :meth:`RngStreams.spawn` calls would, so
+    ``derive_seed(root, "a", "b") == RngStreams(root).spawn("a").spawn("b").root_seed``.
+    This is the seed-splitting contract the parallel engine relies on:
+    a worker that knows only ``(root_seed, path)`` reconstructs the same
+    streams the serial run would have used, in any process, in any order.
+    """
+    seed = int(root_seed)
+    for part in path:
+        digest = hashlib.sha256(f"{seed}/{part}".encode()).digest()
+        seed = int.from_bytes(digest[:8], "little")
+    return seed
+
+
 class RngStreams:
     """A family of independent, named ``numpy.random.Generator`` streams."""
 
@@ -35,5 +52,8 @@ class RngStreams:
 
     def spawn(self, name: str) -> "RngStreams":
         """A child family, independent of this one."""
-        digest = hashlib.sha256(f"{self.root_seed}/{name}".encode()).digest()
-        return RngStreams(int.from_bytes(digest[:8], "little"))
+        return RngStreams(derive_seed(self.root_seed, name))
+
+    def spawn_seed(self, name: str) -> int:
+        """The root seed :meth:`spawn` would give the child named *name*."""
+        return derive_seed(self.root_seed, name)

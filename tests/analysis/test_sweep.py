@@ -1,0 +1,86 @@
+"""Sweep grid semantics: product order, explicit indices, seeds, fan-out."""
+
+import pytest
+
+from repro.analysis import ParallelSweep, Sweep
+from repro.parallel import FailedPoint
+from repro.sim.rng import derive_seed
+from tests.parallel import factories
+
+
+def test_grid_is_row_major_product():
+    sweep = Sweep(fn=None)
+    grid = sweep.grid(x=[1, 2], y=["a", "b"], z=[9])
+    assert grid == [
+        {"x": 1, "y": "a", "z": 9},
+        {"x": 1, "y": "b", "z": 9},
+        {"x": 2, "y": "a", "z": 9},
+        {"x": 2, "y": "b", "z": 9},
+    ]
+
+
+def test_points_carry_explicit_grid_index():
+    sweep = Sweep(lambda x, y: x * 10 + y).run(x=[1, 2], y=[3, 4])
+    assert [p.index for p in sweep.points] == [0, 1, 2, 3]
+    assert [p.result for p in sweep.points] == [13, 14, 23, 24]
+    more = sweep.run(x=[5], y=[6])
+    assert [p.index for p in more.points] == [0, 1, 2, 3, 4]
+
+
+def test_deep_grid_no_recursion_limit():
+    """Many axes used to recurse once per axis; product iterates."""
+    axes = {f"a{i}": [0, 1] for i in range(12)}
+    sweep = Sweep(lambda **kw: sum(kw.values())).run(**axes)
+    assert len(sweep.points) == 2**12
+    assert sweep.points[0].result == 0
+    assert sweep.points[-1].result == 12
+
+
+def test_seed_arg_splits_root_seed_per_point():
+    sweep = Sweep(factories.combine, seed_arg="seed", root_seed=99)
+    sweep.run(x=[1, 2], y=[7])
+    seeds = [p.result[2] for p in sweep.points]
+    assert seeds[0] == derive_seed(99, "x=1&y=7")
+    assert seeds[1] == derive_seed(99, "x=2&y=7")
+    assert seeds[0] != seeds[1]
+
+
+def test_seed_depends_on_params_not_execution_order():
+    one = Sweep(factories.combine, seed_arg="seed").run(x=[1, 2], y=[7])
+    two = Sweep(factories.combine, seed_arg="seed").run(x=[2, 1], y=[7])
+    by_params_one = {p.params["x"]: p.result[2] for p in one.points}
+    by_params_two = {p.params["x"]: p.result[2] for p in two.points}
+    assert by_params_one == by_params_two
+
+
+def test_parallel_sweep_matches_serial_results():
+    serial = Sweep(factories.double).run(x=[3, 1, 4, 1, 5])
+    fanned = ParallelSweep(factories.double, parallel=2).run(x=[3, 1, 4, 1, 5])
+    assert [p.result for p in fanned.points] == [p.result for p in serial.points]
+    assert [p.params for p in fanned.points] == [p.params for p in serial.points]
+
+
+def test_parallel_sweep_captures_failures_and_continues():
+    sweep = ParallelSweep(factories.boom_for, parallel=2).run(x=[1, 2, 3], bad=[2])
+    assert [p.failed for p in sweep.points] == [False, True, False]
+    assert sweep.points[0].result == 10
+    assert sweep.points[2].result == 30
+    (failure,) = sweep.failures()
+    assert isinstance(failure.result, FailedPoint)
+    assert "bad point 2" in failure.result.message
+
+
+def test_parallel_sweep_with_lambda_falls_back_to_serial():
+    sweep = ParallelSweep(lambda x: x + 1, parallel=4).run(x=[1, 2])
+    assert [p.result for p in sweep.points] == [2, 3]
+
+
+def test_where_and_column_still_work():
+    sweep = Sweep(factories.double).run(x=[1, 2, 3])
+    assert sweep.column(lambda p: p.result) == [2, 4, 6]
+    assert [p.result for p in sweep.where(x=2)] == [4]
+
+
+def test_serial_sweep_propagates_exceptions():
+    with pytest.raises(ValueError):
+        Sweep(factories.boom).run(x=[1])

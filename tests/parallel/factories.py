@@ -1,0 +1,56 @@
+"""Module-level factories for the parallel-engine tests.
+
+Workers resolve factories by import path, so these must live in an
+importable module rather than inside a test function.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def double(x):
+    return x * 2
+
+
+def combine(x, y, seed=None):
+    return (x, y, seed)
+
+
+def boom(x):
+    raise ValueError(f"bad point {x}")
+
+
+def boom_for(x, bad):
+    if x == bad:
+        raise ValueError(f"bad point {x}")
+    return x * 10
+
+
+def sleepy(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def worker_pid():
+    return os.getpid()
+
+
+def count_pooled_timeouts():
+    """Run a tiny simulation that trips the perf counters."""
+    from repro import perf
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def ticker():
+        for _ in range(50):
+            yield env.timeout(10)
+
+    env.process(ticker())
+    env.run()
+    hits = getattr(env, "timeout_pool_hits", 0)
+    if perf.enabled:
+        perf.counters.alloc_avoided += hits
+    return hits
