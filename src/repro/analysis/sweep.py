@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterable, Optional
 
 from repro.sim.rng import derive_seed
@@ -66,6 +67,13 @@ class Sweep:
     #: When set, each point receives ``{seed_arg: derive_seed(root_seed, key)}``.
     seed_arg: Optional[str] = None
     root_seed: int = DEFAULT_ROOT_SEED
+    #: Result cache: a :class:`repro.cache.ResultCache` or a directory
+    #: path to open one at.  Enabling it makes re-running a sweep (or
+    #: resuming one after an interrupt) O(changed points): completed
+    #: points come back from disk, only new/invalidated points run.
+    #: Cached execution routes through the engine, so failures are
+    #: captured as :class:`~repro.parallel.FailedPoint` data.
+    cache: Any = None
 
     def grid(self, **axes: Iterable[Any]) -> list[dict[str, Any]]:
         """Row-major cartesian product over *axes*."""
@@ -88,9 +96,20 @@ class Sweep:
             self.points.append(SweepPoint(dict(params), outcome, index=base + offset))
         return self
 
+    def _resolved_cache(self) -> Any:
+        """The ResultCache to use (opening one from a path, once)."""
+        if self.cache is None:
+            return None
+        if isinstance(self.cache, (str, Path)):
+            from repro.cache import ResultCache
+
+            self.cache = ResultCache(self.cache)
+        return self.cache
+
     def _execute(self, combos: list[dict[str, Any]]) -> list[Any]:
         workers = self.parallel if self.parallel > 0 else None  # None = auto
-        if workers == 1 or not combos:
+        cache = self._resolved_cache()
+        if (workers == 1 and cache is None) or not combos:
             return [self.fn(**self._call_kwargs(params)) for params in combos]
 
         from repro.parallel import run_specs, spec_for_callable
@@ -106,10 +125,15 @@ class Sweep:
                 for index, params in enumerate(combos)
             ]
         except ValueError:
-            # fn is a lambda/closure: not shippable, run in-process.
+            # fn is a lambda/closure: not shippable (and not keyable by
+            # content), so run in-process without the cache.
             return [self.fn(**self._call_kwargs(params)) for params in combos]
         return run_specs(
-            specs, workers, timeout_s=self.timeout_s, chunksize=self.chunksize
+            specs,
+            workers,
+            timeout_s=self.timeout_s,
+            chunksize=self.chunksize,
+            cache=cache,
         )
 
     def column(self, extract: Callable[[SweepPoint], Any]) -> list[Any]:

@@ -1,0 +1,224 @@
+"""Content fingerprints: what makes two runs "the same run".
+
+A cached result is reusable only when re-running would provably produce
+the same bytes.  Two ingredients guarantee that for this codebase:
+
+* **spec identity** -- the factory import path, its effective kwargs
+  (seed already injected), canonically encoded so dict ordering and
+  equivalent literals cannot produce different keys; and
+* **code identity** -- a hash of the *transitive* ``repro.*`` module
+  sources the factory's module imports (statically, including imports
+  inside function bodies, which the fast paths use deliberately).
+  Editing any source file on that closure changes the fingerprint and
+  therefore invalidates exactly the entries that depend on it.
+
+Code fingerprints are computed once per (module, roots) pair and
+memoized for the life of the process: sources cannot change under a
+running evaluation, and a fresh CLI invocation recomputes from disk.
+
+The simulation itself is deterministic by construction (explicit seeds,
+no wall clock, no global RNG -- see docs/architecture.md), which is
+what makes (spec identity x code identity) a sufficient cache key.
+``experiments cache verify`` re-runs sampled entries to prove it.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib.util
+from typing import Any, Iterable, Optional
+
+#: Bump when the key derivation itself changes: old entries become
+#: unreachable (plain misses) instead of wrongly matching.
+KEY_SCHEMA = "rfaas-repro-cache-key-v1"
+
+#: Default package roots whose sources participate in the fingerprint.
+DEFAULT_ROOTS = ("repro",)
+
+#: Process-lifetime memo: (module, roots) -> hex digest.
+_code_fingerprints: dict[tuple[str, tuple[str, ...]], str] = {}
+
+
+class Uncacheable(TypeError):
+    """Raised when a spec cannot be given a canonical identity."""
+
+
+def clear_memo() -> None:
+    """Drop memoized code fingerprints (tests only; see module docs)."""
+    _code_fingerprints.clear()
+
+
+def _module_source(module_name: str) -> Optional[tuple[str, bytes]]:
+    """(origin path, source bytes) for *module_name*, or None.
+
+    Namespace packages, builtins, and extension modules have no Python
+    source to hash; they are stable per interpreter and excluded.
+    """
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except (ImportError, ValueError):
+        return None
+    if spec is None or spec.origin is None or not spec.origin.endswith(".py"):
+        return None
+    try:
+        with open(spec.origin, "rb") as handle:
+            return spec.origin, handle.read()
+    except OSError:
+        return None
+
+
+def _imported_modules(module_name: str, source: bytes) -> set[str]:
+    """Absolute module names statically imported anywhere in *source*."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return set()
+    package = module_name.rpartition(".")[0]
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: resolve against the package
+                base_parts = module_name.split(".")[: -node.level] or [package]
+                base = ".".join(part for part in base_parts if part)
+                target = f"{base}.{node.module}" if node.module else base
+            else:
+                target = node.module or ""
+            if target:
+                found.add(target)
+                # ``from pkg import name`` may name a submodule.
+                for alias in node.names:
+                    found.add(f"{target}.{alias.name}")
+    return found
+
+
+def _in_roots(module_name: str, roots: tuple[str, ...]) -> bool:
+    return any(
+        module_name == root or module_name.startswith(root + ".") for root in roots
+    )
+
+
+def source_closure(
+    module_name: str, roots: Iterable[str] = DEFAULT_ROOTS
+) -> dict[str, bytes]:
+    """The transitive source set hashed by :func:`code_fingerprint`.
+
+    Starts from *module_name* itself (hashed even when outside *roots*,
+    so a test factory's own edits invalidate its entries too) and
+    follows static imports into modules under *roots* -- and their
+    ancestor packages -- until the closure is complete.
+    """
+    roots = tuple(roots)
+    sources: dict[str, bytes] = {}
+    queue = [module_name]
+    seen: set[str] = set()
+    while queue:
+        current = queue.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        located = _module_source(current)
+        if located is None:
+            continue
+        _, source = located
+        sources[current] = source
+        for imported in _imported_modules(current, source):
+            if imported not in seen and _in_roots(imported, roots):
+                queue.append(imported)
+            # ``import repro.rdma.fabric`` also executes the ancestor
+            # packages; their __init__ sources are part of the closure.
+            parts = imported.split(".")
+            for depth in range(1, len(parts)):
+                ancestor = ".".join(parts[:depth])
+                if ancestor not in seen and _in_roots(ancestor, roots):
+                    queue.append(ancestor)
+    return sources
+
+
+def code_fingerprint(
+    module_name: str, roots: Iterable[str] = DEFAULT_ROOTS
+) -> str:
+    """Hex digest of the transitive source closure of *module_name*.
+
+    Deterministic: folds the :func:`source_closure` ``(name, source)``
+    pairs in sorted module-name order.  Memoized for the life of the
+    process (sources cannot change under a running evaluation).
+    """
+    roots = tuple(roots)
+    memo_key = (module_name, roots)
+    cached = _code_fingerprints.get(memo_key)
+    if cached is not None:
+        return cached
+
+    sources = source_closure(module_name, roots)
+    digest = hashlib.sha256()
+    digest.update(KEY_SCHEMA.encode())
+    for name in sorted(sources):
+        digest.update(b"\x00")
+        digest.update(name.encode())
+        digest.update(b"\x01")
+        digest.update(hashlib.sha256(sources[name]).digest())
+    fingerprint = digest.hexdigest()
+    _code_fingerprints[memo_key] = fingerprint
+    return fingerprint
+
+
+def canonical(value: Any) -> str:
+    """Deterministic text encoding of a kwargs value.
+
+    Collection types are tagged (a tuple is not a list), dict items are
+    sorted by their encoded key, and floats round-trip through ``repr``
+    (exact for IEEE doubles).  Values without a canonical form --
+    arbitrary objects, open handles -- raise :class:`Uncacheable`,
+    which callers treat as "run it, don't cache it".
+    """
+    if value is None or value is True or value is False:
+        return repr(value)
+    if isinstance(value, int) and not isinstance(value, bool):
+        return f"i{value}"
+    if isinstance(value, float):
+        return f"f{value!r}"
+    if isinstance(value, str):
+        return f"s{value!r}"
+    if isinstance(value, bytes):
+        return f"b{value.hex()}"
+    if isinstance(value, (list, tuple)):
+        tag = "l" if isinstance(value, list) else "t"
+        return f"{tag}[" + ",".join(canonical(item) for item in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "S{" + ",".join(sorted(canonical(item) for item in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical(key), canonical(item)) for key, item in value.items()
+        )
+        return "d{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    raise Uncacheable(f"no canonical form for {type(value).__name__}: {value!r}")
+
+
+def spec_key(spec: Any, roots: Iterable[str] = DEFAULT_ROOTS) -> str:
+    """Content-addressed cache key for a :class:`repro.parallel.RunSpec`.
+
+    Combines the factory path, its *effective* kwargs (explicit seed
+    already injected under ``seed_arg``), and the code fingerprint of
+    the factory's module closure.  ``index`` and ``label`` are
+    presentation metadata and deliberately excluded.  Raises
+    :class:`Uncacheable` for kwargs without a canonical form.
+    """
+    module_name, _, qualname = spec.factory.partition(":")
+    if not module_name or not qualname:
+        raise Uncacheable(f"factory must be 'module:qualname', got {spec.factory!r}")
+    effective = dict(spec.kwargs)
+    if spec.seed_arg is not None and spec.seed is not None:
+        effective[spec.seed_arg] = spec.seed
+    material = "\x1f".join(
+        (
+            KEY_SCHEMA,
+            spec.factory,
+            canonical(effective),
+            code_fingerprint(module_name, roots),
+        )
+    )
+    return hashlib.sha256(material.encode()).hexdigest()

@@ -1,0 +1,333 @@
+"""On-disk result store: atomic, versioned, corruption-tolerant, LRU.
+
+Layout under the cache root (default ``.repro-cache/``)::
+
+    index.json              # metadata + counters, rewritten atomically
+    objects/ab/abcd....pkl  # one artifact per key, written atomically
+
+Artifacts are pickles of a versioned envelope ``{"schema", "key",
+"result", "perf"}`` -- pickle because experiment results are arbitrary
+dataclass trees (with numpy payloads) that must round-trip *exactly*
+for warm runs to be bit-identical to cold runs.  The JSON index holds
+everything a human or the ``cache`` CLI needs without unpickling:
+the originating spec, sizes, and LRU bookkeeping.
+
+Failure semantics: the cache must never turn a working evaluation into
+a broken one.  Every load path degrades to a **miss** -- a truncated or
+tampered artifact, an unreadable index, an artifact whose classes no
+longer import -- and ``put`` failures (unpicklable results, full disk)
+degrade to "not cached".  Only genuine API misuse raises.
+
+Single-writer by design: only the parent (dispatching) process touches
+the store; workers never see it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro import perf
+from repro.cache.fingerprint import DEFAULT_ROOTS, Uncacheable, spec_key
+
+#: Artifact + index schema; bump on incompatible layout changes.
+STORE_SCHEMA = "rfaas-repro-cache-v1"
+
+#: Default size cap: evaluation artifacts are small (KBs of numbers),
+#: so 1 GiB is effectively "never evict" unless something leaks.
+DEFAULT_MAX_BYTES = 1 << 30
+
+#: Environment override for the cache root (CLI flag wins over it).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get(CACHE_DIR_ENV, ".repro-cache"))
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write-then-rename so readers never observe a partial file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="wb", dir=path.parent, prefix=path.name + ".", suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            handle.write(data)
+        os.replace(handle.name, path)
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """Content-addressed result cache for :class:`repro.parallel.RunSpec` runs.
+
+    ``lookup``/``store`` are keyed by :func:`repro.cache.fingerprint.spec_key`;
+    ``key_for`` maps a spec to its key (``None`` when uncacheable).
+    Metadata mutations accumulate in memory; ``flush()`` persists the
+    index (``store`` flushes eagerly so an interrupted sweep keeps every
+    completed point -- that is what makes resume-after-interrupt work).
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        roots: Iterable[str] = DEFAULT_ROOTS,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.max_bytes = int(max_bytes)
+        self.code_roots = tuple(roots)
+        self.hits = 0
+        self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.evictions = 0
+        self.put_failures = 0
+        self._index = self._load_index()
+        stats = self._index.get("stats", {})
+        self._lifetime_base = {
+            name: int(stats.get(name, 0)) for name in ("hits", "misses", "evictions")
+        }
+
+    # ------------------------------------------------------------------ index
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _load_index(self) -> dict[str, Any]:
+        empty = {"schema": STORE_SCHEMA, "clock": 0, "stats": {}, "entries": {}}
+        try:
+            loaded = json.loads(self.index_path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return empty
+        if not isinstance(loaded, dict) or loaded.get("schema") != STORE_SCHEMA:
+            return empty
+        loaded.setdefault("clock", 0)
+        loaded.setdefault("stats", {})
+        entries = loaded.get("entries")
+        loaded["entries"] = entries if isinstance(entries, dict) else {}
+        return loaded
+
+    def flush(self) -> None:
+        """Persist the index; lifetime hit/miss totals survive restarts."""
+        self._index["stats"] = {
+            "hits": self._lifetime_base.get("hits", 0) + self.hits,
+            "misses": self._lifetime_base.get("misses", 0) + self.misses,
+            "evictions": self._lifetime_base.get("evictions", 0) + self.evictions,
+        }
+        try:
+            _atomic_write_bytes(
+                self.index_path,
+                json.dumps(self._index, indent=2, sort_keys=True).encode() + b"\n",
+            )
+        except OSError:
+            pass  # a cache that cannot persist is merely cold next time
+
+    # --------------------------------------------------------------- keys/paths
+
+    def key_for(self, spec: Any) -> Optional[str]:
+        """The spec's content key, or ``None`` when it cannot be cached."""
+        try:
+            return spec_key(spec, self.code_roots)
+        except Uncacheable:
+            return None
+
+    def _artifact_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.pkl"
+
+    def _drop(self, key: str) -> None:
+        self._index["entries"].pop(key, None)
+        try:
+            self._artifact_path(key).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------- reads
+
+    def lookup(self, key: str) -> tuple[bool, Any, Optional[dict]]:
+        """(hit, result, perf snapshot) for *key*; any failure is a miss."""
+        hit, envelope = self.lookup_envelope(key)
+        if not hit:
+            return False, None, None
+        snapshot = envelope.get("perf")
+        return True, envelope.get("result"), snapshot if isinstance(snapshot, dict) else None
+
+    def lookup_envelope(self, key: str) -> tuple[bool, dict]:
+        """(hit, full artifact envelope); any load failure is a miss."""
+        meta = self._index["entries"].get(key)
+        path = self._artifact_path(key)
+        try:
+            data = path.read_bytes()
+            envelope = pickle.loads(data)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != STORE_SCHEMA
+                or envelope.get("key") != key
+            ):
+                raise ValueError("bad envelope")
+        except (OSError, ValueError, EOFError, pickle.UnpicklingError, AttributeError,
+                ImportError, IndexError, MemoryError):
+            # Missing, truncated, tampered, or no-longer-importable:
+            # drop the remains and report a clean miss.
+            if meta is not None or path.exists():
+                self._drop(key)
+            self._miss()
+            return False, {}
+        self.hits += 1
+        self.bytes_read += len(data)
+        if perf.enabled:
+            perf.counters.cache_hits += 1
+            perf.counters.cache_bytes_read += len(data)
+        self._index["clock"] += 1
+        if meta is None:  # artifact survived an index loss: re-adopt it
+            meta = self._index["entries"].setdefault(key, {"bytes": len(data)})
+        meta["last_used"] = self._index["clock"]
+        return True, envelope
+
+    def _miss(self) -> None:
+        self.misses += 1
+        if perf.enabled:
+            perf.counters.cache_misses += 1
+
+    # ------------------------------------------------------------------ writes
+
+    def store(
+        self,
+        key: str,
+        result: Any,
+        *,
+        spec: Any = None,
+        perf_snapshot: Optional[dict] = None,
+    ) -> bool:
+        """Persist *result* under *key*; returns False when not cacheable.
+
+        The envelope carries the run's perf-counter delta so later hits
+        can merge the counters the run *would* have contributed.
+        """
+        envelope = {
+            "schema": STORE_SCHEMA,
+            "key": key,
+            "result": result,
+            "perf": perf_snapshot,
+            # The exact picklable spec, so ``cache verify`` re-runs with
+            # identical kwargs (the JSON index keeps a lossy projection
+            # for humans only).
+            "spec": spec,
+        }
+        try:
+            data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+            _atomic_write_bytes(self._artifact_path(key), data)
+        except (OSError, pickle.PicklingError, TypeError, AttributeError, RecursionError):
+            self.put_failures += 1
+            return False
+        self.bytes_written += len(data)
+        if perf.enabled:
+            perf.counters.cache_bytes_written += len(data)
+        self._index["clock"] += 1
+        meta: dict[str, Any] = {
+            "bytes": len(data),
+            "last_used": self._index["clock"],
+        }
+        if spec is not None:
+            meta["spec"] = {
+                "factory": spec.factory,
+                "kwargs": _jsonable_kwargs(spec.kwargs),
+                "seed": spec.seed,
+                "seed_arg": spec.seed_arg,
+                "label": spec.label,
+            }
+        self._index["entries"][key] = meta
+        self._evict_over_cap()
+        self.flush()
+        return True
+
+    def _evict_over_cap(self) -> None:
+        entries = self._index["entries"]
+        total = sum(int(meta.get("bytes", 0)) for meta in entries.values())
+        if total <= self.max_bytes:
+            return
+        for key in sorted(entries, key=lambda k: entries[k].get("last_used", 0)):
+            if total <= self.max_bytes:
+                break
+            total -= int(entries[key].get("bytes", 0))
+            self._drop(key)
+            self.evictions += 1
+
+    # -------------------------------------------------------------- management
+
+    def entries(self) -> dict[str, dict[str, Any]]:
+        return dict(self._index["entries"])
+
+    def total_bytes(self) -> int:
+        return sum(int(meta.get("bytes", 0)) for meta in self._index["entries"].values())
+
+    def clear(self) -> int:
+        """Delete every artifact and reset the index; returns entries removed."""
+        removed = len(self._index["entries"])
+        for key in list(self._index["entries"]):
+            self._drop(key)
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for bucket in objects.iterdir():
+                try:
+                    for stray in bucket.iterdir():
+                        stray.unlink()
+                    bucket.rmdir()
+                except OSError:
+                    pass
+        self._index = {"schema": STORE_SCHEMA, "clock": 0, "stats": {}, "entries": {}}
+        self._lifetime_base = {"hits": 0, "misses": 0, "evictions": 0}
+        self.hits = self.misses = self.evictions = 0
+        self.bytes_read = self.bytes_written = self.put_failures = 0
+        self.flush()
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        """Session counters + persisted lifetime totals, JSON-ready."""
+        lifetime = self._index.get("stats", {})
+        return {
+            "root": str(self.root),
+            "entries": len(self._index["entries"]),
+            "total_bytes": self.total_bytes(),
+            "max_bytes": self.max_bytes,
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written,
+                "evictions": self.evictions,
+                "put_failures": self.put_failures,
+            },
+            "lifetime": {
+                "hits": self._lifetime_base["hits"] + self.hits,
+                "misses": self._lifetime_base["misses"] + self.misses,
+                "evictions": self._lifetime_base["evictions"] + self.evictions,
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultCache {self.root} entries={len(self._index['entries'])} "
+            f"hits={self.hits} misses={self.misses}>"
+        )
+
+
+def _jsonable_kwargs(kwargs: dict[str, Any]) -> dict[str, Any]:
+    """Best-effort JSON projection of spec kwargs for the index."""
+    from repro.experiments.io import to_jsonable
+
+    try:
+        return {str(k): to_jsonable(v) for k, v in kwargs.items()}
+    except Exception:  # pragma: no cover - to_jsonable is already total
+        return {str(k): repr(v) for k, v in kwargs.items()}

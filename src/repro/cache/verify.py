@@ -1,0 +1,109 @@
+"""``experiments cache verify``: prove cached results are still true.
+
+The cache's correctness argument is "deterministic simulation x content
+keys".  ``verify`` closes the loop empirically: it re-runs a sample of
+cached entries from their recorded specs and diffs the fresh result
+against the stored artifact through the same JSON projection the
+experiment archive uses.  Any mismatch means either nondeterminism or a
+fingerprint gap -- both are bugs worth failing loudly over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.experiments.io import to_jsonable
+from repro.parallel.runspec import RunSpec
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a verification pass over sampled cache entries."""
+
+    checked: int = 0
+    matched: int = 0
+    mismatched: list[str] = field(default_factory=list)
+    errored: list[str] = field(default_factory=list)
+    skipped: int = 0  # entries without a recorded spec (or lost artifacts)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatched and not self.errored
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        return (
+            f"verify {verdict}: {self.matched}/{self.checked} bit-identical, "
+            f"{len(self.mismatched)} mismatched, {len(self.errored)} errored, "
+            f"{self.skipped} skipped"
+        )
+
+
+def semantic_projection(value: Any) -> Any:
+    """JSON projection with wall-clock measurement fields removed.
+
+    Simulated results are deterministic; the wall seconds a run *took*
+    (``wall_s`` on :class:`repro.experiments.registry.TimedRun`) are
+    not, and are measurement metadata rather than output.  Comparing
+    through this projection checks exactly the part the determinism
+    contract promises to reproduce.
+    """
+    return _strip_timing(to_jsonable(value))
+
+
+def _strip_timing(jsonable: Any) -> Any:
+    if isinstance(jsonable, dict):
+        return {
+            key: _strip_timing(item)
+            for key, item in jsonable.items()
+            if key != "wall_s"
+        }
+    if isinstance(jsonable, list):
+        return [_strip_timing(item) for item in jsonable]
+    return jsonable
+
+
+def _sample_keys(keys: list[str], sample: int) -> list[str]:
+    """Deterministic, spread-out sample: every k-th key in sorted order."""
+    keys = sorted(keys)
+    if sample <= 0 or sample >= len(keys):
+        return keys
+    step = len(keys) / sample
+    return [keys[int(i * step)] for i in range(sample)]
+
+
+def verify_cache(cache: Any, sample: int = 5) -> VerifyReport:
+    """Re-run up to *sample* cached entries and diff against the store."""
+    report = VerifyReport()
+    entries = cache.entries()
+    with_spec = [key for key, meta in entries.items() if isinstance(meta.get("spec"), dict)]
+    report.skipped = len(entries) - len(with_spec)
+    for key in _sample_keys(with_spec, sample):
+        hit, envelope = cache.lookup_envelope(key)
+        if not hit:  # artifact rotted since listing: lookup already dropped it
+            report.skipped += 1
+            continue
+        stored = envelope.get("result")
+        spec = envelope.get("spec")
+        if not isinstance(spec, RunSpec):
+            # Fall back to the index's JSON projection of the spec.
+            recorded = entries[key]["spec"]
+            spec = RunSpec(
+                factory=recorded["factory"],
+                kwargs=dict(recorded.get("kwargs") or {}),
+                seed=recorded.get("seed"),
+                seed_arg=recorded.get("seed_arg"),
+                label=recorded.get("label") or key[:12],
+            )
+        report.checked += 1
+        try:
+            fresh = spec.call()
+        except Exception as exc:
+            report.errored.append(f"{spec.name}: {type(exc).__name__}: {exc}")
+            continue
+        if semantic_projection(fresh) == semantic_projection(stored):
+            report.matched += 1
+        else:
+            report.mismatched.append(spec.name)
+    return report

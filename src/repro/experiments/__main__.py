@@ -6,23 +6,40 @@ Usage::
     python -m repro.experiments fig8
     python -m repro.experiments fig13 --quick
     python -m repro.experiments all --quick
-    python -m repro.experiments all --quick --parallel 4
+    python -m repro.experiments all --quick --parallel auto
+    python -m repro.experiments all --quick --cache
+    python -m repro.experiments cache stats
+    python -m repro.experiments cache verify --sample 5
     python -m repro.experiments bench --json BENCH_PR1.json --label pr1
     python -m repro.experiments bench --quick --parallel 2
 
 ``--parallel N`` fans independent work out across N worker processes
-via :mod:`repro.parallel` (``0`` = one per CPU core, ``1`` = serial):
-for ``all`` each experiment runs in its own worker; for ``bench`` the
-repetitions of each hot-loop benchmark run concurrently (each run is
-wall-clock-timed inside its own process, so medians stay comparable)
-and a multi-experiment batch is timed serial-vs-parallel.  Simulated
-results are bit-identical to serial runs; a crashed or raising
-experiment is reported and the rest of the batch completes.
+via :mod:`repro.parallel` (``auto`` or ``0`` = one per usable CPU,
+``1`` = serial): for ``all`` each experiment runs in its own worker;
+for ``bench`` the repetitions of each hot-loop benchmark run
+concurrently (each run is wall-clock-timed inside its own process, so
+medians stay comparable) and a multi-experiment batch is timed
+serial-vs-parallel.  Simulated results are bit-identical to serial
+runs; a crashed or raising experiment is reported and the rest of the
+batch completes.
+
+``--cache`` consults the content-addressed result cache
+(:mod:`repro.cache`, default ``.repro-cache/``, override with
+``--cache-dir`` or ``$REPRO_CACHE_DIR``) before running anything:
+experiments whose code + parameters are unchanged come back from disk,
+so repeated batches cost O(changed points).  ``--no-cache`` (the
+default) touches no cache state at all.  The ``cache`` subcommand
+manages the store: ``stats``, ``clear``, and ``verify`` (re-runs a
+sample of entries and diffs them against the stored artifacts).
+``bench`` ignores ``--cache`` for its timed loops -- reusing a stored
+wall-clock measurement would defeat the point -- but measures the
+cache's own cold-vs-warm speedup as ``cache_batch``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -43,6 +60,49 @@ def _batch_specs(targets: list[str], quick: bool) -> list[RunSpec]:
     ]
 
 
+def _parallel_workers(value: str) -> int:
+    """Parse ``--parallel``: an integer, or ``auto`` = one per usable CPU."""
+    if value.strip().lower() == "auto":
+        return 0
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
+def _open_cache(args: argparse.Namespace):
+    from repro.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
+def _cache_command(args: argparse.Namespace) -> int:
+    """``cache stats|clear|verify`` management subcommand."""
+    cache = _open_cache(args)
+    action = args.action or "stats"
+    if action == "stats":
+        print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+        return 0
+    if action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.root}")
+        return 0
+    if action == "verify":
+        from repro.cache import verify_cache
+
+        report = verify_cache(cache, sample=args.sample)
+        for name in report.mismatched:
+            print(f"MISMATCH: {name}", file=sys.stderr)
+        for detail in report.errored:
+            print(f"ERROR: {detail}", file=sys.stderr)
+        print(report.summary())
+        return 0 if report.ok else 1
+    print(f"unknown cache action {action!r} (use stats, clear, or verify)", file=sys.stderr)
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -50,7 +110,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', 'report', 'bench', or 'list'",
+        help="experiment id (see 'list'), 'all', 'report', 'bench', 'cache', or 'list'",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="for 'cache': stats (default), clear, or verify",
     )
     parser.add_argument(
         "--out",
@@ -62,11 +128,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--parallel",
-        type=int,
+        type=_parallel_workers,
         default=1,
         metavar="N",
         help="worker processes for independent runs "
-        "(0 = one per CPU core, 1 = serial; default 1)",
+        "('auto' or 0 = one per usable CPU, 1 = serial; default 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse cached results for unchanged code+parameters "
+        "(--no-cache, the default, runs everything fresh)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=5,
+        metavar="N",
+        help="for 'cache verify': entries to re-run (default 5)",
     )
     parser.add_argument(
         "--json",
@@ -79,6 +165,24 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="for 'bench': entry name in the trajectory file (e.g. pr1)",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="for 'bench': trajectory file holding the baseline entry "
+        "to guard against perf regressions",
+    )
+    parser.add_argument(
+        "--baseline-label",
+        default=None,
+        help="for 'bench': baseline entry name inside --baseline",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="for 'bench': allowed fractional events/s drop vs the "
+        "baseline before failing (default 0.30)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -87,14 +191,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{key:<{width}}  {EXPERIMENTS[key].description}")
         return 0
 
+    if args.experiment == "cache":
+        return _cache_command(args)
+
     if args.experiment == "bench":
-        from repro.experiments.bench import run_bench, show, write_bench
+        from repro.experiments.bench import check_regression, run_bench, show, write_bench
 
         results = run_bench(quick=args.quick, parallel=args.parallel)
         show(results)
         if args.json:
             written = write_bench(args.json, results, label=args.label)
             print(f"[wrote {written}]")
+        if args.baseline:
+            problems = check_regression(
+                results,
+                args.baseline,
+                args.baseline_label,
+                max_regression=args.max_regression,
+            )
+            if problems:
+                for problem in problems:
+                    print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+                return 1
+            print(f"[no perf regression vs {args.baseline_label or 'baseline'}]")
         return 0
 
     if args.experiment == "report":
@@ -112,8 +231,9 @@ def main(argv: list[str] | None = None) -> int:
         print("use 'list' to see the available ids", file=sys.stderr)
         return 2
 
+    cache = _open_cache(args) if args.cache else None
     batch_started = time.perf_counter()
-    outcomes = run_specs(_batch_specs(targets, args.quick), args.parallel)
+    outcomes = run_specs(_batch_specs(targets, args.quick), args.parallel, cache=cache)
     batch_wall = time.perf_counter() - batch_started
 
     failures: list[FailedPoint] = []
@@ -143,6 +263,19 @@ def main(argv: list[str] | None = None) -> int:
         summary.add_row("total (sum)", f"{sum(w for _, w in timings):.1f}s")
         summary.add_row(f"batch (parallel={args.parallel})", f"{batch_wall:.1f}s")
         summary.show()
+    if cache is not None:
+        stats = cache.stats()
+        session = stats["session"]
+        print(
+            "[cache {root}: {hits} hit(s), {misses} miss(es), "
+            "{entries} entr(ies), {total_bytes:,} bytes]".format(
+                root=stats["root"],
+                hits=session["hits"],
+                misses=session["misses"],
+                entries=stats["entries"],
+                total_bytes=stats["total_bytes"],
+            )
+        )
     if failures:
         print(f"{len(failures)} experiment(s) failed", file=sys.stderr)
         return 1

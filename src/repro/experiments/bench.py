@@ -199,14 +199,84 @@ def bench_parallel_batch(parallel: int) -> dict[str, Any]:
 
     serial_s = timed(1)
     parallel_s = timed(parallel)
-    return {
+    cpus = available_workers()
+    record = {
         "experiments": list(BATCH_EXPERIMENTS),
         "workers": parallel,
-        "cpus_available": available_workers(),
+        "cpus_available": cpus,
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "speedup": serial_s / parallel_s if parallel_s else 0.0,
+        # On a single usable CPU the "parallel" run just adds worker
+        # startup + IPC on top of serialized execution, so the speedup
+        # says nothing about the engine.  Flag it so trajectory readers
+        # (and CI) know which entries are comparable.
+        "speedup_representative": cpus > 1,
     }
+    if cpus <= 1:
+        record["note"] = "speedup measured with 1 usable CPU; not representative"
+    return record
+
+
+def bench_cache_batch(
+    cache_dir: Optional[str] = None, experiments: tuple[str, ...] = BATCH_EXPERIMENTS
+) -> dict[str, Any]:
+    """Cold-vs-warm wall clock for the experiment batch through the cache.
+
+    Runs the quick batch twice against one result cache: the first pass
+    misses everywhere and pays full simulation cost, the second is
+    answered from disk.  Results must be bit-identical (compared via
+    the same JSON projection the archive uses); the headline is
+    ``speedup = cold_s / warm_s``.  Uses a throwaway cache directory
+    unless *cache_dir* is given, so timed runs never reuse stale state.
+    """
+    import shutil
+    import tempfile
+
+    from repro.cache import ResultCache
+    from repro.experiments.io import to_jsonable
+
+    specs = [
+        RunSpec(
+            factory="repro.experiments.registry:run_experiment",
+            kwargs={"experiment_id": experiment_id, "quick": True},
+            index=index,
+            label=experiment_id,
+        )
+        for index, experiment_id in enumerate(experiments)
+    ]
+
+    owns_dir = cache_dir is None
+    root = cache_dir or tempfile.mkdtemp(prefix="repro-cache-bench-")
+    try:
+        cache = ResultCache(root)
+
+        def timed(label: str) -> tuple[float, list[Any]]:
+            t0 = time.perf_counter()
+            outcomes = run_specs(specs, 1, cache=cache)
+            wall = time.perf_counter() - t0
+            failed = [o for o in outcomes if isinstance(o, FailedPoint)]
+            if failed:
+                raise RuntimeError(f"{label} batch experiment failed: {failed[0].summary()}")
+            return wall, outcomes
+
+        cold_s, cold = timed("cold")
+        warm_s, warm = timed("warm")
+        stats = cache.stats()
+        return {
+            "experiments": list(experiments),
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": cold_s / warm_s if warm_s else 0.0,
+            "bit_identical": to_jsonable(cold) == to_jsonable(warm),
+            "hits": stats["session"]["hits"],
+            "misses": stats["session"]["misses"],
+            "bytes_read": stats["session"]["bytes_read"],
+            "bytes_written": stats["session"]["bytes_written"],
+        }
+    finally:
+        if owns_dir:
+            shutil.rmtree(root, ignore_errors=True)
 
 
 def run_bench(quick: bool = False, parallel: int = 1) -> dict[str, Any]:
@@ -225,6 +295,7 @@ def run_bench(quick: bool = False, parallel: int = 1) -> dict[str, Any]:
     results["perf_counters"] = perf.snapshot()
     if parallel != 1:
         results["parallel_batch"] = bench_parallel_batch(parallel)
+    results["cache_batch"] = bench_cache_batch()
     return results
 
 
@@ -244,6 +315,44 @@ def write_bench(path: str, results: dict[str, Any], label: Optional[str] = None)
     return str(target)
 
 
+def check_regression(
+    results: dict[str, Any],
+    baseline_path: str,
+    baseline_label: Optional[str],
+    max_regression: float = 0.30,
+) -> list[str]:
+    """Compare *results* against a committed trajectory entry.
+
+    Guards the DES kernel's ``events_per_sec`` (the one figure every
+    hot-path PR moves): a drop of more than *max_regression* versus the
+    baseline entry is reported as a failure string.  Returns a list of
+    problems, empty when the run is clean; a missing baseline file or
+    entry is itself a problem (a silently absent guard guards nothing).
+    """
+    try:
+        doc = json.loads(Path(baseline_path).read_text())
+        entries = doc["entries"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        return [f"cannot load baseline {baseline_path}: {exc}"]
+    label = baseline_label or (sorted(entries)[-1] if entries else None)
+    entry = entries.get(label) if label else None
+    if not isinstance(entry, dict):
+        return [f"no baseline entry {label!r} in {baseline_path}"]
+    try:
+        base_rate = float(entry["kernel_event_throughput"]["events_per_sec"])
+        current_rate = float(results["kernel_event_throughput"]["events_per_sec"])
+    except (KeyError, TypeError, ValueError) as exc:
+        return [f"baseline/current entries missing kernel_event_throughput: {exc}"]
+    floor = base_rate * (1.0 - max_regression)
+    if current_rate < floor:
+        return [
+            f"kernel_event_throughput.events_per_sec {current_rate:,.0f} is "
+            f"{1 - current_rate / base_rate:.1%} below baseline {label!r} "
+            f"({base_rate:,.0f}; allowed drop {max_regression:.0%})"
+        ]
+    return []
+
+
 def show(results: dict[str, Any]) -> None:
     for name in ("kernel_event_throughput", "rdma_pingpong", "invocation"):
         r = results[name]
@@ -259,9 +368,19 @@ def show(results: dict[str, Any]) -> None:
         )
     batch = results.get("parallel_batch")
     if batch:
-        print(
+        line = (
             "parallel_batch: {n} experiments  serial {serial_s:.1f}s -> "
             "{workers} workers {parallel_s:.1f}s  ({speedup:.2f}x, {cpus_available} cpus)".format(
                 n=len(batch["experiments"]), **batch
             )
+        )
+        if not batch.get("speedup_representative", True):
+            line += "  [NOT representative: 1 cpu]"
+        print(line)
+    cached = results.get("cache_batch")
+    if cached:
+        print(
+            "cache_batch: {n} experiments  cold {cold_s:.1f}s -> warm {warm_s:.2f}s  "
+            "({speedup:.1f}x, bit_identical={bit_identical}, "
+            "{hits} hits/{misses} misses)".format(n=len(cached["experiments"]), **cached)
         )

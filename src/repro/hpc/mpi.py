@@ -71,9 +71,9 @@ class RankContext:
             fabric = self.job.fabric
             if nbytes > EAGER_THRESHOLD:
                 # Rendezvous: RTS/CTS handshake before the bulk transfer.
-                yield from fabric.transfer(self.node.name, peer.node.name, 64, inline=True)
-                yield from fabric.transfer(peer.node.name, self.node.name, 64, inline=True)
-            yield from fabric.transfer(self.node.name, peer.node.name, nbytes, inline=False)
+                yield from fabric.transfer(self.node.name, peer.node.name, 64)
+                yield from fabric.transfer(peer.node.name, self.node.name, 64)
+            yield from fabric.transfer(self.node.name, peer.node.name, nbytes)
         yield peer._inbox.put(_Message(self.rank, tag, nbytes, payload))
 
     def isend(self, dest: int, payload: Any = None, nbytes: int = 64, tag: int = 0):

@@ -33,7 +33,15 @@ from repro.parallel.runspec import FailedPoint, RunSpec, failure_from_exception
 
 
 def available_workers() -> int:
-    """CPU cores this process may use (affinity-aware, never < 1)."""
+    """CPU cores this process may use (affinity-aware, never < 1).
+
+    Prefers :func:`os.process_cpu_count` (Python 3.13+, the canonical
+    "CPUs usable by this process" call); older interpreters fall back
+    to the affinity mask it is defined in terms of.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        return max(1, process_cpu_count() or 1)
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux
@@ -83,6 +91,7 @@ def run_specs(
     *,
     timeout_s: Optional[float] = None,
     chunksize: int = 1,
+    cache: Optional[Any] = None,
 ) -> list[Any]:
     """Execute *specs*, returning one outcome per spec, in input order.
 
@@ -90,18 +99,81 @@ def run_specs(
     :class:`FailedPoint`.  ``max_workers=None`` or ``0`` uses one worker
     per available core; ``<= 1`` runs serially in-process (where
     ``timeout_s`` cannot be enforced and is ignored).
+
+    *cache* (a :class:`repro.cache.ResultCache`) short-circuits specs
+    whose content key already has a stored result: hits fill their
+    result slots without dispatching (merging the stored run's perf
+    counters when perf is enabled), only misses run, and successful
+    miss results are written back.  :class:`FailedPoint` outcomes and
+    uncacheable specs (kwargs without a canonical form) are never
+    cached.  ``cache=None`` is byte-for-byte the pre-cache engine: no
+    keys are computed, no disk is touched, and each run's RNG draw
+    order is exactly what it always was.
     """
     specs = list(specs)
     if not specs:
         return []
+    if cache is None:
+        return [outcome for outcome, _ in _execute_pairs(specs, max_workers, timeout_s, chunksize)]
+
+    keys = [cache.key_for(spec) for spec in specs]
+    results: list[Any] = [None] * len(specs)
+    miss_positions: list[int] = []
+    for position, key in enumerate(keys):
+        if key is not None:
+            hit, value, snapshot = cache.lookup(key)
+            if hit:
+                results[position] = value
+                if snapshot and perf.enabled:
+                    perf.merge(snapshot)
+                continue
+        miss_positions.append(position)
+    if miss_positions:
+        pairs = _execute_pairs(
+            [specs[position] for position in miss_positions],
+            max_workers,
+            timeout_s,
+            chunksize,
+        )
+        for position, (outcome, snapshot) in zip(miss_positions, pairs):
+            results[position] = outcome
+            if keys[position] is not None and not isinstance(outcome, FailedPoint):
+                cache.store(
+                    keys[position], outcome, spec=specs[position], perf_snapshot=snapshot
+                )
+    cache.flush()
+    return results
+
+
+def _execute_pairs(
+    specs: list[RunSpec],
+    max_workers: Optional[int],
+    timeout_s: Optional[float],
+    chunksize: int,
+) -> list[tuple[Any, Optional[dict]]]:
+    """The dispatch engine: (outcome, perf delta) per spec, input order.
+
+    Parallel outcomes carry the worker-side perf snapshot (already
+    merged into this process's counters, exactly as before the cache
+    existed); serial outcomes carry an in-process counter delta.  The
+    snapshot is what the cache persists so later hits can re-merge it.
+    """
     if max_workers is None or max_workers <= 0:
         max_workers = available_workers()
     if max_workers <= 1 or not fork_available():
-        return [_run_one(spec) for spec in specs]
+        pairs: list[tuple[Any, Optional[dict]]] = []
+        for spec in specs:
+            if perf.enabled:
+                before = perf.snapshot()
+                outcome = _run_one(spec)
+                pairs.append((outcome, perf.delta(before, perf.snapshot())))
+            else:
+                pairs.append((_run_one(spec), None))
+        return pairs
 
     with_perf = perf.enabled
     chunks = _chunked(specs, chunksize)
-    results: list[Any] = [None] * len(specs)
+    results: list[tuple[Any, Optional[dict]]] = [(None, None)] * len(specs)
     context = multiprocessing.get_context("fork")
     pool = ProcessPoolExecutor(
         max_workers=min(max_workers, len(chunks)), mp_context=context
@@ -144,7 +216,7 @@ def run_specs(
             for outcome, snapshot in outcomes:
                 if snapshot is not None and perf.enabled:
                     perf.merge(snapshot)
-                results[position] = outcome
+                results[position] = (outcome, snapshot)
                 position += 1
     finally:
         # Abandon stragglers (timeouts) rather than blocking on them.

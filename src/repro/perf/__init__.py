@@ -29,7 +29,15 @@ enabled = False
 class Counters:
     """Accumulators updated by instrumented hot paths while enabled."""
 
-    __slots__ = ("bytes_copied", "bytes_referenced", "alloc_avoided")
+    __slots__ = (
+        "bytes_copied",
+        "bytes_referenced",
+        "alloc_avoided",
+        "cache_hits",
+        "cache_misses",
+        "cache_bytes_read",
+        "cache_bytes_written",
+    )
 
     def __init__(self) -> None:
         self.reset()
@@ -41,6 +49,14 @@ class Counters:
         self.bytes_referenced = 0
         #: Object allocations avoided (e.g. recycled pooled timeouts).
         self.alloc_avoided = 0
+        #: Result-cache lookups answered from disk (runs not re-simulated).
+        self.cache_hits = 0
+        #: Result-cache lookups that had to run the simulation.
+        self.cache_misses = 0
+        #: Artifact bytes loaded on cache hits.
+        self.cache_bytes_read = 0
+        #: Artifact bytes persisted on cache fills.
+        self.cache_bytes_written = 0
 
 
 counters = Counters()
@@ -70,15 +86,15 @@ def merge(other: dict[str, Any]) -> None:
     a :func:`snapshot` back with each result and the parent aggregates
     here, so ``perf`` totals are execution-mode independent.
     """
-    counters.bytes_copied += int(other.get("bytes_copied", 0))
-    counters.bytes_referenced += int(other.get("bytes_referenced", 0))
-    counters.alloc_avoided += int(other.get("alloc_avoided", 0))
+    for name in Counters.__slots__:
+        setattr(counters, name, getattr(counters, name) + int(other.get(name, 0)))
 
 
 def snapshot() -> dict[str, Any]:
     """Current counter values as a plain dict (JSON-friendly)."""
-    return {
-        "bytes_copied": counters.bytes_copied,
-        "bytes_referenced": counters.bytes_referenced,
-        "alloc_avoided": counters.alloc_avoided,
-    }
+    return {name: getattr(counters, name) for name in Counters.__slots__}
+
+
+def delta(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
+    """Counter movement between two :func:`snapshot` calls."""
+    return {name: int(after.get(name, 0)) - int(before.get(name, 0)) for name in after}

@@ -105,14 +105,14 @@ class ConnectionManager:
 
         # --- REQ: route the request to the destination CM.
         yield env.timeout(CM_PROCESSING_NS)
-        yield from fabric.transfer(self.nic.name, dst_host, CM_MESSAGE_BYTES, inline=False)
+        yield from fabric.transfer(self.nic.name, dst_host, CM_MESSAGE_BYTES)
 
         dst_nic = fabric.nic(dst_host)
         dst_cm: Optional[ConnectionManager] = dst_nic.cm
         listener = dst_cm._listeners.get(port) if dst_cm is not None else None
         if listener is None or listener.closed:
             # REJ travels back before we can raise.
-            yield from fabric.transfer(dst_host, self.nic.name, CM_MESSAGE_BYTES, inline=False)
+            yield from fabric.transfer(dst_host, self.nic.name, CM_MESSAGE_BYTES)
             raise ConnectionRefused(f"{dst_host}:{port} is not listening")
 
         request = ConnectionRequest(src_nic=self.nic, src_qp=qp, private_data=private_data)
@@ -123,12 +123,12 @@ class ConnectionManager:
         # --- REP: wait for the passive side to accept/reject.
         accepted = yield request._decided
         yield env.timeout(CM_PROCESSING_NS)
-        yield from fabric.transfer(dst_host, self.nic.name, CM_MESSAGE_BYTES, inline=False)
+        yield from fabric.transfer(dst_host, self.nic.name, CM_MESSAGE_BYTES)
         if not accepted:
             raise ConnectionRefused(f"{dst_host}:{port} rejected: {request._response}")
 
         # --- RTU: ready-to-use back to the passive side (not awaited there).
-        yield from fabric.transfer(self.nic.name, dst_host, CM_MESSAGE_BYTES, inline=False)
+        yield from fabric.transfer(self.nic.name, dst_host, CM_MESSAGE_BYTES)
         return request._response
 
 

@@ -12,6 +12,7 @@ bandwidth, exactly as in the paper.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -64,6 +65,12 @@ class LinkQueue:
     returns (start, finish) in virtual time.  Because the simulation is
     single-threaded and reservations happen in event order, this models
     a work-conserving FIFO link without per-packet events.
+
+    Busy intervals are recorded per reservation (they are ordered and
+    non-overlapping by construction: each starts no earlier than the
+    previous finish), so :meth:`utilization` can answer *windowed*
+    queries exactly instead of dividing cumulative-from-zero busy time
+    by an arbitrary window.
     """
 
     def __init__(self, env: "Environment", model: LatencyModel, name: str) -> None:
@@ -73,6 +80,12 @@ class LinkQueue:
         self._busy_until = 0
         self.bytes_carried = 0
         self.busy_time = 0
+        # Parallel arrays of interval starts/finishes plus duration
+        # prefix sums (``_prefix[i]`` = busy time of the first i
+        # intervals); three int appends per reserve, O(log n) queries.
+        self._starts: list[int] = []
+        self._finishes: list[int] = []
+        self._prefix: list[int] = [0]
 
     def reserve(self, size: int) -> tuple[int, int]:
         """Book *size* bytes of serialization starting no earlier than now."""
@@ -82,16 +95,38 @@ class LinkQueue:
         self._busy_until = finish
         self.bytes_carried += size
         self.busy_time += duration
+        self._starts.append(start)
+        self._finishes.append(finish)
+        self._prefix.append(self._prefix[-1] + duration)
         return start, finish
 
     @property
     def busy_until(self) -> int:
         return self._busy_until
 
+    def busy_before(self, t: int) -> int:
+        """Busy time accumulated strictly within [0, t]."""
+        # First interval finishing after t is the only one that can
+        # straddle it; everything before is fully counted, everything
+        # after starts at or beyond the straddler's finish.
+        index = bisect_right(self._finishes, t)
+        busy = self._prefix[index]
+        if index < len(self._starts) and self._starts[index] < t:
+            busy += t - self._starts[index]
+        return busy
+
     def utilization(self, since: int = 0) -> float:
-        """Fraction of [since, now] the link spent serializing."""
-        window = self.env.now - since
-        return self.busy_time / window if window > 0 else 0.0
+        """Fraction of [since, now] the link spent serializing.
+
+        Counts only busy time that actually falls inside the window
+        (reservations may extend beyond ``now``; the future part is
+        excluded), so the result is always in [0, 1].
+        """
+        now = self.env.now
+        window = now - since
+        if window <= 0:
+            return 0.0
+        return (self.busy_before(now) - self.busy_before(since)) / window
 
     def __repr__(self) -> str:
         return f"<LinkQueue {self.name} busy_until={self._busy_until}>"
@@ -180,11 +215,13 @@ class Fabric:
             self._paths[key] = path
         return path
 
-    def transfer(self, src: str, dst: str, size: int, inline: bool):
+    def transfer(self, src: str, dst: str, size: int):
         """Process generator: move *size* bytes from *src* to *dst*.
 
         Yields until the last byte has landed at the destination NIC.
-        The caller layers NIC processing (tx/rx, DMA fetch) on top.
+        The caller layers NIC processing (tx/rx, DMA fetch) on top --
+        including inline-send treatment, which changes NIC-side DMA
+        cost (see :meth:`LatencyModel.one_way_ns`), never the wire.
         Loopback (src == dst) skips the wire entirely.
         """
         return self.transfer_path(self.path(src, dst), size)

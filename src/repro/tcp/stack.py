@@ -101,7 +101,7 @@ class TcpNetwork:
         env = self.env
         cfg = self.config
         link_bps = self.fabric.model.bandwidth_bytes_per_sec
-        yield from self.fabric.transfer(src.host, dst.host, size, inline=False)
+        yield from self.fabric.transfer(src.host, dst.host, size)
         yield env.timeout(cfg.stream_extra_ns(size, link_bps))
         # RX: interrupt, protocol processing, copy to user space.
         yield env.timeout(cfg.rx_stack_ns + cfg.copy_ns(size))

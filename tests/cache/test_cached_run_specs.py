@@ -1,0 +1,113 @@
+"""Engine integration: hits fill slots in order, misses run, failures skip."""
+
+import pytest
+
+from repro import perf
+from repro.cache import ResultCache, semantic_projection
+from repro.parallel import FailedPoint, RunSpec, run_specs
+from tests.parallel import factories
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def specs_for(xs):
+    return [
+        RunSpec("tests.parallel.factories:double", {"x": x}, index=i)
+        for i, x in enumerate(xs)
+    ]
+
+
+def test_cold_then_warm_is_identical(cache):
+    specs = specs_for([1, 2, 3])
+    cold = run_specs(specs, 1, cache=cache)
+    warm = run_specs(specs, 1, cache=cache)
+    assert cold == warm == [2, 4, 6]
+    stats = cache.stats()["session"]
+    assert stats["misses"] == 3 and stats["hits"] == 3
+
+
+def test_mixed_hits_and_misses_preserve_order(cache):
+    run_specs(specs_for([2, 4]), 1, cache=cache)  # prime a subset
+    outcomes = run_specs(specs_for([1, 2, 3, 4, 5]), 1, cache=cache)
+    assert outcomes == [2, 4, 6, 8, 10]
+    stats = cache.stats()["session"]
+    assert stats["hits"] == 2  # x=2 and x=4 came from disk
+    assert stats["misses"] == 2 + 3  # priming misses + the three new points
+
+
+def test_failed_points_are_never_cached(cache):
+    bad = [RunSpec("tests.parallel.factories:boom", {"x": 1})]
+    first = run_specs(bad, 1, cache=cache)
+    second = run_specs(bad, 1, cache=cache)
+    assert isinstance(first[0], FailedPoint)
+    assert isinstance(second[0], FailedPoint)
+    assert cache.stats()["entries"] == 0
+    assert cache.stats()["session"]["misses"] == 2  # re-ran both times
+
+
+def test_uncacheable_kwargs_still_run(cache):
+    token = object()
+    specs = [
+        RunSpec("tests.parallel.factories:combine", {"x": token, "y": 1}),
+        RunSpec("tests.parallel.factories:combine", {"x": 5, "y": 1}),
+    ]
+    outcomes = run_specs(specs, 1, cache=cache)
+    assert outcomes[0] == (token, 1, None)
+    assert outcomes[1] == (5, 1, None)
+    assert cache.stats()["entries"] == 1  # only the canonical spec cached
+    # Uncacheable specs neither hit nor miss: they bypass the cache.
+    assert cache.stats()["session"]["misses"] == 1
+
+
+def test_cache_disabled_touches_no_disk(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    run_specs(specs_for([1, 2]), 1)
+    assert not (tmp_path / ".repro-cache").exists()
+
+
+def test_hits_merge_stored_perf_counters(cache):
+    spec = [RunSpec("tests.parallel.factories:count_pooled_timeouts", {})]
+    perf.reset()
+    perf.enable()
+    try:
+        run_specs(spec, 1, cache=cache)
+        cold = perf.snapshot()
+        assert cold["alloc_avoided"] > 0
+        run_specs(spec, 1, cache=cache)
+        warm = perf.snapshot()
+    finally:
+        perf.disable()
+        perf.reset()
+    # The warm pass merged the stored run's counters: same contribution
+    # as executing, plus exactly one cache hit.
+    assert warm["alloc_avoided"] == 2 * cold["alloc_avoided"]
+    assert warm["cache_hits"] == 1
+    assert warm["cache_misses"] == 1
+    assert warm["cache_bytes_read"] > 0
+
+
+def test_parallel_workers_with_cache(cache):
+    specs = specs_for([1, 2, 3, 4])
+    cold = run_specs(specs, 2, cache=cache)
+    warm = run_specs(specs, 2, cache=cache)
+    assert cold == warm == [2, 4, 6, 8]
+    assert cache.stats()["session"]["hits"] == 4
+
+
+def test_fault_rng_draw_order_unchanged_by_cache(cache):
+    """The cache layer must not perturb FaultModel draws (satellite)."""
+    spec = [
+        RunSpec(
+            "tests.parallel.factories:faulty_rtts",
+            {"probability": 0.08, "seed": 5, "invocations": 30},
+        )
+    ]
+    uncached = run_specs(spec, 1)
+    cold = run_specs(spec, 1, cache=cache)
+    warm = run_specs(spec, 1, cache=cache)
+    assert uncached == cold == warm
+    assert uncached[0]["faults_injected"] > 0
+    assert semantic_projection(uncached) == semantic_projection(warm)

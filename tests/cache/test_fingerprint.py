@@ -1,0 +1,153 @@
+"""Key derivation: canonical kwargs, code closures, edit invalidation."""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.cache import fingerprint
+from repro.cache.fingerprint import (
+    Uncacheable,
+    canonical,
+    code_fingerprint,
+    source_closure,
+    spec_key,
+)
+from repro.parallel import RunSpec
+
+
+# --------------------------------------------------------------- canonical
+
+
+def test_canonical_is_dict_order_independent():
+    assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+
+def test_canonical_distinguishes_collection_types():
+    assert canonical([1, 2]) != canonical((1, 2))
+    assert canonical({1, 2}) == canonical({2, 1})
+    assert canonical(1) != canonical(1.0)
+    assert canonical(True) != canonical(1)
+
+
+def test_canonical_nested_structures():
+    value = {"sizes": (2, 128), "opts": {"quick": True, "reps": [1, 2]}}
+    assert canonical(value) == canonical(
+        {"opts": {"reps": [1, 2], "quick": True}, "sizes": (2, 128)}
+    )
+
+
+def test_canonical_rejects_arbitrary_objects():
+    with pytest.raises(Uncacheable):
+        canonical(object())
+    with pytest.raises(Uncacheable):
+        canonical({"fn": lambda: None})
+
+
+# ---------------------------------------------------------------- spec keys
+
+
+def test_spec_key_stable_and_sensitive():
+    spec = RunSpec("tests.parallel.factories:double", {"x": 1}, index=3, label="a")
+    same = RunSpec("tests.parallel.factories:double", {"x": 1}, index=9, label="b")
+    other = RunSpec("tests.parallel.factories:double", {"x": 2})
+    # index/label are presentation metadata, not identity.
+    assert spec_key(spec) == spec_key(same)
+    assert spec_key(spec) != spec_key(other)
+
+
+def test_spec_key_includes_injected_seed():
+    base = RunSpec("tests.parallel.factories:combine", {"x": 1, "y": 2})
+    seeded = RunSpec(
+        "tests.parallel.factories:combine", {"x": 1, "y": 2}, seed=7, seed_arg="seed"
+    )
+    reseeded = RunSpec(
+        "tests.parallel.factories:combine", {"x": 1, "y": 2}, seed=8, seed_arg="seed"
+    )
+    assert spec_key(base) != spec_key(seeded)
+    assert spec_key(seeded) != spec_key(reseeded)
+
+
+def test_spec_key_rejects_uncacheable_kwargs():
+    spec = RunSpec("tests.parallel.factories:double", {"x": object()})
+    with pytest.raises(Uncacheable):
+        spec_key(spec)
+
+
+# ------------------------------------------------------------ code closures
+
+
+def test_repro_closure_is_transitive():
+    closure = source_closure("repro.experiments.registry")
+    # registry -> experiments harnesses -> core/rdma/sim: deep
+    # dependencies must participate in the fingerprint.
+    assert "repro.experiments.registry" in closure
+    assert "repro.experiments.fig8" in closure
+    assert any(name.startswith("repro.sim") for name in closure)
+    assert any(name.startswith("repro.rdma") for name in closure)
+
+
+def test_function_body_imports_are_followed():
+    # bench imports repro.rdma.microbench only inside a function body.
+    closure = source_closure("repro.experiments.bench")
+    assert "repro.rdma.microbench" in closure
+
+
+@pytest.fixture
+def fake_package(tmp_path, monkeypatch):
+    """A tiny importable package with an internal dependency edge."""
+    pkg = tmp_path / "fakecachepkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "helper.py").write_text("VALUE = 1\n")
+    (pkg / "unrelated.py").write_text("OTHER = 99\n")
+    (pkg / "factory.py").write_text(
+        textwrap.dedent(
+            """
+            from fakecachepkg.helper import VALUE
+
+            def make(x):
+                return x + VALUE
+            """
+        )
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    import importlib
+
+    importlib.invalidate_caches()
+    yield pkg
+    fingerprint.clear_memo()
+    for name in list(sys.modules):
+        if name.startswith("fakecachepkg"):
+            del sys.modules[name]
+
+
+def test_editing_imported_source_invalidates(fake_package):
+    roots = ("fakecachepkg",)
+    before = code_fingerprint("fakecachepkg.factory", roots)
+    fingerprint.clear_memo()
+    assert code_fingerprint("fakecachepkg.factory", roots) == before
+
+    (fake_package / "helper.py").write_text("VALUE = 2\n")
+    fingerprint.clear_memo()
+    after = code_fingerprint("fakecachepkg.factory", roots)
+    assert after != before
+
+
+def test_editing_unimported_source_does_not_invalidate(fake_package):
+    roots = ("fakecachepkg",)
+    before = code_fingerprint("fakecachepkg.factory", roots)
+    (fake_package / "unrelated.py").write_text("OTHER = -1\n")
+    fingerprint.clear_memo()
+    assert code_fingerprint("fakecachepkg.factory", roots) == before
+
+
+def test_fingerprint_is_memoized_per_process(fake_package):
+    roots = ("fakecachepkg",)
+    before = code_fingerprint("fakecachepkg.factory", roots)
+    # Without clearing the memo the (stale) cached digest is returned:
+    # sources are fingerprinted once per process by design.
+    (fake_package / "helper.py").write_text("VALUE = 3\n")
+    assert code_fingerprint("fakecachepkg.factory", roots) == before
+    fingerprint.clear_memo()
+    assert code_fingerprint("fakecachepkg.factory", roots) != before

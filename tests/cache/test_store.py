@@ -1,0 +1,128 @@
+"""Store robustness: atomic artifacts, corruption tolerance, LRU cap."""
+
+import json
+import pickle
+
+from repro.cache import STORE_SCHEMA, ResultCache
+from repro.parallel import RunSpec
+
+
+def make_cache(tmp_path, **kwargs):
+    return ResultCache(tmp_path / "cache", **kwargs)
+
+
+def test_roundtrip_and_layout(tmp_path):
+    cache = make_cache(tmp_path)
+    spec = RunSpec("tests.parallel.factories:double", {"x": 2})
+    key = cache.key_for(spec)
+    assert cache.store(key, {"answer": 4}, spec=spec)
+
+    hit, value, _ = cache.lookup(key)
+    assert hit and value == {"answer": 4}
+    artifact = cache.root / "objects" / key[:2] / f"{key}.pkl"
+    assert artifact.is_file()
+    index = json.loads((cache.root / "index.json").read_text())
+    assert index["schema"] == STORE_SCHEMA
+    assert index["entries"][key]["spec"]["factory"] == spec.factory
+
+
+def test_lookup_survives_across_instances(tmp_path):
+    first = make_cache(tmp_path)
+    key = "ab" + "0" * 62
+    first.store(key, [1, 2, 3])
+    second = make_cache(tmp_path)
+    hit, value, _ = second.lookup(key)
+    assert hit and value == [1, 2, 3]
+
+
+def test_corrupt_artifact_is_a_miss_not_a_crash(tmp_path):
+    cache = make_cache(tmp_path)
+    key = "cd" + "0" * 62
+    cache.store(key, {"big": list(range(100))})
+    artifact = cache.root / "objects" / key[:2] / f"{key}.pkl"
+    artifact.write_bytes(artifact.read_bytes()[:20])  # truncate mid-pickle
+
+    hit, value, _ = cache.lookup(key)
+    assert not hit and value is None
+    # The remains were dropped: entry gone, next lookup a clean miss.
+    assert key not in cache.entries()
+    assert not artifact.exists()
+
+
+def test_tampered_envelope_is_a_miss(tmp_path):
+    cache = make_cache(tmp_path)
+    key = "ef" + "0" * 62
+    cache.store(key, "payload")
+    artifact = cache.root / "objects" / key[:2] / f"{key}.pkl"
+    artifact.write_bytes(pickle.dumps({"schema": "wrong", "key": key, "result": 1}))
+    hit, _, _ = cache.lookup(key)
+    assert not hit
+
+
+def test_garbage_index_tolerated_and_artifact_readopted(tmp_path):
+    cache = make_cache(tmp_path)
+    key = "1a" + "0" * 62
+    cache.store(key, 42)
+    (cache.root / "index.json").write_text("{not json at all")
+
+    reopened = make_cache(tmp_path)
+    assert reopened.entries() == {}  # index lost...
+    hit, value, _ = reopened.lookup(key)
+    assert hit and value == 42  # ...but the artifact still serves hits
+    assert key in reopened.entries()  # and is re-adopted into the index
+
+
+def test_unpicklable_result_degrades_to_not_cached(tmp_path):
+    cache = make_cache(tmp_path)
+    key = "2b" + "0" * 62
+    assert not cache.store(key, lambda: None)
+    assert cache.put_failures == 1
+    assert key not in cache.entries()
+
+
+def test_lru_eviction_under_size_cap(tmp_path):
+    cache = make_cache(tmp_path, max_bytes=1)  # every put overflows
+    old_key = "3c" + "0" * 62
+    new_key = "4d" + "0" * 62
+    cache.store(old_key, list(range(50)))
+    assert cache.evictions >= 1  # first entry already over cap
+    cache.store(new_key, list(range(50)))
+    # Only the newest entry can survive a 1-byte budget.
+    assert old_key not in cache.entries()
+
+
+def test_lru_prefers_recently_used(tmp_path):
+    cache = make_cache(tmp_path, max_bytes=1 << 20)
+    keys = [f"{i:02x}" + "0" * 62 for i in range(3)]
+    for key in keys:
+        cache.store(key, list(range(10)))
+    hit, _, _ = cache.lookup(keys[0])  # freshen the oldest entry
+    assert hit
+    cache.max_bytes = cache.total_bytes() - 1  # force one eviction
+    cache.store("ff" + "0" * 62, list(range(10)))
+    survivors = cache.entries()
+    assert keys[0] in survivors  # recently used: kept
+    assert keys[1] not in survivors  # least recently used: evicted
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = make_cache(tmp_path)
+    for i in range(3):
+        cache.store(f"{i:02x}" + "1" * 62, i)
+    assert cache.clear() == 3
+    assert cache.entries() == {}
+    assert cache.total_bytes() == 0
+    assert not list((cache.root / "objects").glob("**/*.pkl"))
+
+
+def test_stats_lifetime_persist_across_instances(tmp_path):
+    cache = make_cache(tmp_path)
+    key = "5e" + "0" * 62
+    cache.store(key, 7)
+    cache.lookup(key)
+    cache.lookup("6f" + "0" * 62)  # miss
+    cache.flush()
+    reopened = make_cache(tmp_path)
+    lifetime = reopened.stats()["lifetime"]
+    assert lifetime["hits"] == 1
+    assert lifetime["misses"] == 1

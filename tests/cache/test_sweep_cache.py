@@ -1,0 +1,67 @@
+"""Sweep + cache: resume-after-interrupt is O(changed points)."""
+
+from repro.analysis.sweep import ParallelSweep, Sweep
+from repro.cache import ResultCache
+from tests.parallel import factories
+
+
+def test_sweep_resume_runs_only_new_points(tmp_path):
+    cache_dir = tmp_path / "cache"
+    factories.CALLS["counted_double"] = 0
+
+    # "Interrupted" first pass covered a prefix of the grid.
+    first = Sweep(factories.counted_double, cache=cache_dir)
+    first.run(x=[1, 2])
+    assert factories.CALLS["counted_double"] == 2
+
+    # The re-run resumes: cached points load, only x=3 executes.
+    second = Sweep(factories.counted_double, cache=cache_dir)
+    second.run(x=[1, 2, 3])
+    assert [p.result for p in second.points] == [2, 4, 6]
+    assert factories.CALLS["counted_double"] == 3
+
+
+def test_sweep_accepts_cache_instance_and_path(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    by_instance = Sweep(factories.double, cache=cache).run(x=[1, 2])
+    assert [p.result for p in by_instance.points] == [2, 4]
+    by_path = Sweep(factories.double, cache=tmp_path / "cache").run(x=[1, 2])
+    assert [p.result for p in by_path.points] == [2, 4]
+    assert by_path.cache.stats()["session"]["hits"] == 2
+
+
+def test_cached_sweep_matches_uncached(tmp_path):
+    axes = {"x": [1, 2], "y": [10, 20]}
+    plain = Sweep(factories.combine, seed_arg="seed").run(**axes)
+    cached = Sweep(factories.combine, seed_arg="seed", cache=tmp_path / "c").run(**axes)
+    warm = Sweep(factories.combine, seed_arg="seed", cache=tmp_path / "c").run(**axes)
+    results = lambda sweep: [p.result for p in sweep.points]  # noqa: E731
+    assert results(plain) == results(cached) == results(warm)
+
+
+def test_cached_sweep_captures_failures_as_data(tmp_path):
+    sweep = Sweep(factories.boom_for, cache=tmp_path / "c")
+    sweep.run(x=[1, 2, 3], bad=[2])
+    assert [p.result for p in sweep.points if not p.failed] == [10, 30]
+    assert len(sweep.failures()) == 1
+    # Failures are never cached: a fixed re-run would execute them again.
+    assert sweep.cache.stats()["entries"] == 2
+
+
+def test_parallel_sweep_with_cache(tmp_path):
+    cold = ParallelSweep(factories.double, parallel=2, cache=tmp_path / "c")
+    cold.run(x=[1, 2, 3])
+    warm = ParallelSweep(factories.double, parallel=2, cache=tmp_path / "c")
+    warm.run(x=[1, 2, 3])
+    assert [p.result for p in warm.points] == [2, 4, 6]
+    assert warm.cache.stats()["session"]["hits"] == 3
+
+
+def test_lambda_sweep_falls_back_uncached(tmp_path):
+    sweep = Sweep(lambda x: x + 1, cache=tmp_path / "c")
+    sweep.run(x=[1, 2])
+    assert [p.result for p in sweep.points] == [2, 3]
+    # Nothing was cached: lambdas have no content identity.
+    assert not (tmp_path / "c" / "index.json").exists() or ResultCache(
+        tmp_path / "c"
+    ).stats()["entries"] == 0

@@ -54,3 +54,45 @@ def count_pooled_timeouts():
     if perf.enabled:
         perf.counters.alloc_avoided += hits
     return hits
+
+
+#: In-process call counter for cache-resume tests (serial execution
+#: only: worker processes would increment their own copy).
+CALLS = {"counted_double": 0}
+
+
+def counted_double(x):
+    CALLS["counted_double"] += 1
+    return x * 2
+
+
+def faulty_rtts(probability, seed, invocations=40):
+    """Echo invocations over a flaky fabric; returns (rtts, faults).
+
+    Exercises the full RNG draw order through ``Fabric.transfer_path``
+    -- the determinism surface the cache layer must not perturb.
+    """
+    from repro.core import Deployment
+    from repro.rdma.fabric import FaultModel
+    from tests.core.conftest import make_package
+
+    faults = FaultModel(probability=probability, seed=seed)
+    dep = Deployment.build(executors=1, clients=1, faults=faults)
+    dep.settle()
+    inv = dep.new_invoker()
+    package = make_package()
+
+    def driver():
+        yield from inv.allocate(package, workers=1)
+        in_buf = inv.alloc_input(64)
+        out_buf = inv.alloc_output(64)
+        in_buf.write(b"ok")
+        rtts = []
+        for _ in range(invocations):
+            future = inv.submit("echo", in_buf, 2, out_buf)
+            result = yield future.wait()
+            rtts.append(result.rtt_ns)
+        return rtts
+
+    rtts = dep.run(driver())
+    return {"rtts": rtts, "faults_injected": faults.faults_injected}

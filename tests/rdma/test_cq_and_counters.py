@@ -5,7 +5,7 @@ import pytest
 from repro.rdma import Access, Fabric, Opcode, QueuePair, SendWR, WorkCompletion, sge
 from repro.rdma.completion import CompletionQueue, CQOverflow
 from repro.rdma.constants import WCOpcode
-from repro.sim import Environment, MiB
+from repro.sim import Environment, KiB, MiB
 
 
 def test_cq_overflow_raises():
@@ -137,3 +137,66 @@ def test_send_queue_depth_enforced():
             posted += 1
     assert posted >= 4
     env.run()  # the accepted ones still complete
+
+
+class _FakeEnv:
+    """Just a clock: LinkQueue only ever reads ``env.now``."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+
+def _fresh_link():
+    from repro.rdma.fabric import LinkQueue
+    from repro.rdma.latency import LatencyModel
+
+    env = _FakeEnv()
+    return env, LinkQueue(env, LatencyModel(), "t.egress")
+
+
+def test_windowed_utilization_counts_only_window_busy_time():
+    """Regression: utilization(since) used cumulative-from-zero busy time.
+
+    A link busy for [0, d] and idle afterwards reported
+    ``utilization(since=d) == 1.0`` (d/d) even though the queried
+    window [d, 2d] was entirely idle (it could exceed 1.0 for larger
+    transfers).
+    """
+    env, link = _fresh_link()
+    start, finish = link.reserve(12 * KiB)
+    assert start == 0 and finish > 0
+    duration = finish - start
+
+    env.now = 2 * duration
+    assert link.utilization() == pytest.approx(0.5)
+    assert link.utilization(since=duration) == 0.0  # idle window: 0, not 1.0
+    assert link.utilization(since=duration // 2) == pytest.approx(
+        (duration - duration // 2) / (env.now - duration // 2)
+    )
+    assert link.busy_time == duration  # cumulative counter unchanged
+
+
+def test_windowed_utilization_clips_future_reservations():
+    env, link = _fresh_link()
+    env.now = 2000
+    start, finish = link.reserve(12 * KiB)  # busy [2000, 2000+d]
+    assert start == 2000
+    env.now = start + (finish - start) // 2  # mid-reservation
+    assert link.utilization(since=start) == pytest.approx(1.0)
+    for since in (0, 1000, start, env.now - 1):
+        assert 0.0 <= link.utilization(since=since) <= 1.0
+
+
+def test_windowed_utilization_across_gaps():
+    env, link = _fresh_link()
+    _, first_end = link.reserve(12 * KiB)  # [0, d]
+    duration = first_end
+    env.now = 5 * duration
+    second_start, second_end = link.reserve(12 * KiB)  # [5d, 6d]
+    assert (second_start, second_end) == (5 * duration, 6 * duration)
+    env.now = 10 * duration
+    assert link.busy_before(env.now) == 2 * duration
+    assert link.utilization() == pytest.approx(0.2)
+    # Window covering the gap plus the second interval only.
+    assert link.utilization(since=4 * duration) == pytest.approx(1 / 6)
+    assert link.utilization(since=6 * duration) == 0.0

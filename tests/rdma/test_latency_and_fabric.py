@@ -70,7 +70,7 @@ def test_parallel_senders_share_one_ingress_link():
     finish_times = []
 
     def send(name):
-        yield from fabric.transfer(name, "rx", size, inline=False)
+        yield from fabric.transfer(name, "rx", size)
         finish_times.append(env.now)
 
     for i in range(n_senders):
@@ -92,7 +92,7 @@ def test_disjoint_pairs_do_not_contend():
     finish = {}
 
     def send(src, dst):
-        yield from fabric.transfer(src, dst, size, inline=False)
+        yield from fabric.transfer(src, dst, size)
         finish[(src, dst)] = env.now
 
     env.process(send("a", "b"))
