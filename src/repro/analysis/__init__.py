@@ -10,26 +10,40 @@ from repro.analysis.stats import (
     SummaryStats,
     median,
     median_ci,
+    median_ci_ranks,
     percentile,
+    percentiles,
     summarize,
 )
 from repro.analysis.plotting import bar_chart, cdf_points, sparkline
 from repro.analysis.reporting import Table, format_ns, format_bytes
+from repro.analysis.streams import (
+    LogHistogram,
+    P2Quantile,
+    StreamingSummary,
+    Welford,
+)
 from repro.analysis.sweep import ParallelSweep, Sweep, SweepPoint
 
 __all__ = [
+    "LogHistogram",
+    "P2Quantile",
     "ParallelSweep",
+    "StreamingSummary",
     "SummaryStats",
     "Sweep",
     "SweepPoint",
     "Table",
+    "Welford",
     "bar_chart",
     "cdf_points",
     "format_bytes",
     "format_ns",
     "median",
     "median_ci",
+    "median_ci_ranks",
     "percentile",
+    "percentiles",
     "sparkline",
     "summarize",
 ]

@@ -1,0 +1,374 @@
+"""O(1)-memory streaming statistics for million-invocation runs.
+
+The exact pipeline in :mod:`repro.analysis.stats` keeps every sample in
+memory and sorts once per summary -- fine for the paper's figures
+(10^3..10^5 points), hopeless for the scale harness where a single run
+produces >=10^6 latencies.  This module computes the same summary shape
+(:class:`repro.analysis.stats.SummaryStats`) from bounded state:
+
+* :class:`Welford` -- numerically stable running mean/variance
+  (Welford's online algorithm), with Chan's parallel-merge formulas so
+  per-shard accumulators combine exactly.
+* :class:`P2Quantile` -- the classic Jain & Chlamtac P-squared
+  single-quantile estimator: five markers, piecewise-parabolic
+  adjustment, O(1) state.  Kept for spot estimates of one quantile;
+  it is *approximate with no hard error bound*, so the summary path
+  below does not rely on it.
+* :class:`LogHistogram` -- base-2 logarithmic histogram with
+  ``2**subbits`` sub-buckets per octave.  Every recorded value lands in
+  a bucket whose width is at most ``2**-subbits`` of its magnitude, so
+  any quantile read back from the histogram has **relative error
+  <= 2**-subbits** (default ``subbits=8``: <= 0.39%).  This bound is
+  deterministic -- not probabilistic like a reservoir -- and the
+  histogram merges exactly across shards.
+* :class:`StreamingSummary` -- glue: Welford + LogHistogram + exact
+  min/max, bridged to ``SummaryStats`` (median, p95, p99, mean, CI)
+  through the same binomial CI ranks the exact path uses
+  (:func:`repro.analysis.stats.median_ci_ranks`).
+
+Memory is O(number of occupied buckets), bounded by
+``subbits``-per-octave times the dynamic range of the data and
+independent of sample count: nanosecond latencies spanning 1ns..100s
+touch at most ~37 octaves, i.e. <10k buckets at the default resolution.
+"""
+
+from __future__ import annotations
+
+from math import frexp, ldexp, sqrt
+from typing import Iterable, Optional
+
+from repro.analysis.stats import SummaryStats, median_ci_ranks
+
+try:  # pragma: no cover - exercised via observe_many when numpy exists
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is in the base image
+    _np = None
+
+
+class Welford:
+    """Running count/mean/variance (Welford online, Chan merge)."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def add_batch(self, count: int, mean: float, m2: float) -> None:
+        """Fold pre-aggregated moments in (Chan et al. pairwise update)."""
+        if count <= 0:
+            return
+        total = self.count + count
+        delta = mean - self.mean
+        self.mean += delta * count / total
+        self._m2 += m2 + delta * delta * self.count * count / total
+        self.count = total
+
+    def merge(self, other: "Welford") -> None:
+        self.add_batch(other.count, other.mean, other._m2)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 until two samples arrive)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return sqrt(self.variance)
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P-squared estimator for a single quantile.
+
+    Five markers track (min, q/2, q, (1+q)/2, max); marker heights move
+    by piecewise-parabolic interpolation as observations arrive.  Exact
+    while fewer than five samples have been seen.  Accuracy is good in
+    practice but carries no worst-case bound -- use
+    :class:`LogHistogram` when a guaranteed bound matters.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments")
+
+    def __init__(self, q: float) -> None:
+        if not 0 < q < 1:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._heights: list[float] = []
+        self._positions = [1, 2, 3, 4, 5]
+        self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+        self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+
+    def add(self, value: float) -> None:
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            heights.sort()
+            return
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        positions = self._positions
+        for i in range(cell + 1, 5):
+            positions[i] += 1
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._increments[i]
+        # Adjust the three interior markers toward their desired ranks.
+        for i in (1, 2, 3):
+            gap = desired[i] - positions[i]
+            if (gap >= 1 and positions[i + 1] - positions[i] > 1) or (
+                gap <= -1 and positions[i - 1] - positions[i] < -1
+            ):
+                step = 1 if gap >= 1 else -1
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step * (h[i + step] - h[i]) / (n[i + step] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current estimate of the tracked quantile."""
+        heights = self._heights
+        if not heights:
+            raise ValueError("P2Quantile.value before any sample")
+        if len(heights) < 5:
+            # Exact small-sample path: nearest-rank on the sorted buffer.
+            rank = max(0, min(len(heights) - 1, round(self.q * (len(heights) - 1))))
+            return heights[rank]
+        return self._heights[2]
+
+
+class LogHistogram:
+    """Base-2 log histogram: relative quantile error <= 2**-subbits.
+
+    A positive value ``v = m * 2**e`` (``frexp``, ``0.5 <= m < 1``)
+    falls in octave ``e - 1`` and sub-bucket ``floor((2m - 1) *
+    2**subbits)``; the bucket spans ``[lo, lo * (1 + 2**-subbits))``
+    with ``lo = 2**octave * (1 + sub * 2**-subbits)``.  Reads report the
+    bucket's lower edge, so a reported quantile ``r`` satisfies
+    ``r <= true < r * (1 + 2**-subbits)`` -- the documented relative
+    error bound (underestimates only, never overestimates).
+
+    Zeros are counted exactly in a dedicated bucket; negative values are
+    rejected (the harness records latencies and rates, both >= 0).
+    """
+
+    __slots__ = ("subbits", "count", "zero_count", "_scale", "_buckets")
+
+    def __init__(self, subbits: int = 8) -> None:
+        if not 1 <= subbits <= 16:
+            raise ValueError(f"subbits must be in [1, 16], got {subbits}")
+        self.subbits = subbits
+        self._scale = 1 << subbits
+        self.count = 0
+        self.zero_count = 0
+        #: bucket key -> occupancy; key = octave * 2**subbits + sub.
+        self._buckets: dict[int, int] = {}
+
+    def _key(self, value: float) -> int:
+        mantissa, exponent = frexp(value)
+        sub = int((2 * mantissa - 1) * self._scale)
+        if sub == self._scale:  # guard against float round-up at m -> 1
+            sub = self._scale - 1
+        return (exponent - 1) * self._scale + sub
+
+    def _edge(self, key: int) -> float:
+        octave, sub = divmod(key, self._scale)
+        return ldexp(1 + sub / self._scale, octave)
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"LogHistogram records non-negative values, got {value}")
+        self.count += 1
+        if value == 0:
+            self.zero_count += 1
+            return
+        key = self._key(value)
+        buckets = self._buckets
+        buckets[key] = buckets.get(key, 0) + 1
+
+    def add_many(self, values) -> None:
+        """Bulk insert; vectorized with numpy when available."""
+        if _np is not None:
+            arr = _np.asarray(values, dtype=_np.float64)
+            if arr.size == 0:
+                return
+            if bool((arr < 0).any()):
+                raise ValueError("LogHistogram records non-negative values")
+            self.count += int(arr.size)
+            zeros = int((arr == 0).sum())
+            self.zero_count += zeros
+            positive = arr[arr > 0]
+            if positive.size == 0:
+                return
+            mantissa, exponent = _np.frexp(positive)
+            sub = ((2 * mantissa - 1) * self._scale).astype(_np.int64)
+            _np.clip(sub, 0, self._scale - 1, out=sub)
+            keys = (exponent.astype(_np.int64) - 1) * self._scale + sub
+            uniq, counts = _np.unique(keys, return_counts=True)
+            buckets = self._buckets
+            for key, bump in zip(uniq.tolist(), counts.tolist()):
+                buckets[key] = buckets.get(key, 0) + bump
+            return
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "LogHistogram") -> None:
+        if other.subbits != self.subbits:
+            raise ValueError("cannot merge histograms with different subbits")
+        self.count += other.count
+        self.zero_count += other.zero_count
+        buckets = self._buckets
+        for key, bump in other._buckets.items():
+            buckets[key] = buckets.get(key, 0) + bump
+
+    def __len__(self) -> int:
+        """Occupied buckets -- the memory footprint, not the sample count."""
+        return len(self._buckets) + (1 if self.zero_count else 0)
+
+    def value_at_rank(self, rank: int) -> float:
+        """Lower edge of the bucket holding the rank-th smallest sample.
+
+        ``rank`` is 1-indexed (order-statistic convention, matching
+        :func:`repro.analysis.stats.median_ci_ranks`).
+        """
+        if not 1 <= rank <= self.count:
+            raise ValueError(f"rank {rank} outside [1, {self.count}]")
+        if rank <= self.zero_count:
+            return 0.0
+        remaining = rank - self.zero_count
+        for key in sorted(self._buckets):
+            remaining -= self._buckets[key]
+            if remaining <= 0:
+                return self._edge(key)
+        raise AssertionError("bucket counts inconsistent with self.count")
+
+    def quantile(self, q: float) -> float:
+        """q-th quantile (0..1), nearest-rank, within the error bound."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("quantile of empty histogram")
+        rank = max(1, min(self.count, round(q * (self.count - 1)) + 1))
+        return self.value_at_rank(rank)
+
+
+class StreamingSummary:
+    """Bounded-memory replacement for ``stats.summarize`` at scale.
+
+    Combines exact moments (:class:`Welford`), exact min/max, and
+    bounded-error quantiles (:class:`LogHistogram`).  ``summarize()``
+    returns the same :class:`~repro.analysis.stats.SummaryStats` shape
+    as the exact path, with median/p95/p99/CI read from the histogram:
+    each carries the histogram's relative error bound of
+    ``2**-subbits``; count, mean, min and max are exact.
+    """
+
+    __slots__ = ("welford", "histogram", "minimum", "maximum")
+
+    def __init__(self, subbits: int = 8) -> None:
+        self.welford = Welford()
+        self.histogram = LogHistogram(subbits)
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    def observe(self, value: float) -> None:
+        self.welford.add(value)
+        self.histogram.add(value)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Bulk observe; numpy arrays take the vectorized path."""
+        if _np is not None:
+            arr = _np.asarray(values, dtype=_np.float64)
+            if arr.size == 0:
+                return
+            self.histogram.add_many(arr)
+            batch_mean = float(arr.mean())
+            self.welford.add_batch(
+                int(arr.size),
+                batch_mean,
+                float(((arr - batch_mean) ** 2).sum()),
+            )
+            low, high = float(arr.min()), float(arr.max())
+            if self.minimum is None or low < self.minimum:
+                self.minimum = low
+            if self.maximum is None or high > self.maximum:
+                self.maximum = high
+            return
+        for value in values:
+            self.observe(value)
+
+    def merge(self, other: "StreamingSummary") -> None:
+        """Exact fold of a shard's accumulator (for parallel runs)."""
+        self.welford.merge(other.welford)
+        self.histogram.merge(other.histogram)
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+
+    def summarize(self, confidence: float = 0.99) -> SummaryStats:
+        n = self.count
+        if n == 0:
+            raise ValueError("summarize of empty stream")
+        hist = self.histogram
+        lo, hi = median_ci_ranks(n, confidence)
+        return SummaryStats(
+            count=n,
+            median=hist.quantile(0.5),
+            p99=hist.quantile(0.99),
+            mean=self.welford.mean,
+            minimum=float(self.minimum),
+            maximum=float(self.maximum),
+            ci_low=hist.value_at_rank(lo),
+            ci_high=hist.value_at_rank(hi),
+            confidence=confidence,
+            p95=hist.quantile(0.95),
+        )

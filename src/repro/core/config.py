@@ -82,6 +82,13 @@ class RFaaSConfig:
     #: Operator-provisioned secret shared by managers and executors;
     #: leases are MAC-signed with it (Sec. III-E authentication).
     cluster_secret: bytes = b"rfaas-cluster-secret"
+    #: Event-loop scheduler for environments the deployment creates
+    #: itself: ``None``/"heap" = binary heap (best at small scale),
+    #: "wheel" = hierarchical timer wheel (O(1) scheduling; the choice
+    #: for 10^5+ concurrently pending timeouts -- lease renewals, poll
+    #: intervals, in-flight invocations).  Simulated results are
+    #: bit-identical either way; see ``repro.sim.wheel``.
+    scheduler: Optional[str] = None
 
 
 @dataclass

@@ -25,6 +25,7 @@ from repro.core.resource_manager import ResourceManager
 from repro.rdma.fabric import Fabric, FaultModel
 from repro.rdma.latency import LatencyModel
 from repro.sim.core import Environment
+from repro.sim.wheel import new_environment
 
 
 @dataclass
@@ -59,9 +60,9 @@ class Deployment:
         The manager registration handshakes run inside the simulation;
         call :meth:`settle` (or just start using invokers) afterwards.
         """
-        env = env or Environment()
-        fabric = Fabric(env, latency_model, faults=faults)
         config = config or RFaaSConfig()
+        env = env or new_environment(config.scheduler)
+        fabric = Fabric(env, latency_model, faults=faults)
         spec = node_spec or NodeSpec()
         deployment = cls(env=env, fabric=fabric, config=config)
 

@@ -183,6 +183,13 @@ def main(argv: list[str] | None = None) -> int:
         help="for 'bench': allowed fractional events/s drop vs the "
         "baseline before failing (default 0.30)",
     )
+    parser.add_argument(
+        "--max-rss-growth",
+        type=float,
+        default=0.20,
+        help="for 'bench': allowed fractional peak-RSS growth of the "
+        "scale run vs the baseline before failing (default 0.20)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -208,6 +215,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.baseline,
                 args.baseline_label,
                 max_regression=args.max_regression,
+                max_rss_growth=args.max_rss_growth,
             )
             if problems:
                 for problem in problems:

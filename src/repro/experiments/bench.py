@@ -32,6 +32,7 @@ survives re-runs on the optimized one.
 from __future__ import annotations
 
 import json
+import resource
 import statistics
 import time
 from pathlib import Path
@@ -39,6 +40,22 @@ from typing import Any, Optional
 
 from repro import perf
 from repro.parallel import FailedPoint, RunSpec, available_workers, run_specs
+
+
+def _rss_self() -> int:
+    """Lifetime peak RSS of this process in bytes (Linux reports KiB).
+
+    Inside a fanned-out repetition this is the forked worker's own
+    peak; in a serial run it is the whole bench process, so serial
+    numbers are an upper bound rather than per-loop attribution.
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def _rss_tree() -> int:
+    """Peak RSS across this process and all reaped children, bytes."""
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024
+    return max(_rss_self(), children)
 
 #: The multi-experiment batch timed serial-vs-parallel (quick kwargs).
 #: Deliberately the *heavier* quick experiments, so worker startup and
@@ -76,19 +93,25 @@ def _kernel_once() -> dict[str, Any]:
         "wall_s": wall_s,
         "events_processed": env.events_processed,
         "timeout_pool_hits": pool_hits,
+        "peak_rss_bytes": _rss_self(),
     }
 
 
 def _pingpong_once() -> dict[str, Any]:
     """One self-timed run of 100 WRITE_WITH_IMM ping-pongs of 64 B."""
+    from repro.rdma.fabric import Fabric
     from repro.rdma.microbench import ib_write_lat
+    from repro.sim import Environment
 
     t0 = time.perf_counter()
-    result = ib_write_lat(64, iterations=100)
+    env = Environment()
+    result = ib_write_lat(64, iterations=100, fabric=Fabric(env))
     return {
         "wall_s": time.perf_counter() - t0,
         "iterations": len(result.rtts_ns),
         "median_rtt_ns": statistics.median(result.rtts_ns),
+        "events_processed": env.events_processed,
+        "peak_rss_bytes": _rss_self(),
     }
 
 
@@ -119,6 +142,31 @@ def _invocation_once() -> dict[str, Any]:
         "invocations": 50,
         "events_processed": dep.env.events_processed,
         "final_now_ns": dep.env.now,
+        "peak_rss_bytes": _rss_self(),
+    }
+
+
+def _scale_once(scheduler: str, quick: bool = False) -> dict[str, Any]:
+    """One open-loop scale run (see :mod:`repro.experiments.scale`).
+
+    Module-level so ``run_specs`` can ship it to a forked worker: each
+    scheduler runs in a fresh process, which is what makes the
+    ``peak_rss_bytes`` numbers attributable to that scheduler instead
+    of to whatever ran earlier in the bench process.
+    """
+    from repro.experiments.scale import QUICK_KWARGS, run_scale
+
+    kwargs = dict(QUICK_KWARGS) if quick else {}
+    result = run_scale(scheduler=scheduler, **kwargs)
+    return {
+        "wall_s": result.wall_s,
+        "invocations": result.invocations,
+        "events_processed": result.events_processed,
+        "events_per_sec": round(result.events_per_sec),
+        "peak_rss_bytes": result.peak_rss_bytes,
+        "stream_buckets": result.stream_buckets,
+        "occupancy": result.occupancy,
+        "fingerprint": result.fingerprint(),
     }
 
 
@@ -135,20 +183,30 @@ def _repeated(factory: str, repeats: int, parallel: int) -> list[dict[str, Any]]
     return outcomes
 
 
-def _stats(runs: list[float]) -> dict[str, Any]:
-    return {
+def _stats(reps: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate self-timed repetitions.
+
+    Every entry carries ``events_per_sec`` (from its event count and
+    median wall clock) and ``peak_rss_bytes`` (max across repetitions)
+    so the trajectory file tracks memory alongside throughput.
+    """
+    runs = [r["wall_s"] for r in reps]
+    out: dict[str, Any] = {
         "median_s": statistics.median(runs),
         "min_s": min(runs),
         "runs_s": runs,
+        "peak_rss_bytes": max(r["peak_rss_bytes"] for r in reps),
     }
+    if "events_processed" in reps[-1]:
+        out["events_processed"] = reps[-1]["events_processed"]
+        out["events_per_sec"] = round(out["events_processed"] / out["median_s"])
+    return out
 
 
 def bench_kernel(repeats: int, parallel: int = 1) -> dict[str, Any]:
     """Pure event-loop throughput: ping-pong timeouts (5000 events)."""
     reps = _repeated("_kernel_once", repeats, parallel)
-    out = _stats([r["wall_s"] for r in reps])
-    out["events_processed"] = reps[-1]["events_processed"]
-    out["events_per_sec"] = round(out["events_processed"] / out["median_s"])
+    out = _stats(reps)
     out["timeout_pool_hits"] = reps[-1]["timeout_pool_hits"]
     return out
 
@@ -156,7 +214,7 @@ def bench_kernel(repeats: int, parallel: int = 1) -> dict[str, Any]:
 def bench_pingpong(repeats: int, parallel: int = 1) -> dict[str, Any]:
     """Full verbs data path: 100 WRITE_WITH_IMM ping-pongs of 64 B."""
     reps = _repeated("_pingpong_once", repeats, parallel)
-    out = _stats([r["wall_s"] for r in reps])
+    out = _stats(reps)
     out["iterations"] = reps[-1]["iterations"]
     out["median_rtt_ns"] = reps[-1]["median_rtt_ns"]
     return out
@@ -165,11 +223,44 @@ def bench_pingpong(repeats: int, parallel: int = 1) -> dict[str, Any]:
 def bench_invocation(repeats: int, parallel: int = 1) -> dict[str, Any]:
     """End-to-end rFaaS invocations incl. control-plane setup (50 calls)."""
     reps = _repeated("_invocation_once", repeats, parallel)
-    out = _stats([r["wall_s"] for r in reps])
+    out = _stats(reps)
     out["invocations"] = reps[-1]["invocations"]
-    out["events_processed"] = reps[-1]["events_processed"]
     out["final_now_ns"] = reps[-1]["final_now_ns"]
     return out
+
+
+def bench_scale(quick: bool = False) -> dict[str, Any]:
+    """Heap-vs-wheel on the open-loop scale scenario (the tentpole bench).
+
+    Each scheduler runs in its own forked process, sequentially: peak
+    RSS is a process-lifetime high-water mark, so sharing a process
+    would let the first run's footprint mask the second's.  The
+    simulated outputs must be bit-identical across schedulers
+    (``bit_identical``); the headline is ``speedup`` =
+    heap wall clock / wheel wall clock on identical event streams.
+    """
+    runs: dict[str, dict[str, Any]] = {}
+    for scheduler in ("heap", "wheel"):
+        spec = RunSpec(
+            factory="repro.experiments.bench:_scale_once",
+            kwargs={"scheduler": scheduler, "quick": quick},
+            label=f"scale[{scheduler}]",
+        )
+        (outcome,) = run_specs([spec], 2)
+        if isinstance(outcome, FailedPoint):
+            raise RuntimeError(f"scale bench failed: {outcome.summary()}")
+        runs[scheduler] = outcome
+    heap, wheel = runs["heap"], runs["wheel"]
+    return {
+        "heap": heap,
+        "wheel": wheel,
+        "invocations": wheel["invocations"],
+        "events_processed": wheel["events_processed"],
+        "events_per_sec": wheel["events_per_sec"],
+        "peak_rss_bytes": max(heap["peak_rss_bytes"], wheel["peak_rss_bytes"]),
+        "speedup": heap["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
+        "bit_identical": heap["fingerprint"] == wheel["fingerprint"],
+    }
 
 
 def bench_parallel_batch(parallel: int) -> dict[str, Any]:
@@ -207,6 +298,7 @@ def bench_parallel_batch(parallel: int) -> dict[str, Any]:
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "speedup": serial_s / parallel_s if parallel_s else 0.0,
+        "peak_rss_bytes": _rss_tree(),
         # On a single usable CPU the "parallel" run just adds worker
         # startup + IPC on top of serialized execution, so the speedup
         # says nothing about the engine.  Flag it so trajectory readers
@@ -273,6 +365,7 @@ def bench_cache_batch(
             "misses": stats["session"]["misses"],
             "bytes_read": stats["session"]["bytes_read"],
             "bytes_written": stats["session"]["bytes_written"],
+            "peak_rss_bytes": _rss_tree(),
         }
     finally:
         if owns_dir:
@@ -296,6 +389,8 @@ def run_bench(quick: bool = False, parallel: int = 1) -> dict[str, Any]:
     if parallel != 1:
         results["parallel_batch"] = bench_parallel_batch(parallel)
     results["cache_batch"] = bench_cache_batch()
+    results["scale_openloop"] = bench_scale(quick)
+    results["peak_rss_bytes"] = _rss_tree()
     return results
 
 
@@ -320,14 +415,22 @@ def check_regression(
     baseline_path: str,
     baseline_label: Optional[str],
     max_regression: float = 0.30,
+    max_rss_growth: float = 0.20,
 ) -> list[str]:
     """Compare *results* against a committed trajectory entry.
 
     Guards the DES kernel's ``events_per_sec`` (the one figure every
     hot-path PR moves): a drop of more than *max_regression* versus the
-    baseline entry is reported as a failure string.  Returns a list of
-    problems, empty when the run is clean; a missing baseline file or
-    entry is itself a problem (a silently absent guard guards nothing).
+    baseline entry is reported as a failure string.  Also guards peak
+    RSS: growth beyond *max_rss_growth* versus the baseline fails --
+    the scale engine's whole point is bounded memory, so a quiet
+    footprint regression is as real as a throughput one.  Baselines
+    recorded before RSS tracking simply lack the key and skip that
+    check (old entries stay usable as throughput baselines).
+
+    Returns a list of problems, empty when the run is clean; a missing
+    baseline file or entry is itself a problem (a silently absent guard
+    guards nothing).
     """
     try:
         doc = json.loads(Path(baseline_path).read_text())
@@ -338,6 +441,7 @@ def check_regression(
     entry = entries.get(label) if label else None
     if not isinstance(entry, dict):
         return [f"no baseline entry {label!r} in {baseline_path}"]
+    problems = []
     try:
         base_rate = float(entry["kernel_event_throughput"]["events_per_sec"])
         current_rate = float(results["kernel_event_throughput"]["events_per_sec"])
@@ -345,12 +449,25 @@ def check_regression(
         return [f"baseline/current entries missing kernel_event_throughput: {exc}"]
     floor = base_rate * (1.0 - max_regression)
     if current_rate < floor:
-        return [
+        problems.append(
             f"kernel_event_throughput.events_per_sec {current_rate:,.0f} is "
             f"{1 - current_rate / base_rate:.1%} below baseline {label!r} "
             f"({base_rate:,.0f}; allowed drop {max_regression:.0%})"
-        ]
-    return []
+        )
+    base_scale = entry.get("scale_openloop")
+    current_scale = results.get("scale_openloop")
+    if isinstance(base_scale, dict) and isinstance(current_scale, dict):
+        base_rss = base_scale.get("peak_rss_bytes")
+        current_rss = current_scale.get("peak_rss_bytes")
+        if base_rss and current_rss:
+            ceiling = float(base_rss) * (1.0 + max_rss_growth)
+            if float(current_rss) > ceiling:
+                problems.append(
+                    f"scale_openloop.peak_rss_bytes {current_rss:,} is "
+                    f"{current_rss / base_rss - 1:.1%} above baseline {label!r} "
+                    f"({base_rss:,}; allowed growth {max_rss_growth:.0%})"
+                )
+    return problems
 
 
 def show(results: dict[str, Any]) -> None:
@@ -383,4 +500,19 @@ def show(results: dict[str, Any]) -> None:
             "cache_batch: {n} experiments  cold {cold_s:.1f}s -> warm {warm_s:.2f}s  "
             "({speedup:.1f}x, bit_identical={bit_identical}, "
             "{hits} hits/{misses} misses)".format(n=len(cached["experiments"]), **cached)
+        )
+    scale = results.get("scale_openloop")
+    if scale:
+        print(
+            "scale_openloop: {invocations:,} invocations  heap {heap_s:.1f}s -> "
+            "wheel {wheel_s:.1f}s  ({speedup:.2f}x, {events_per_sec:,} events/s, "
+            "peak RSS {rss_mib:.0f} MiB, bit_identical={bit_identical})".format(
+                invocations=scale["invocations"],
+                heap_s=scale["heap"]["wall_s"],
+                wheel_s=scale["wheel"]["wall_s"],
+                speedup=scale["speedup"],
+                events_per_sec=scale["events_per_sec"],
+                rss_mib=scale["peak_rss_bytes"] / 2**20,
+                bit_identical=scale["bit_identical"],
+            )
         )

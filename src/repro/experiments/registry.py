@@ -23,6 +23,8 @@ from repro.experiments.fig13 import run_fig13
 from repro.experiments.leases import run_leases
 from repro.experiments.multitenant import run_multitenant
 from repro.experiments.pipelining import run_pipelining
+from repro.experiments.scale import QUICK_KWARGS as SCALE_QUICK_KWARGS
+from repro.experiments.scale import run_scale
 from repro.experiments.softroce import run_softroce
 from repro.experiments.suite import run_suite
 from repro.experiments.table1 import run_table1
@@ -118,6 +120,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Per-worker invocation pipelining throughput ablation",
             run_pipelining,
             {"sizes": (1_024, 1_048_576), "depths": (1, 4), "burst": 12},
+        ),
+        Experiment(
+            "scale",
+            "Open-loop million-invocation load over a leased warm pool",
+            run_scale,
+            dict(SCALE_QUICK_KWARGS),
         ),
     )
 }

@@ -37,6 +37,10 @@ class Counters:
         "cache_misses",
         "cache_bytes_read",
         "cache_bytes_written",
+        "wheel_entries",
+        "heap_entries",
+        "wheel_cascades",
+        "wheel_overflow_inserts",
     )
 
     def __init__(self) -> None:
@@ -57,6 +61,19 @@ class Counters:
         self.cache_bytes_read = 0
         #: Artifact bytes persisted on cache fills.
         self.cache_bytes_written = 0
+        #: Peak sampled timer-wheel residency (events owned by the O(1)
+        #: wheel paths of a WheelEnvironment) -- a gauge, not a total.
+        self.wheel_entries = 0
+        #: Peak sampled overflow-heap residency alongside the wheel.
+        self.heap_entries = 0
+        #: Level-1 buckets cascaded into level-0 slots.
+        self.wheel_cascades = 0
+        #: Scheduled entries that bypassed the wheel (beyond horizon).
+        self.wheel_overflow_inserts = 0
+
+
+#: Counters that are sampled gauges (peaks): merged with max, not sum.
+_GAUGES = frozenset({"wheel_entries", "heap_entries"})
 
 
 counters = Counters()
@@ -87,7 +104,10 @@ def merge(other: dict[str, Any]) -> None:
     here, so ``perf`` totals are execution-mode independent.
     """
     for name in Counters.__slots__:
-        setattr(counters, name, getattr(counters, name) + int(other.get(name, 0)))
+        if name in _GAUGES:
+            setattr(counters, name, max(getattr(counters, name), int(other.get(name, 0))))
+        else:
+            setattr(counters, name, getattr(counters, name) + int(other.get(name, 0)))
 
 
 def snapshot() -> dict[str, Any]:

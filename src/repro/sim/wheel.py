@@ -1,0 +1,510 @@
+"""Hierarchical timer-wheel scheduler: the million-event fast path.
+
+:class:`WheelEnvironment` replaces the single binary heap of
+:class:`~repro.sim.core.Environment` with a two-level timer wheel plus
+the original heap kept as far-future overflow:
+
+* **Level 0** -- ``2**slot_bits`` slots of ``2**granularity_bits`` ns
+  each (defaults: 4096 slots x 256 ns ~ a 1.05 ms horizon).  Scheduling
+  an event is one ``list.append`` into the slot of its deadline --- no
+  heap sift through a million pending entries.
+* **Level 1** -- ``2**window_bits`` buckets, each covering one full
+  level-0 span (default 1024 x 1.05 ms ~ 1.07 s).  A bucket cascades
+  into level-0 slots exactly once, when the cursor enters its window.
+* **Overflow heap** -- anything beyond the level-1 horizon (and any
+  priority/irregular event far in the future) lands in the same
+  ``heapq`` the base class uses, so pathological schedules degrade to
+  the old behaviour instead of breaking.
+
+The dominant fixed-delay timeouts of this codebase -- network hops,
+poll intervals, retry backoffs (microseconds, level 0) and service
+times and lease renewals (milliseconds, level 1) -- are all O(1)
+appends here.
+
+Ordering invariant
+------------------
+Event ordering is **bit-identical** to the heap scheduler: pops come in
+ascending ``(when, priority, eid)`` order with the same monotonically
+increasing ``eid`` tiebreak.  Every structure stores the same 4-tuples
+the heap does; a slot is sorted (C timsort) once, when its turn comes,
+and every pop compares the active slot's head against the spill and
+overflow heads, so an entry can never jump the global order no matter
+which structure it sits in.  ``tests/sim/test_wheel.py`` fuzzes this
+equivalence against the heap scheduler across 50+ seeds.
+
+Where entries live
+------------------
+``active``
+    The sorted bucket currently being drained (cursor's slot), walked
+    by index -- popping is O(1).
+``spill``
+    A small heap for events scheduled *into the active slot or earlier*
+    (e.g. zero-delay wakeups) after the slot was sorted.  Always
+    strictly earlier than every level-0/level-1 entry.
+``slots0[i]`` / ``slots1[j]``
+    Unsorted append-only buckets.  Two entries can share a physical
+    bucket only if they share the same absolute slot/window number
+    (the horizons guarantee it), so no lap-counting is needed.
+``overflow``
+    ``self._queue`` -- the inherited heap.
+
+When the wheel runs completely dry the cursor re-anchors itself to the
+current time on the next insert, so a schedule that went far-future
+(overflow only) does not degrade every later insert to the heap.
+"""
+
+from __future__ import annotations
+
+import sys
+from heapq import heappop, heappush
+from typing import Any, Optional, Union
+
+from repro import perf
+from repro.sim.core import Environment, EmptySchedule, StopSimulation, _TIMEOUT_POOL_MAX
+from repro.sim.events import NORMAL, Event, Timeout
+
+#: Priority used by ``run(until=<int>)`` stop markers (matches the base
+#: class, which the ordering-equivalence tests rely on).
+_STOP_PRIORITY = 1 << 30
+
+
+class WheelEnvironment(Environment):
+    """Drop-in :class:`Environment` with a hierarchical timer wheel.
+
+    Identical simulated results, different wall-clock complexity:
+    scheduling is O(1) instead of O(log n) in the number of pending
+    events, which is what makes million-invocation open-loop runs
+    (~10^5..10^6 concurrently pending timers) routinely benchmarkable.
+    See :mod:`repro.experiments.scale`.
+    """
+
+    __slots__ = (
+        "_gbits",
+        "_sbits0",
+        "_mask0",
+        "_smask0",
+        "_mask1",
+        "_slots0",
+        "_slots1",
+        "_cursor",
+        "_active",
+        "_ai",
+        "_spill",
+        "_l0_count",
+        "_l1_count",
+        "cascades",
+        "overflow_inserts",
+    )
+
+    def __init__(
+        self,
+        initial_time: int = 0,
+        granularity_bits: int = 8,
+        slot_bits: int = 12,
+        window_bits: int = 10,
+    ) -> None:
+        super().__init__(initial_time)
+        if granularity_bits < 0 or slot_bits < 1 or window_bits < 1:
+            raise ValueError("wheel geometry bits must be positive")
+        self._gbits = granularity_bits
+        self._sbits0 = slot_bits
+        self._mask0 = (1 << slot_bits) - 1
+        #: ``cursor & _smask0 == 0`` marks a level-1 window boundary.
+        self._smask0 = self._mask0
+        self._mask1 = (1 << window_bits) - 1
+        self._slots0: list[list[tuple]] = [[] for _ in range(1 << slot_bits)]
+        self._slots1: list[list[tuple]] = [[] for _ in range(1 << window_bits)]
+        #: Absolute level-0 slot number of the slot being drained.
+        self._cursor = initial_time >> granularity_bits
+        self._active: list[tuple] = []
+        self._ai = 0
+        self._spill: list[tuple] = []
+        self._l0_count = 0
+        self._l1_count = 0
+        #: Level-1 buckets cascaded into level 0 (lifetime).
+        self.cascades = 0
+        #: Entries that bypassed the wheel into the overflow heap.
+        self.overflow_inserts = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def _insert(self, entry: tuple) -> None:
+        """File *entry* into spill/level-0/level-1/overflow by deadline."""
+        s0 = entry[0] >> self._gbits
+        for _ in range(2):
+            d0 = s0 - self._cursor
+            if d0 <= 0:
+                # Active slot or earlier (>= now by construction): the
+                # spill heap merges with the sorted active bucket at pop.
+                heappush(self._spill, entry)
+                return
+            if d0 <= self._mask0:
+                self._slots0[s0 & self._mask0].append(entry)
+                self._l0_count += 1
+                return
+            d1 = (s0 >> self._sbits0) - (self._cursor >> self._sbits0)
+            if d1 <= self._mask1:
+                self._slots1[(s0 >> self._sbits0) & self._mask1].append(entry)
+                self._l1_count += 1
+                return
+            if (
+                self._l0_count
+                or self._l1_count
+                or self._spill
+                or self._ai < len(self._active)
+                or self._cursor >= self._now >> self._gbits
+            ):
+                break
+            # Wheel completely dry and the cursor far in the past
+            # (overflow pops advance time without moving it): re-anchor
+            # to now and classify once more.
+            self._cursor = self._now >> self._gbits
+        self.overflow_inserts += 1
+        heappush(self._queue, entry)
+
+    def schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
+        """Queue *event* to be processed *delay* ns from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._insert((self._now + int(delay), priority, next(self._eid), event))
+
+    def schedule_timeout(self, event: Event, delay: int) -> None:
+        """Fast-path scheduling of pre-validated NORMAL-priority events.
+
+        The two dominant destinations -- a level-0 slot ahead of the
+        cursor, or the spill heap for same-slot-or-earlier deadlines --
+        are classified inline; everything else (level 1, overflow,
+        re-anchoring) falls through to :meth:`_insert`.  Both paths
+        build identical entry tuples, so ordering is unaffected.
+        """
+        when = self._now + delay
+        s0 = when >> self._gbits
+        d0 = s0 - self._cursor
+        if d0 > 0:
+            if d0 <= self._mask0:
+                self._slots0[s0 & self._mask0].append(
+                    (when, NORMAL, next(self._eid), event)
+                )
+                self._l0_count += 1
+                return
+            self._insert((when, NORMAL, next(self._eid), event))
+            return
+        heappush(self._spill, (when, NORMAL, next(self._eid), event))
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Pooled timeout (see base class), scheduled through the wheel."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            if type(delay) is not int:
+                delay = int(delay)
+            event: Timeout = pool.pop()
+            event.callbacks = []
+            event._delay = delay
+            event._value = value
+            self.schedule_timeout(event, delay)
+            return event
+        return Timeout(self, delay, value)
+
+    # -- dequeue -------------------------------------------------------
+
+    def _cascade(self, window: int) -> None:
+        """Scatter level-1 *window*'s bucket into level-0 slots."""
+        index = window & self._mask1
+        bucket = self._slots1[index]
+        if not bucket:
+            return
+        self._slots1[index] = []
+        self._l1_count -= len(bucket)
+        self._l0_count += len(bucket)
+        self.cascades += 1
+        gbits, mask0, slots0 = self._gbits, self._mask0, self._slots0
+        for entry in bucket:
+            slots0[(entry[0] >> gbits) & mask0].append(entry)
+
+    def _refill(self) -> None:
+        """Advance the cursor to the next occupied slot and sort it.
+
+        Precondition: the active bucket is exhausted, the spill heap is
+        empty and ``_l0_count + _l1_count > 0`` (so the scan provably
+        terminates).  Cascades level-1 buckets at each window boundary
+        it crosses; when level 0 is empty it jumps window-to-window
+        instead of probing all 4096 slots.
+        """
+        c = self._cursor
+        slots0, mask0, smask0 = self._slots0, self._mask0, self._smask0
+        sbits0 = self._sbits0
+        while True:
+            c += 1
+            if not c & smask0:
+                self._cascade(c >> sbits0)
+            bucket = slots0[c & mask0]
+            if bucket:
+                break
+            if not self._l0_count:
+                # Nothing in level 0: skip straight to the last slot of
+                # this window so the next increment cascades the next one.
+                c |= smask0
+        self._cursor = c
+        slots0[c & mask0] = []
+        self._l0_count -= len(bucket)
+        bucket.sort()
+        self._active = bucket
+        self._ai = 0
+
+    def _pop(self) -> tuple:
+        """Remove and return the globally minimal ``(when, prio, eid,
+        event)`` entry; raises ``IndexError`` when nothing is pending."""
+        while True:
+            active = self._active
+            ai = self._ai
+            if ai < len(active):
+                entry = active[ai]
+                spill = self._spill
+                if spill and spill[0] < entry:
+                    entry = spill[0]
+                    overflow = self._queue
+                    if overflow and overflow[0] < entry:
+                        return heappop(overflow)
+                    return heappop(spill)
+                overflow = self._queue
+                if overflow and overflow[0] < entry:
+                    return heappop(overflow)
+                self._ai = ai + 1
+                # Drop the bucket's reference so the Timeout free list's
+                # getrefcount guard sees the same counts as the heap path.
+                active[ai] = None
+                return entry
+            spill = self._spill
+            if spill:
+                # Spill entries precede everything in level 0/1.
+                entry = spill[0]
+                overflow = self._queue
+                if overflow and overflow[0] < entry:
+                    return heappop(overflow)
+                return heappop(spill)
+            if not (self._l0_count or self._l1_count):
+                return heappop(self._queue)
+            self._refill()
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or ``None`` if none.
+
+        O(pending) -- it scans the wheel without draining it.  Fine for
+        the occasional caller; the run loop never uses it.
+        """
+        best: Optional[tuple] = None
+        if self._ai < len(self._active):
+            best = self._active[self._ai]
+        for heap in (self._spill, self._queue):
+            if heap and (best is None or heap[0] < best):
+                best = heap[0]
+        if self._l0_count:
+            for bucket in self._slots0:
+                for entry in bucket:
+                    if best is None or entry < best:
+                        best = entry
+        if self._l1_count:
+            for bucket in self._slots1:
+                for entry in bucket:
+                    if best is None or entry < best:
+                        best = entry
+        return best[0] if best is not None else None
+
+    def pending_events(self) -> int:
+        """Total events currently scheduled (all structures)."""
+        return (
+            len(self._active)
+            - self._ai
+            + len(self._spill)
+            + self._l0_count
+            + self._l1_count
+            + len(self._queue)
+        )
+
+    def occupancy(self) -> dict[str, int]:
+        """Wheel-vs-heap residency right now, plus lifetime counters.
+
+        ``wheel`` counts entries the O(1) paths own (active + spill +
+        both levels); ``heap`` is the overflow residue.  The scale
+        bench samples this and publishes the peaks through
+        :mod:`repro.perf` (``wheel_entries`` / ``heap_entries``).
+        """
+        wheel = len(self._active) - self._ai + len(self._spill)
+        return {
+            "wheel": wheel + self._l0_count + self._l1_count,
+            "active": len(self._active) - self._ai,
+            "spill": len(self._spill),
+            "level0": self._l0_count,
+            "level1": self._l1_count,
+            "heap": len(self._queue),
+            "cascades": self.cascades,
+            "overflow_inserts": self.overflow_inserts,
+        }
+
+    def sample_occupancy(self) -> dict[str, int]:
+        """:meth:`occupancy`, also published to :mod:`repro.perf`.
+
+        While counting is enabled, ``perf.counters.wheel_entries`` /
+        ``heap_entries`` track the *peak* sampled residency and the
+        cascade/overflow lifetime totals are brought up to date, so
+        bench snapshots show where the schedule actually lived.
+        """
+        occupancy = self.occupancy()
+        if perf.enabled:
+            counters = perf.counters
+            if occupancy["wheel"] > counters.wheel_entries:
+                counters.wheel_entries = occupancy["wheel"]
+            if occupancy["heap"] > counters.heap_entries:
+                counters.heap_entries = occupancy["heap"]
+            counters.wheel_cascades = max(counters.wheel_cascades, self.cascades)
+            counters.wheel_overflow_inserts = max(
+                counters.wheel_overflow_inserts, self.overflow_inserts
+            )
+        return occupancy
+
+    # -- event loop ----------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event (same semantics as the base class)."""
+        try:
+            when, _prio, _eid, event = self._pop()
+        except IndexError:
+            raise EmptySchedule("no more events") from None
+        self._now = when
+        self.events_processed += 1
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(f"event failed with non-exception {exc!r}")
+
+        if (
+            event.__class__ is Timeout
+            and event._ok
+            and not event._defused
+            and len(self._timeout_pool) < _TIMEOUT_POOL_MAX
+            and sys.getrefcount(event) == 2
+        ):
+            self._timeout_pool.append(event)  # type: ignore[arg-type]
+            self._timeout_pool_appends += 1
+
+    def run(self, until: Union[None, int, Event] = None) -> Any:
+        """Run the simulation (same contract as the base class)."""
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    return until.value
+                until.callbacks.append(StopSimulation.callback)
+            else:
+                at = int(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} is in the past (now={self._now})")
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                self._insert((at, _STOP_PRIORITY, next(self._eid), stop))
+                stop.callbacks.append(StopSimulation.callback)
+
+        # Inlined loop mirroring Environment.run; only the dequeue
+        # differs.  The common case of _pop -- next entry comes from the
+        # sorted active bucket -- is inlined here because a method call
+        # per event is measurable at millions of events; spill and
+        # overflow are bound once (heappush/heappop mutate them in
+        # place, only _active changes identity, at refill).
+        pop = self._pop
+        spill = self._spill
+        overflow = self._queue
+        pool = self._timeout_pool
+        getrefcount = sys.getrefcount
+        timeout_cls = Timeout
+        processed = 0
+        pooled = 0
+        try:
+            while True:
+                active = self._active
+                ai = self._ai
+                if ai < len(active):
+                    entry = active[ai]
+                    if spill and spill[0] < entry:
+                        head = spill[0]
+                        if overflow and overflow[0] < head:
+                            entry = heappop(overflow)
+                        else:
+                            entry = heappop(spill)
+                    elif overflow and overflow[0] < entry:
+                        entry = heappop(overflow)
+                    else:
+                        self._ai = ai + 1
+                        active[ai] = None
+                    when, _prio, _eid, event = entry
+                else:
+                    try:
+                        when, _prio, _eid, event = pop()
+                    except IndexError:
+                        if isinstance(until, Event) and not until.triggered:
+                            raise RuntimeError(
+                                "simulation ran out of events before the awaited event triggered"
+                            ) from None
+                        return None
+                self._now = when
+                processed += 1
+
+                callbacks, event.callbacks = event.callbacks, None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise RuntimeError(f"event failed with non-exception {exc!r}")
+
+                if (
+                    event.__class__ is timeout_cls
+                    and event._ok
+                    and not event._defused
+                    and len(pool) < _TIMEOUT_POOL_MAX
+                    and getrefcount(event) == 2
+                ):
+                    pool.append(event)
+                    pooled += 1
+        except StopSimulation as stop:
+            return stop.args[0]
+        finally:
+            self.events_processed += processed
+            self._timeout_pool_appends += pooled
+
+    def __repr__(self) -> str:
+        return f"<WheelEnvironment t={self._now}ns queued={self.pending_events()}>"
+
+
+#: Registry used by :func:`new_environment`.
+SCHEDULERS = ("heap", "wheel")
+
+
+def new_environment(scheduler: Optional[str] = None, initial_time: int = 0, **kwargs: Any):
+    """Build an :class:`Environment` with the requested scheduler.
+
+    ``scheduler`` is ``"heap"`` (the binary-heap baseline, default),
+    ``"wheel"`` (hierarchical timer wheel) or ``None`` for the default.
+    Extra keyword arguments configure the wheel geometry.
+    """
+    scheduler = scheduler or "heap"
+    if scheduler == "heap":
+        if kwargs:
+            raise ValueError(f"heap scheduler takes no options, got {sorted(kwargs)}")
+        return Environment(initial_time)
+    if scheduler == "wheel":
+        return WheelEnvironment(initial_time, **kwargs)
+    raise ValueError(f"unknown scheduler {scheduler!r} (use one of {SCHEDULERS})")

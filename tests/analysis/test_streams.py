@@ -1,0 +1,245 @@
+"""Streaming statistics: error bounds, merges, and edge cases.
+
+The central claim under test: :class:`LogHistogram` quantiles carry a
+deterministic relative error of at most ``2**-subbits`` versus the
+exact sorted-sample quantile, while memory stays proportional to the
+number of occupied buckets (not samples).
+"""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.analysis.stats import percentile, summarize
+from repro.analysis.streams import (
+    LogHistogram,
+    P2Quantile,
+    StreamingSummary,
+    Welford,
+)
+
+
+# -- Welford -----------------------------------------------------------
+
+
+def test_welford_matches_statistics_module():
+    rng = random.Random(1)
+    values = [rng.lognormvariate(10, 1.5) for _ in range(5_000)]
+    w = Welford()
+    for value in values:
+        w.add(value)
+    assert w.count == len(values)
+    assert w.mean == pytest.approx(statistics.fmean(values), rel=1e-12)
+    assert w.sample_variance == pytest.approx(statistics.variance(values), rel=1e-9)
+    assert w.std == pytest.approx(statistics.pstdev(values), rel=1e-9)
+
+
+def test_welford_merge_equals_serial():
+    rng = random.Random(2)
+    left = [rng.gauss(50, 9) for _ in range(777)]
+    right = [rng.gauss(-3, 2) for _ in range(1_234)]
+    serial = Welford()
+    for value in left + right:
+        serial.add(value)
+    a, b = Welford(), Welford()
+    for value in left:
+        a.add(value)
+    for value in right:
+        b.add(value)
+    a.merge(b)
+    assert a.count == serial.count
+    assert a.mean == pytest.approx(serial.mean, rel=1e-12)
+    assert a.variance == pytest.approx(serial.variance, rel=1e-9)
+
+
+def test_welford_empty_and_single():
+    w = Welford()
+    assert w.variance == 0.0
+    w.add(42.0)
+    assert w.mean == 42.0
+    assert w.variance == 0.0  # undefined -> 0 by contract
+    w.merge(Welford())  # merging an empty shard is a no-op
+    assert w.count == 1
+
+
+# -- P2Quantile --------------------------------------------------------
+
+
+def test_p2_exact_below_five_samples():
+    p2 = P2Quantile(0.5)
+    with pytest.raises(ValueError):
+        _ = p2.value
+    p2.add(3.0)
+    assert p2.value == 3.0
+    p2.add(1.0)
+    p2.add(2.0)
+    assert p2.value == 2.0  # nearest-rank on the sorted buffer
+
+
+def test_p2_converges_on_lognormal():
+    rng = random.Random(3)
+    values = [rng.lognormvariate(12, 0.8) for _ in range(20_000)]
+    p2 = P2Quantile(0.95)
+    for value in values:
+        p2.add(value)
+    exact = percentile(values, 95)
+    assert p2.value == pytest.approx(exact, rel=0.05)
+
+
+def test_p2_rejects_degenerate_quantile():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+# -- LogHistogram ------------------------------------------------------
+
+
+@pytest.mark.parametrize("subbits", [4, 8])
+def test_histogram_quantile_error_bound(subbits):
+    """Every reported quantile r satisfies r <= exact < r*(1+2**-subbits)."""
+    rng = random.Random(4)
+    values = [rng.lognormvariate(14, 2.0) for _ in range(30_000)]
+    hist = LogHistogram(subbits)
+    hist.add_many(values)
+    bound = 2.0**-subbits
+    ordered = sorted(values)
+    for q in (0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999):
+        rank = max(1, min(len(ordered), round(q * (len(ordered) - 1)) + 1))
+        exact = ordered[rank - 1]
+        reported = hist.quantile(q)
+        assert reported <= exact, f"q={q}: bucket edge must not overestimate"
+        assert exact < reported * (1 + bound) * (1 + 1e-12), f"q={q}"
+
+
+def test_histogram_scalar_and_vector_paths_identical():
+    rng = random.Random(5)
+    values = [rng.lognormvariate(8, 3.0) for _ in range(2_000)] + [0.0] * 17
+    scalar, vector = LogHistogram(), LogHistogram()
+    for value in values:
+        scalar.add(value)
+    vector.add_many(values)
+    assert scalar._buckets == vector._buckets
+    assert scalar.zero_count == vector.zero_count == 17
+    assert scalar.count == vector.count == len(values)
+
+
+def test_histogram_merge_equals_serial():
+    rng = random.Random(6)
+    left = [rng.expovariate(1e-6) for _ in range(800)]
+    right = [rng.expovariate(1e-3) for _ in range(900)]
+    serial = LogHistogram()
+    serial.add_many(left + right)
+    a, b = LogHistogram(), LogHistogram()
+    a.add_many(left)
+    b.add_many(right)
+    a.merge(b)
+    assert a._buckets == serial._buckets
+    assert a.count == serial.count
+    with pytest.raises(ValueError):
+        a.merge(LogHistogram(4))
+
+
+def test_histogram_memory_is_bounded():
+    """10^5 samples across 30 octaves stay within subbits*octaves buckets."""
+    rng = random.Random(7)
+    hist = LogHistogram(8)
+    hist.add_many([rng.uniform(1, 2**30) for _ in range(100_000)])
+    octaves = 31
+    assert len(hist) <= octaves * 256
+    assert hist.count == 100_000
+
+
+def test_histogram_zero_and_negative():
+    hist = LogHistogram()
+    hist.add(0.0)
+    assert hist.quantile(0.5) == 0.0
+    assert len(hist) == 1
+    with pytest.raises(ValueError):
+        hist.add(-1.0)
+    with pytest.raises(ValueError):
+        hist.add_many([1.0, -2.0])
+    with pytest.raises(ValueError):
+        LogHistogram(0)
+
+
+def test_histogram_rank_edges():
+    hist = LogHistogram()
+    hist.add_many([1.0, 2.0, 4.0])
+    assert hist.value_at_rank(1) == 1.0
+    assert hist.value_at_rank(3) == 4.0
+    with pytest.raises(ValueError):
+        hist.value_at_rank(0)
+    with pytest.raises(ValueError):
+        hist.value_at_rank(4)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+    with pytest.raises(ValueError):
+        LogHistogram().quantile(0.5)
+
+
+def test_histogram_exact_powers_of_two_report_themselves():
+    hist = LogHistogram()
+    hist.add_many([2.0**k for k in range(-10, 40)])
+    for k in range(-10, 40):
+        rank = k + 11
+        assert hist.value_at_rank(rank) == 2.0**k
+
+
+# -- StreamingSummary --------------------------------------------------
+
+
+def test_streaming_summary_tracks_exact_path():
+    """Streaming summarize() vs stats.summarize on the same sample."""
+    rng = random.Random(8)
+    values = [rng.lognormvariate(13, 1.0) for _ in range(50_000)]
+    stream = StreamingSummary()
+    stream.observe_many(values)
+    exact = summarize(values)
+    approx = stream.summarize()
+    bound = 2.0**-8
+    assert approx.count == exact.count
+    assert approx.mean == pytest.approx(exact.mean, rel=1e-9)
+    assert approx.minimum == exact.minimum
+    assert approx.maximum == exact.maximum
+    for name in ("median", "p95", "p99", "ci_low", "ci_high"):
+        a, e = getattr(approx, name), getattr(exact, name)
+        assert abs(a - e) / e <= bound * 1.01, name
+
+
+def test_streaming_summary_scalar_vector_merge_agree():
+    rng = random.Random(9)
+    values = [rng.expovariate(1e-4) for _ in range(3_000)]
+    scalar = StreamingSummary()
+    for value in values:
+        scalar.observe(value)
+    vector = StreamingSummary()
+    vector.observe_many(values)
+    sharded = StreamingSummary()
+    shard = StreamingSummary()
+    sharded.observe_many(values[: len(values) // 2])
+    shard.observe_many(values[len(values) // 2 :])
+    sharded.merge(shard)
+    for other in (vector, sharded):
+        assert other.count == scalar.count
+        assert other.histogram._buckets == scalar.histogram._buckets
+        assert other.minimum == scalar.minimum
+        assert other.maximum == scalar.maximum
+        assert other.welford.mean == pytest.approx(scalar.welford.mean, rel=1e-12)
+
+
+def test_streaming_summary_empty_cases():
+    stream = StreamingSummary()
+    with pytest.raises(ValueError):
+        stream.summarize()
+    stream.observe_many([])  # no-op
+    stream.merge(StreamingSummary())  # merging empty is a no-op
+    assert stream.count == 0
+    stream.observe(5.0)
+    summary = stream.summarize()
+    assert summary.count == 1
+    assert summary.minimum == summary.maximum == 5.0
+    assert not math.isnan(summary.median)

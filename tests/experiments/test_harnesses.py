@@ -25,6 +25,7 @@ def test_registry_complete():
         "concurrency",
         "warmpool",
         "suite",
+        "scale",
     }
     assert set(EXPERIMENTS) == expected
     for experiment in EXPERIMENTS.values():
