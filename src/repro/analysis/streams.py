@@ -341,6 +341,25 @@ class StreamingSummary:
         for value in values:
             self.observe(value)
 
+    @classmethod
+    def merged(cls, parts: Iterable["StreamingSummary"]) -> "StreamingSummary":
+        """Fold shard accumulators, in the given order, into a fresh summary.
+
+        Histogram counts, min/max, and sample counts fold exactly in
+        any order or grouping; the Welford moments use Chan's formulas,
+        which are exact in real arithmetic and reassociate only within
+        float rounding -- callers that need bit-stable output (the
+        sharded scale engine) fold in a fixed order, which this helper
+        guarantees by consuming *parts* sequentially.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merged() needs at least one summary")
+        out = cls(parts[0].histogram.subbits)
+        for part in parts:
+            out.merge(part)
+        return out
+
     def merge(self, other: "StreamingSummary") -> None:
         """Exact fold of a shard's accumulator (for parallel runs)."""
         self.welford.merge(other.welford)

@@ -107,7 +107,9 @@ class Sweep:
         return self.cache
 
     def _execute(self, combos: list[dict[str, Any]]) -> list[Any]:
-        workers = self.parallel if self.parallel > 0 else None  # None = auto
+        # 0/negative means "auto": the shared resolve_workers chain
+        # inside run_specs picks the worker count, same as every path.
+        workers = self.parallel
         cache = self._resolved_cache()
         if (workers == 1 and cache is None) or not combos:
             return [self.fn(**self._call_kwargs(params)) for params in combos]

@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments cache verify --sample 5
     python -m repro.experiments bench --json BENCH_PR1.json --label pr1
     python -m repro.experiments bench --quick --parallel 2
+    python -m repro.experiments scale --shards 4 --parallel auto
+    python -m repro.experiments scale --arrival-shape diurnal --quick
 
 ``--parallel N`` fans independent work out across N worker processes
 via :mod:`repro.parallel` (``auto`` or ``0`` = one per usable CPU,
@@ -34,6 +36,16 @@ sample of entries and diffs them against the stored artifacts).
 ``bench`` ignores ``--cache`` for its timed loops -- reusing a stored
 wall-clock measurement would defeat the point -- but measures the
 cache's own cold-vs-warm speedup as ``cache_batch``.
+
+``--shards K`` decomposes the ``scale`` scenario into K deterministic
+shards (see :mod:`repro.experiments.scale`); merged results are
+bit-identical for every ``--parallel`` value.  A single ``scale`` run
+fans its shards out over ``--parallel`` workers directly; in an
+``all`` batch the outer pool already owns the workers, so shards run
+serially inside scale's worker.  ``--arrival-shape`` picks the arrival
+process (``poisson``, ``bursty``, ``diurnal``) and ``--shard-split``
+the decomposition (``partition`` = exact thinning of the global
+stream, ``thin`` = independent per-shard streams at rate/K).
 """
 
 from __future__ import annotations
@@ -48,16 +60,23 @@ from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experime
 from repro.parallel import FailedPoint, RunSpec, run_specs
 
 
-def _batch_specs(targets: list[str], quick: bool) -> list[RunSpec]:
-    return [
-        RunSpec(
-            factory="repro.experiments.registry:run_experiment_timed",
-            kwargs={"experiment_id": target, "quick": quick},
-            index=index,
-            label=target,
+def _batch_specs(
+    targets: list[str], quick: bool, scale_overrides: dict | None = None
+) -> list[RunSpec]:
+    specs = []
+    for index, target in enumerate(targets):
+        kwargs: dict = {"experiment_id": target, "quick": quick}
+        if target == "scale" and scale_overrides:
+            kwargs.update(scale_overrides)
+        specs.append(
+            RunSpec(
+                factory="repro.experiments.registry:run_experiment_timed",
+                kwargs=kwargs,
+                index=index,
+                label=target,
+            )
         )
-        for index, target in enumerate(targets)
-    ]
+    return specs
 
 
 def _parallel_workers(value: str) -> int:
@@ -135,6 +154,29 @@ def main(argv: list[str] | None = None) -> int:
         "('auto' or 0 = one per usable CPU, 1 = serial; default 1)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="for 'scale': decompose the scenario into K deterministic "
+        "shards (merged result is identical for every --parallel); "
+        "for 'bench': shard count of the scale_sharded entry (default 2)",
+    )
+    parser.add_argument(
+        "--arrival-shape",
+        choices=("poisson", "bursty", "diurnal"),
+        default="poisson",
+        help="for 'scale': arrival process shape (default poisson)",
+    )
+    parser.add_argument(
+        "--shard-split",
+        choices=("partition", "thin"),
+        default="partition",
+        help="for 'scale': shard decomposition -- 'partition' thins the "
+        "global stream exactly, 'thin' draws independent per-shard "
+        "streams at rate/K (default partition)",
+    )
+    parser.add_argument(
         "--cache",
         action=argparse.BooleanOptionalAction,
         default=False,
@@ -204,7 +246,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "bench":
         from repro.experiments.bench import check_regression, run_bench, show, write_bench
 
-        results = run_bench(quick=args.quick, parallel=args.parallel)
+        results = run_bench(
+            quick=args.quick,
+            parallel=args.parallel,
+            shards=args.shards if args.shards is not None else 2,
+        )
         show(results)
         if args.json:
             written = write_bench(args.json, results, label=args.label)
@@ -239,9 +285,29 @@ def main(argv: list[str] | None = None) -> int:
         print("use 'list' to see the available ids", file=sys.stderr)
         return 2
 
+    scale_overrides: dict = {}
+    if args.shards is not None:
+        scale_overrides["shards"] = args.shards
+    if args.arrival_shape != "poisson":
+        scale_overrides["arrival_shape"] = args.arrival_shape
+    if args.shard_split != "partition":
+        scale_overrides["shard_split"] = args.shard_split
+
     cache = _open_cache(args) if args.cache else None
+    outer_workers = args.parallel
+    if scale_overrides and not batch:
+        # A sharded single 'scale' run owns the fan-out itself: the
+        # shards go through repro.parallel directly (with per-shard
+        # cache keys), so the outer dispatch stays inline rather than
+        # nesting a pool inside a pool worker.
+        scale_overrides["parallel"] = args.parallel
+        if cache is not None:
+            scale_overrides["cache_dir"] = str(cache.root)
+        outer_workers = 1
     batch_started = time.perf_counter()
-    outcomes = run_specs(_batch_specs(targets, args.quick), args.parallel, cache=cache)
+    outcomes = run_specs(
+        _batch_specs(targets, args.quick, scale_overrides), outer_workers, cache=cache
+    )
     batch_wall = time.perf_counter() - batch_started
 
     failures: list[FailedPoint] = []

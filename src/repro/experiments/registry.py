@@ -123,7 +123,8 @@ EXPERIMENTS: dict[str, Experiment] = {
         ),
         Experiment(
             "scale",
-            "Open-loop million-invocation load over a leased warm pool",
+            "Open-loop million-invocation load over a leased warm pool "
+            "(shardable across cores: --shards K)",
             run_scale,
             dict(SCALE_QUICK_KWARGS),
         ),

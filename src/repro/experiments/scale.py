@@ -46,10 +46,37 @@ Implementation notes (this file is itself a hot loop):
   exactly the regime where the timer wheel's O(1) scheduling beats the
   binary heap's O(log n) (see ``BENCH_PR4.json``, ``scale_openloop``).
 
+Sharding (PR 5) -- one scenario, many cores:
+
+The classes below run one environment on one core.  ``run_scale_sharded``
+decomposes the *same* scenario into K shards, each a full open-loop
+simulation over a slice of the warm pool and a deterministic share of
+the arrival stream, runs them in forked processes via
+:mod:`repro.parallel`, and folds the per-shard streaming accumulators
+back with the exact ``merge`` paths.  Two decompositions:
+
+* ``partition`` (default): every shard replays the **global** arrival
+  and service streams (seeded by the scenario root) and keeps arrivals
+  whose index is ``shard (mod K)`` -- a systematic thinning of the one
+  true process.  Exact: when the pool never saturates, the K-shard
+  merged result is bit-identical to the 1-shard run, because the same
+  multiset of (arrival, service) pairs flows through, just in separate
+  environments.
+* ``thin``: shard k draws its own streams from
+  ``derive_seed(root, "shard", k)`` at 1/K of the rate -- no redundant
+  global generation, statistically the same superposed process, but a
+  different realization per K.
+
+Either way a shard depends only on ``(spec, k)``: K shards on 1 worker
+are bit-identical to K shards on K workers, and the result cache keys
+each shard spec individually, so repeated or resumed sharded runs are
+incremental.
+
 Run it::
 
     python -m repro.experiments scale            # paper scale, 10^6
     python -m repro.experiments scale --quick    # CI-sized, 10^4
+    python -m repro.experiments scale --shards 4 --parallel auto
 """
 
 from __future__ import annotations
@@ -66,8 +93,9 @@ import numpy as np
 from repro.analysis.reporting import Table, format_bytes, format_ns
 from repro.analysis.stats import SummaryStats
 from repro.analysis.streams import StreamingSummary
+from repro.sim.arrivals import DIURNAL_DAY, arrival_times
 from repro.sim.clock import ms, us
-from repro.sim.rng import RngStreams
+from repro.sim.rng import RngStreams, shard_seed
 from repro.sim.wheel import WheelEnvironment, new_environment
 
 #: Latencies buffered before a vectorized flush into the streaming
@@ -109,6 +137,24 @@ class ScaleConfig:
     granularity_bits: int = 16
     #: Streaming-histogram resolution (quantile error <= 2**-subbits).
     subbits: int = 8
+    #: K-way decomposition of this one scenario (part of the scenario
+    #: identity: a 4-shard run is a different -- reproducible -- spec).
+    shards: int = 1
+    #: "partition" (global streams, keep index % K == k; exact) or
+    #: "thin" (independent derive_seed(root, "shard", k) streams at
+    #: rate/K; cheaper, different realization per K).
+    shard_split: str = "partition"
+    #: Arrival process: "poisson", "bursty", or "diurnal"
+    #: (see :mod:`repro.sim.arrivals`).
+    arrival_shape: str = "poisson"
+    #: Invocations released per burst epoch ("bursty" only).
+    burst_len: int = 64
+    #: Spacing of invocations inside one burst ("bursty" only).
+    burst_intra_gap_ns: int = 1
+    #: Day-curve period; 0 = auto (a quarter of the arrival span).
+    diurnal_period_ns: int = 0
+    #: Piecewise-constant rate multipliers across one period.
+    diurnal_multipliers: tuple = DIURNAL_DAY
 
 
 @dataclass
@@ -351,14 +397,50 @@ def run_scale(
     lease_check_interval_ns: int = ms(64),
     granularity_bits: int = 16,
     subbits: int = 8,
-) -> ScaleResult:
+    shards: int = 1,
+    parallel: int = 1,
+    arrival_shape: str = "poisson",
+    shard_split: str = "partition",
+    burst_len: int = 64,
+    burst_intra_gap_ns: int = 1,
+    diurnal_period_ns: int = 0,
+    diurnal_multipliers: tuple = DIURNAL_DAY,
+    cache_dir: Optional[str] = None,
+):
     """Drive the open-loop scale scenario once and measure it.
 
     The quick (CI) configuration shrinks ``invocations`` and
     ``workers`` so the pool saturates and the FIFO backlog path is
     exercised; the paper-scale default instead saturates the *timer*
     population (~10^6 concurrently pending lease/service timers).
+
+    ``shards > 1`` (or a non-Poisson ``arrival_shape``) routes through
+    :func:`run_scale_sharded`, which decomposes the scenario and fans
+    the shards out over ``parallel`` worker processes; the single-shard
+    Poisson path below is byte-for-byte the PR 4 engine.
     """
+    if shards != 1 or arrival_shape != "poisson":
+        return run_scale_sharded(
+            invocations=invocations,
+            workers=workers,
+            shards=max(1, shards),
+            scheduler=scheduler,
+            seed=seed,
+            mean_arrival_gap_ns=mean_arrival_gap_ns,
+            service_log_mean=service_log_mean,
+            service_log_sigma=service_log_sigma,
+            lease_check_interval_ns=lease_check_interval_ns,
+            granularity_bits=granularity_bits,
+            subbits=subbits,
+            arrival_shape=arrival_shape,
+            shard_split=shard_split,
+            burst_len=burst_len,
+            burst_intra_gap_ns=burst_intra_gap_ns,
+            diurnal_period_ns=diurnal_period_ns,
+            diurnal_multipliers=diurnal_multipliers,
+            parallel=parallel,
+            cache_dir=cache_dir,
+        )
     config = ScaleConfig(
         invocations=invocations,
         workers=workers,
@@ -415,7 +497,562 @@ def run_scale(
     )
 
 
+# -- sharded engine ----------------------------------------------------
+
+
+def _shard_invocations(invocations: int, shards: int, shard: int) -> int:
+    """Arrivals owned by *shard*: ``#{i < N : i % K == shard}``."""
+    return (invocations - shard + shards - 1) // shards
+
+
+def _shard_slots(workers: int, shards: int, shard: int) -> int:
+    """Warm-pool slice for *shard*: W//K plus one of the W%K leftovers."""
+    return workers // shards + (1 if shard < workers % shards else 0)
+
+
+def _draw_services(rng, size: int, config: ScaleConfig):
+    """*size* clipped log-normal service times -- the PR 4 recipe."""
+    draws = rng.lognormal(config.service_log_mean, config.service_log_sigma, size=size)
+    return np.clip(draws.astype(np.int64), config.min_service_ns, config.max_service_ns)
+
+
+def _shard_chunks(config: ScaleConfig, shard: int, shards: int):
+    """Yield this shard's ``(arrival_times, services)`` list chunks.
+
+    Consumption order is arrival order, so services are assigned by
+    **arrival index**, not dispatch order -- the property that makes the
+    decomposition independent of each shard's queueing dynamics.
+    """
+    shape_kwargs = dict(
+        burst_len=config.burst_len,
+        burst_intra_gap_ns=config.burst_intra_gap_ns,
+        diurnal_period_ns=config.diurnal_period_ns,
+        diurnal_multipliers=config.diurnal_multipliers,
+        chunk=_RNG_CHUNK,
+    )
+    if config.shard_split == "thin":
+        # Independent streams: shard k is its own Poisson-thinned
+        # process at 1/K of the rate, seeded by derive_seed(root,
+        # "shard", k) -- nothing global is generated twice.
+        streams = RngStreams(shard_seed(config.seed, shard))
+        count = _shard_invocations(config.invocations, shards, shard)
+        service_rng = streams.stream("service")
+        for times in arrival_times(
+            config.arrival_shape,
+            streams.stream("arrivals"),
+            count,
+            config.mean_arrival_gap_ns * shards,
+            **shape_kwargs,
+        ):
+            yield times.tolist(), _draw_services(service_rng, times.size, config).tolist()
+        return
+    if config.shard_split != "partition":
+        raise ValueError(
+            f"shard_split must be 'partition' or 'thin', got {config.shard_split!r}"
+        )
+    # Partition: replay the global streams (same chunk sizes as the
+    # unsharded driver, so the draws are the identical prefix) and keep
+    # every K-th arrival.  Redundant generation costs O(N) vectorized
+    # draws per shard -- noise next to the O(N/K) simulation itself.
+    streams = RngStreams(config.seed)
+    service_rng = streams.stream("service")
+    index = 0
+    for times in arrival_times(
+        config.arrival_shape,
+        streams.stream("arrivals"),
+        config.invocations,
+        config.mean_arrival_gap_ns,
+        **shape_kwargs,
+    ):
+        services = _draw_services(service_rng, times.size, config)
+        mine = (np.arange(index, index + times.size) % shards) == shard
+        index += times.size
+        if mine.any():
+            yield times[mine].tolist(), services[mine].tolist()
+
+
+class _ShardDriver:
+    """The open-loop FSM over a pre-decomposed arrival/service stream.
+
+    Same lease/backlog machinery as :class:`_OpenLoopDriver`, but
+    arrivals come as absolute times with services pre-assigned per
+    arrival index, so any slice of the global scenario replays
+    identically whatever happens in the other shards.
+    """
+
+    __slots__ = (
+        "env",
+        "config",
+        "stream",
+        "backlog",
+        "free_slots",
+        "count",
+        "arrived",
+        "completed",
+        "queued",
+        "max_backlog",
+        "occupancy_peaks",
+        "_interval",
+        "_chunks",
+        "_times",
+        "_services",
+        "_pos",
+        "_next_time",
+        "_next_service",
+        "_buffer",
+        "_on_arrival",
+        "_on_lease",
+        "_is_wheel",
+    )
+
+    def __init__(self, env, config: ScaleConfig, shard: int, shards: int) -> None:
+        self.env = env
+        self.config = config
+        self.stream = StreamingSummary(config.subbits)
+        self.backlog: deque[tuple[int, int]] = deque()
+        self.free_slots = _shard_slots(config.workers, shards, shard)
+        self.count = _shard_invocations(config.invocations, shards, shard)
+        self.arrived = 0
+        self.completed = 0
+        self.queued = 0
+        self.max_backlog = 0
+        self.occupancy_peaks: dict[str, int] = {}
+        self._interval = config.lease_check_interval_ns
+        self._chunks = _shard_chunks(config, shard, shards)
+        self._times: list[int] = []
+        self._services: list[int] = []
+        self._pos = 0
+        self._next_time = 0
+        self._next_service = 0
+        self._buffer: list[int] = []
+        self._on_arrival = self._handle_arrival
+        self._on_lease = self._handle_lease
+        self._is_wheel = isinstance(env, WheelEnvironment)
+
+    def _advance(self) -> None:
+        """Prefetch the next (arrival time, service) pair."""
+        pos = self._pos
+        while pos >= len(self._times):
+            self._times, self._services = next(self._chunks)
+            pos = 0
+        self._next_time = self._times[pos]
+        self._next_service = self._services[pos]
+        self._pos = pos + 1
+
+    def start(self) -> None:
+        if self.count < 1:
+            raise ValueError("shard needs at least one invocation")
+        if self.free_slots < 1:
+            raise ValueError("shard needs at least one warm slot")
+        self._advance()
+        timeout = self.env.timeout(self._next_time)
+        timeout.callbacks.append(self._on_arrival)
+
+    def _handle_arrival(self, _event) -> None:
+        env = self.env
+        now = env._now
+        service = self._next_service
+        self.arrived += 1
+        if self.arrived < self.count:
+            self._advance()
+            timeout = env.timeout(self._next_time - now)
+            timeout.callbacks.append(self._on_arrival)
+        if self.free_slots:
+            self.free_slots -= 1
+            self._begin(now, service)
+        else:
+            backlog = self.backlog
+            backlog.append((now, service))
+            self.queued += 1
+            if len(backlog) > self.max_backlog:
+                self.max_backlog = len(backlog)
+
+    def _begin(self, arrival_ns: int, service: int) -> None:
+        env = self.env
+        now = env._now
+        buffer = self._buffer
+        buffer.append(now - arrival_ns + service)
+        if len(buffer) >= _FLUSH_BATCH:
+            self._flush()
+        interval = self._interval
+        timeout = env.timeout(service if service <= interval else interval, now + service)
+        timeout.callbacks.append(self._on_lease)
+
+    def _handle_lease(self, event) -> None:
+        env = self.env
+        remaining = event._value - env._now
+        if remaining > 0:
+            interval = self._interval
+            event.callbacks = [self._on_lease]
+            env.schedule_timeout(
+                event, interval if remaining > interval else remaining
+            )
+            return
+        completed = self.completed + 1
+        self.completed = completed
+        if not completed & 0xFFFF and self._is_wheel:
+            self._sample_wheel()
+        if self.backlog:
+            arrival_ns, service = self.backlog.popleft()
+            self._begin(arrival_ns, service)
+        else:
+            self.free_slots += 1
+
+    _flush = _OpenLoopDriver._flush
+    _sample_wheel = _OpenLoopDriver._sample_wheel
+
+    def finish(self) -> None:
+        self._flush()
+
+
+@dataclass
+class ShardResult:
+    """One shard's run: a full per-environment measurement plus the
+    streaming accumulator the parent folds (exact merge, no samples)."""
+
+    shard: int
+    shards: int
+    shard_seed: int
+    workers: int
+    invocations: int
+    completed: int
+    events_processed: int
+    wall_s: float
+    peak_rss_bytes: int
+    final_now_ns: int
+    max_backlog: int
+    queued: int
+    timeout_pool_hits: int
+    stream: StreamingSummary
+    occupancy: dict[str, int] = field(default_factory=dict)
+
+
+def _run_shard(
+    shard: int,
+    shards: int,
+    invocations: int = 1_000_000,
+    workers: int = 1 << 20,
+    scheduler: str = "wheel",
+    seed: int = 0x5CA1E,
+    mean_arrival_gap_ns: int = 250,
+    service_log_mean: float = 19.8,
+    service_log_sigma: float = 0.6,
+    lease_check_interval_ns: int = ms(64),
+    granularity_bits: int = 16,
+    subbits: int = 8,
+    arrival_shape: str = "poisson",
+    shard_split: str = "partition",
+    burst_len: int = 64,
+    burst_intra_gap_ns: int = 1,
+    diurnal_period_ns: int = 0,
+    diurnal_multipliers: tuple = DIURNAL_DAY,
+) -> ShardResult:
+    """Run one shard of the decomposed scenario (picklable factory).
+
+    Module-level so :mod:`repro.parallel` can ship it to forked workers
+    and the result cache can key it: the kwargs *are* the shard's
+    identity, and the outcome depends on nothing else.
+    """
+    from repro import perf
+
+    config = ScaleConfig(
+        invocations=invocations,
+        workers=workers,
+        mean_arrival_gap_ns=mean_arrival_gap_ns,
+        service_log_mean=service_log_mean,
+        service_log_sigma=service_log_sigma,
+        lease_check_interval_ns=lease_check_interval_ns,
+        seed=seed,
+        scheduler=scheduler,
+        granularity_bits=granularity_bits,
+        subbits=subbits,
+        shards=shards,
+        shard_split=shard_split,
+        arrival_shape=arrival_shape,
+        burst_len=burst_len,
+        burst_intra_gap_ns=burst_intra_gap_ns,
+        diurnal_period_ns=diurnal_period_ns,
+        diurnal_multipliers=tuple(diurnal_multipliers),
+    )
+    if not 0 <= shard < shards:
+        raise ValueError(f"shard {shard} outside [0, {shards})")
+    env_kwargs = {"granularity_bits": granularity_bits} if scheduler == "wheel" else {}
+    env = new_environment(config.scheduler, **env_kwargs)
+    driver = _ShardDriver(env, config, shard, shards)
+    driver.start()
+
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    started = time.perf_counter()
+    try:
+        env.run()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    wall_s = time.perf_counter() - started
+    driver.finish()
+    if perf.enabled:
+        perf.counters.shard_runs += 1
+
+    if driver.completed != driver.count:
+        raise RuntimeError(
+            f"shard {shard}/{shards} lost invocations: "
+            f"{driver.completed} of {driver.count}"
+        )
+    return ShardResult(
+        shard=shard,
+        shards=shards,
+        shard_seed=shard_seed(seed, shard),
+        workers=_shard_slots(workers, shards, shard),
+        invocations=driver.count,
+        completed=driver.completed,
+        events_processed=env.events_processed,
+        wall_s=wall_s,
+        peak_rss_bytes=_peak_rss_bytes(),
+        final_now_ns=env.now,
+        max_backlog=driver.max_backlog,
+        queued=driver.queued,
+        timeout_pool_hits=env.timeout_pool_hits,
+        stream=driver.stream,
+        occupancy=dict(driver.occupancy_peaks),
+    )
+
+
+@dataclass
+class ShardedScaleResult:
+    """A K-shard scenario folded back together.
+
+    Simulated-domain fields (everything in :meth:`fingerprint`) are a
+    pure function of the scenario spec -- identical across repeats,
+    worker counts, and cache hits.  Wall-clock, RSS, and occupancy are
+    measurement artifacts of this particular execution.
+    """
+
+    scheduler: str
+    shards: int
+    shard_split: str
+    arrival_shape: str
+    invocations: int
+    workers: int
+    parallel_workers: int
+    cpus_available: int
+    completed: int
+    events_processed: int
+    wall_s: float
+    events_per_sec: float
+    serial_wall_s: float
+    shard_walls_s: list[float]
+    peak_rss_bytes: int
+    final_now_ns: int
+    max_backlog: int
+    queued: int
+    timeout_pool_hits: int
+    latency: SummaryStats
+    stream_buckets: int
+    occupancy: dict[str, int] = field(default_factory=dict)
+    shard_seeds: list[int] = field(default_factory=list)
+
+    def fingerprint(self) -> dict[str, Any]:
+        """Simulated-domain outputs -- the same keys as
+        :meth:`ScaleResult.fingerprint`, so unsharded and sharded runs
+        of an equivalent scenario can be diffed directly."""
+        return {
+            "invocations": self.invocations,
+            "completed": self.completed,
+            "events_processed": self.events_processed,
+            "final_now_ns": self.final_now_ns,
+            "max_backlog": self.max_backlog,
+            "queued": self.queued,
+            "latency_median_ns": self.latency.median,
+            "latency_p95_ns": self.latency.p95,
+            "latency_p99_ns": self.latency.p99,
+            "latency_mean_ns": self.latency.mean,
+            "latency_min_ns": self.latency.minimum,
+            "latency_max_ns": self.latency.maximum,
+        }
+
+    def table(self) -> Table:
+        table = Table(
+            f"Sharded open-loop scale run -- {self.invocations:,} invocations, "
+            f"{self.shards} shard(s) ({self.scheduler} scheduler, "
+            f"{self.arrival_shape} arrivals, {self.shard_split} split)",
+            ["metric", "value"],
+        )
+        table.add_row("completed", f"{self.completed:,}")
+        table.add_row("simulator events", f"{self.events_processed:,}")
+        table.add_row(
+            "wall clock (batch / serial-sum)",
+            f"{self.wall_s:.2f} s / {self.serial_wall_s:.2f} s",
+        )
+        table.add_row("events/sec (merged)", f"{self.events_per_sec:,.0f}")
+        table.add_row(
+            "dispatch workers / cpus", f"{self.parallel_workers} / {self.cpus_available}"
+        )
+        table.add_row("peak shard RSS", format_bytes(self.peak_rss_bytes))
+        table.add_row("simulated span", format_ns(self.final_now_ns))
+        table.add_row("warm slots / peak backlog", f"{self.workers:,} / {self.max_backlog:,}")
+        table.add_row("sojourn median", format_ns(self.latency.median))
+        table.add_row("sojourn p95", format_ns(self.latency.p95))
+        table.add_row("sojourn p99", format_ns(self.latency.p99))
+        table.add_row("stream buckets (O(1) memory)", f"{self.stream_buckets:,}")
+        return table
+
+
+def merge_shard_results(
+    results: list[ShardResult],
+    *,
+    scheduler: str,
+    shard_split: str,
+    arrival_shape: str,
+    workers: int,
+    wall_s: float,
+    parallel_workers: int,
+    cpus_available: int,
+) -> ShardedScaleResult:
+    """Fold per-shard accumulators, in shard order, into one result.
+
+    Counts sum; clocks take the max (the scenario ends when its last
+    shard does); the latency summary is the exact
+    :meth:`StreamingSummary.merge` fold -- the same code path the
+    PR 4 streaming layer was built around.
+    """
+    if not results:
+        raise ValueError("merge of zero shards")
+    if [r.shard for r in results] != list(range(len(results))):
+        raise ValueError("shard results must arrive complete and in shard order")
+    stream = StreamingSummary.merged([r.stream for r in results])
+    occupancy: dict[str, int] = {}
+    for result in results:
+        for key, value in result.occupancy.items():
+            if value > occupancy.get(key, -1):
+                occupancy[key] = value
+    events = sum(r.events_processed for r in results)
+    return ShardedScaleResult(
+        scheduler=scheduler,
+        shards=len(results),
+        shard_split=shard_split,
+        arrival_shape=arrival_shape,
+        invocations=sum(r.invocations for r in results),
+        workers=workers,
+        parallel_workers=parallel_workers,
+        cpus_available=cpus_available,
+        completed=sum(r.completed for r in results),
+        events_processed=events,
+        wall_s=wall_s,
+        events_per_sec=events / wall_s if wall_s > 0 else 0.0,
+        serial_wall_s=sum(r.wall_s for r in results),
+        shard_walls_s=[r.wall_s for r in results],
+        peak_rss_bytes=max(r.peak_rss_bytes for r in results),
+        final_now_ns=max(r.final_now_ns for r in results),
+        max_backlog=max(r.max_backlog for r in results),
+        queued=sum(r.queued for r in results),
+        timeout_pool_hits=sum(r.timeout_pool_hits for r in results),
+        latency=stream.summarize(),
+        stream_buckets=len(stream.histogram),
+        occupancy=occupancy,
+        shard_seeds=[r.shard_seed for r in results],
+    )
+
+
+def run_scale_sharded(
+    invocations: int = 1_000_000,
+    workers: int = 1 << 20,
+    shards: int = 2,
+    scheduler: str = "wheel",
+    seed: int = 0x5CA1E,
+    mean_arrival_gap_ns: int = 250,
+    service_log_mean: float = 19.8,
+    service_log_sigma: float = 0.6,
+    lease_check_interval_ns: int = ms(64),
+    granularity_bits: int = 16,
+    subbits: int = 8,
+    arrival_shape: str = "poisson",
+    shard_split: str = "partition",
+    burst_len: int = 64,
+    burst_intra_gap_ns: int = 1,
+    diurnal_period_ns: int = 0,
+    diurnal_multipliers: tuple = DIURNAL_DAY,
+    parallel: int = 0,
+    cache_dir: Optional[str] = None,
+) -> ShardedScaleResult:
+    """Decompose one scale scenario into *shards* and run them fanned out.
+
+    ``parallel`` follows the shared :func:`repro.parallel.resolve_workers`
+    chain (``0``/``None`` = one worker per usable CPU); the merged
+    result is bit-identical for every value of it.  ``cache_dir`` keys
+    each shard spec in the content-addressed result cache, so a
+    repeated or interrupted sharded run only pays for missing shards.
+    """
+    from repro.parallel import FailedPoint, RunSpec, available_workers, resolve_workers, run_specs
+
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards > invocations:
+        raise ValueError(f"{shards} shards for {invocations} invocations (some get none)")
+    if shards > workers:
+        raise ValueError(f"{shards} shards over {workers} warm slots (some get none)")
+    shared_kwargs = dict(
+        shards=shards,
+        invocations=invocations,
+        workers=workers,
+        scheduler=scheduler,
+        seed=seed,
+        mean_arrival_gap_ns=mean_arrival_gap_ns,
+        service_log_mean=service_log_mean,
+        service_log_sigma=service_log_sigma,
+        lease_check_interval_ns=lease_check_interval_ns,
+        granularity_bits=granularity_bits,
+        subbits=subbits,
+        arrival_shape=arrival_shape,
+        shard_split=shard_split,
+        burst_len=burst_len,
+        burst_intra_gap_ns=burst_intra_gap_ns,
+        diurnal_period_ns=diurnal_period_ns,
+        diurnal_multipliers=tuple(diurnal_multipliers),
+    )
+    specs = [
+        RunSpec(
+            factory="repro.experiments.scale:_run_shard",
+            kwargs={"shard": shard, **shared_kwargs},
+            index=shard,
+            label=f"scale-shard[{shard}/{shards}]",
+        )
+        for shard in range(shards)
+    ]
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import ResultCache
+
+        cache = ResultCache(cache_dir)
+    started = time.perf_counter()
+    outcomes = run_specs(specs, parallel, cache=cache)
+    wall_s = time.perf_counter() - started
+    failed = [o for o in outcomes if isinstance(o, FailedPoint)]
+    if failed:
+        raise RuntimeError(f"sharded scale run failed: {failed[0].summary()}")
+    return merge_shard_results(
+        outcomes,
+        scheduler=scheduler or "heap",
+        shard_split=shard_split,
+        arrival_shape=arrival_shape,
+        workers=workers,
+        wall_s=wall_s,
+        parallel_workers=resolve_workers(parallel),
+        cpus_available=available_workers(),
+    )
+
+
 #: Quick (CI) configuration: with 10^4 invocations and 2048 slots the
 #: pool saturates within the burst, so the smoke run exercises the FIFO
 #: queueing path the paper-scale defaults deliberately avoid.
 QUICK_KWARGS = {"invocations": 10_000, "workers": 2_048, "mean_arrival_gap_ns": us(25)}
+
+#: Quick sharding-exactness configuration: the pool never saturates
+#: (slots >= invocations), the regime where a K-way partition of the
+#: global streams merges back bit-identical to the 1-shard run.
+QUICK_UNSATURATED_KWARGS = {
+    "invocations": 4_000,
+    "workers": 4_096,
+    "mean_arrival_gap_ns": us(25),
+}

@@ -7,7 +7,12 @@ bit-identical to serial execution (see ``docs/architecture.md``,
 "Parallel execution").
 """
 
-from repro.parallel.pool import available_workers, fork_available, run_specs
+from repro.parallel.pool import (
+    available_workers,
+    fork_available,
+    resolve_workers,
+    run_specs,
+)
 from repro.parallel.runspec import (
     FailedPoint,
     RunSpec,
@@ -21,6 +26,7 @@ __all__ = [
     "available_workers",
     "failure_from_exception",
     "fork_available",
+    "resolve_workers",
     "run_specs",
     "spec_for_callable",
 ]

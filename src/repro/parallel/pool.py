@@ -48,6 +48,28 @@ def available_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+def resolve_workers(requested: "int | str | None" = None) -> int:
+    """THE ``--parallel`` fallback chain, shared by every dispatch path.
+
+    ``None``, ``0``, negative, ``"auto"``, or ``""`` resolve to one
+    worker per usable CPU (:func:`available_workers`); a positive value
+    (or its string form) is taken literally.  Anything else raises
+    ``ValueError``.  The pool, the sweep engine, the bench harness, and
+    the CLI all funnel through here so "auto" means exactly one thing.
+    """
+    if requested is None:
+        return available_workers()
+    if isinstance(requested, str):
+        text = requested.strip().lower()
+        if text in ("auto", ""):
+            return available_workers()
+        requested = int(text)  # raises ValueError on junk
+    workers = int(requested)
+    if workers <= 0:
+        return available_workers()
+    return workers
+
+
 def fork_available() -> bool:
     """Whether the platform supports fork-start workers (Linux/macOS)."""
     return "fork" in multiprocessing.get_all_start_methods()
@@ -158,8 +180,7 @@ def _execute_pairs(
     existed); serial outcomes carry an in-process counter delta.  The
     snapshot is what the cache persists so later hits can re-merge it.
     """
-    if max_workers is None or max_workers <= 0:
-        max_workers = available_workers()
+    max_workers = resolve_workers(max_workers)
     if max_workers <= 1 or not fork_available():
         pairs: list[tuple[Any, Optional[dict]]] = []
         for spec in specs:

@@ -41,6 +41,7 @@ class Counters:
         "heap_entries",
         "wheel_cascades",
         "wheel_overflow_inserts",
+        "shard_runs",
     )
 
     def __init__(self) -> None:
@@ -70,6 +71,8 @@ class Counters:
         self.wheel_cascades = 0
         #: Scheduled entries that bypassed the wheel (beyond horizon).
         self.wheel_overflow_inserts = 0
+        #: Shard simulations executed by the sharded scale engine.
+        self.shard_runs = 0
 
 
 #: Counters that are sampled gauges (peaks): merged with max, not sum.

@@ -1,0 +1,180 @@
+"""Arrival-time generators for the open-loop scale harness.
+
+The scale engine (``repro.experiments.scale``) needs one thing from an
+arrival model: the **global sequence of absolute arrival times**, drawn
+deterministically from a seeded generator, in bounded-memory chunks.
+Centralizing that sequence is what makes scenario *sharding* exact: a
+shard that keeps every K-th arrival of the global sequence simulates a
+systematic thinning of the very process the unsharded run would have
+seen, so per-shard results fold back without statistical drift.
+
+Three shapes, all with the same long-run mean rate ``1/mean_gap_ns``:
+
+* ``poisson`` -- exponential inter-arrival gaps.  The gap recipe
+  (chunked ``Generator.exponential``, ``int64``, floor at 1 ns) is
+  byte-for-byte the one the PR 4 driver used, so a 1-shard partition
+  run replays the identical arrival stream.
+* ``bursty`` -- a compound process: burst *epochs* arrive with
+  exponential gaps of mean ``mean_gap_ns * burst_len``; each epoch
+  releases ``burst_len`` invocations spaced ``burst_intra_gap_ns``
+  apart (the :mod:`repro.workloads.tenants` "bursty" profile, rescaled
+  from tenant mixes to the scale harness).
+* ``diurnal`` -- a non-homogeneous Poisson process whose rate follows a
+  piecewise-constant profile of ``multipliers`` repeating every
+  ``period_ns`` (a day curve compressed to simulation scale).  Drawn by
+  the time-change theorem: unit-rate exponential "operational" times
+  are mapped through the inverse of the integrated rate, which for a
+  piecewise-constant profile is piecewise-linear and inverts exactly
+  with a vectorized ``searchsorted``.
+
+Every generator yields ``numpy.int64`` arrays of **absolute** times
+(non-decreasing, first arrival >= 1 ns) totalling exactly ``count``
+entries; peak memory is one chunk regardless of ``count``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+#: Chunk size for pre-batched draws; matches the scale driver's RNG
+#: chunking so partition-mode shards replay identical stream prefixes.
+ARRIVAL_CHUNK = 1 << 16
+
+#: Arrival shapes understood by :func:`arrival_times`.
+SHAPES = ("poisson", "bursty", "diurnal")
+
+#: Default diurnal profile: 24 "hours" of rate multipliers with a deep
+#: night trough and an evening peak (mean-normalized internally, so the
+#: long-run rate is still ``1/mean_gap_ns``).
+DIURNAL_DAY = (
+    0.25, 0.20, 0.20, 0.30, 0.50, 0.80,
+    1.20, 1.60, 1.90, 2.00, 1.90, 1.70,
+    1.50, 1.40, 1.40, 1.50, 1.60, 1.70,
+    1.60, 1.40, 1.10, 0.80, 0.50, 0.35,
+)
+
+
+def _poisson_times(
+    rng: np.random.Generator, count: int, mean_gap_ns: float, chunk: int
+) -> Iterator[np.ndarray]:
+    now = 0
+    remaining = count
+    while remaining:
+        size = min(chunk, remaining)
+        draws = rng.exponential(mean_gap_ns, size=size)
+        gaps = np.maximum(draws.astype(np.int64), 1)
+        times = now + np.cumsum(gaps)
+        now = int(times[-1])
+        remaining -= size
+        yield times
+
+
+def _bursty_times(
+    rng: np.random.Generator,
+    count: int,
+    mean_gap_ns: float,
+    burst_len: int,
+    intra_gap_ns: int,
+    chunk: int,
+) -> Iterator[np.ndarray]:
+    if burst_len < 1:
+        raise ValueError(f"burst_len must be >= 1, got {burst_len}")
+    if intra_gap_ns < 0:
+        raise ValueError(f"burst_intra_gap_ns must be >= 0, got {intra_gap_ns}")
+    epoch = 0
+    remaining = count
+    bursts_per_chunk = max(1, chunk // burst_len)
+    offsets = np.arange(burst_len, dtype=np.int64) * intra_gap_ns
+    while remaining:
+        bursts = min(bursts_per_chunk, -(-remaining // burst_len))
+        draws = rng.exponential(mean_gap_ns * burst_len, size=bursts)
+        gaps = np.maximum(draws.astype(np.int64), 1)
+        epochs = epoch + np.cumsum(gaps)
+        epoch = int(epochs[-1])
+        times = (epochs[:, None] + offsets[None, :]).reshape(-1)
+        if times.size > remaining:
+            times = times[:remaining]
+        remaining -= times.size
+        yield times
+
+
+def _diurnal_times(
+    rng: np.random.Generator,
+    count: int,
+    mean_gap_ns: float,
+    period_ns: int,
+    multipliers: Sequence[float],
+    chunk: int,
+) -> Iterator[np.ndarray]:
+    profile = np.asarray(multipliers, dtype=np.float64)
+    if profile.size == 0 or bool((profile <= 0).any()):
+        raise ValueError("diurnal multipliers must be a non-empty positive sequence")
+    if period_ns < profile.size:
+        raise ValueError(f"diurnal period {period_ns} ns shorter than its profile")
+    # Normalize so the long-run mean rate is exactly 1/mean_gap_ns, then
+    # precompute the per-period piecewise-linear integrated rate.
+    rates = profile / profile.mean()  # operational-seconds per second
+    segment_ns = period_ns / profile.size
+    # Operational time accumulated at the *end* of each segment.
+    ops_edges = np.cumsum(rates) * segment_ns
+    ops_per_period = float(ops_edges[-1])  # == period_ns by normalization
+    ops_starts = ops_edges - rates * segment_ns
+
+    ops_now = 0.0
+    remaining = count
+    while remaining:
+        size = min(chunk, remaining)
+        # Gaps in operational time are plain exponentials (time-change
+        # theorem); the int64 floor happens after mapping back to real
+        # time so sub-segment geometry is preserved.
+        ops = ops_now + np.cumsum(rng.exponential(mean_gap_ns, size=size))
+        ops_now = float(ops[-1])
+        periods, rem = np.divmod(ops, ops_per_period)
+        segment = np.minimum(
+            np.searchsorted(ops_edges, rem, side="right"), rates.size - 1
+        )
+        within = (rem - ops_starts[segment]) / rates[segment]
+        real = periods * period_ns + segment * segment_ns + within
+        times = np.maximum(real.astype(np.int64), 1)
+        # Integer truncation can locally reorder by 1 ns across a
+        # segment edge; restore monotonicity (exact ops times are
+        # strictly increasing, so this only touches rounding ties).
+        np.maximum.accumulate(times, out=times)
+        remaining -= size
+        yield times
+
+
+def arrival_times(
+    shape: str,
+    rng: np.random.Generator,
+    count: int,
+    mean_gap_ns: float,
+    *,
+    burst_len: int = 64,
+    burst_intra_gap_ns: int = 1,
+    diurnal_period_ns: int = 0,
+    diurnal_multipliers: Sequence[float] = DIURNAL_DAY,
+    chunk: int = ARRIVAL_CHUNK,
+) -> Iterator[np.ndarray]:
+    """Chunked absolute arrival times for *shape* (see module docs).
+
+    ``diurnal_period_ns=0`` auto-sizes the period to a quarter of the
+    expected arrival span (``count * mean_gap_ns / 4``), so the default
+    scenario sweeps through four full day curves whatever its scale.
+    """
+    if count < 1:
+        raise ValueError(f"arrival stream needs at least one arrival, got {count}")
+    if mean_gap_ns <= 0:
+        raise ValueError(f"mean_gap_ns must be positive, got {mean_gap_ns}")
+    if shape == "poisson":
+        return _poisson_times(rng, count, mean_gap_ns, chunk)
+    if shape == "bursty":
+        return _bursty_times(rng, count, mean_gap_ns, burst_len, burst_intra_gap_ns, chunk)
+    if shape == "diurnal":
+        period = int(diurnal_period_ns) or max(
+            len(diurnal_multipliers), int(count * mean_gap_ns) // 4
+        )
+        return _diurnal_times(rng, count, mean_gap_ns, period, diurnal_multipliers, chunk)
+    raise ValueError(f"unknown arrival shape {shape!r} (expected one of {SHAPES})")

@@ -231,6 +231,77 @@ def test_streaming_summary_scalar_vector_merge_agree():
         assert other.welford.mean == pytest.approx(scalar.welford.mean, rel=1e-12)
 
 
+def _split(values, ways):
+    """Contiguous split into *ways* shards (uneven tails included)."""
+    size = -(-len(values) // ways)
+    return [values[i : i + size] for i in range(0, len(values), size)]
+
+
+@pytest.mark.parametrize("ways", [1, 2, 4, 8])
+def test_merged_fold_invariant_across_split_arity(ways):
+    """K-way shard folds agree with the serial stream for K in 1..8.
+
+    Histogram buckets, counts, and min/max are integer-exact whatever
+    the grouping; the Welford moments (Chan's formulas) reassociate
+    only within float rounding, so mean/variance compare approximately.
+    """
+    rng = random.Random(20)
+    values = [rng.lognormvariate(13, 1.2) for _ in range(4_000)]
+    serial = StreamingSummary()
+    serial.observe_many(values)
+    parts = []
+    for shard in _split(values, ways):
+        part = StreamingSummary()
+        part.observe_many(shard)
+        parts.append(part)
+    merged = StreamingSummary.merged(parts)
+    assert merged.count == serial.count
+    assert merged.histogram._buckets == serial.histogram._buckets
+    assert merged.minimum == serial.minimum
+    assert merged.maximum == serial.maximum
+    assert merged.welford.mean == pytest.approx(serial.welford.mean, rel=1e-12)
+    assert merged.welford.variance == pytest.approx(serial.welford.variance, rel=1e-9)
+    a, b = merged.summarize(), serial.summarize()
+    assert (a.median, a.p95, a.p99, a.ci_low, a.ci_high) == (
+        b.median,
+        b.p95,
+        b.p99,
+        b.ci_low,
+        b.ci_high,
+    )
+
+
+def test_merged_fold_commutes_and_associates():
+    """Any order/grouping of shard merges yields the same histogram state.
+
+    This is what lets the sharded scale engine fold shard results in
+    shard order and still claim worker-count independence: dispatch
+    order never reaches the fold.
+    """
+    rng = random.Random(21)
+    shards = []
+    for _ in range(4):
+        part = StreamingSummary()
+        part.observe_many([rng.expovariate(1e-5) for _ in range(500)])
+        shards.append(part)
+    forward = StreamingSummary.merged(shards)
+    backward = StreamingSummary.merged(list(reversed(shards)))
+    paired_left = StreamingSummary.merged([shards[0], shards[1]])
+    paired_right = StreamingSummary.merged([shards[2], shards[3]])
+    nested = StreamingSummary.merged([paired_left, paired_right])
+    for other in (backward, nested):
+        assert other.count == forward.count
+        assert other.histogram._buckets == forward.histogram._buckets
+        assert other.minimum == forward.minimum
+        assert other.maximum == forward.maximum
+        assert other.welford.mean == pytest.approx(forward.welford.mean, rel=1e-12)
+
+
+def test_merged_requires_at_least_one_part():
+    with pytest.raises(ValueError):
+        StreamingSummary.merged([])
+
+
 def test_streaming_summary_empty_cases():
     stream = StreamingSummary()
     with pytest.raises(ValueError):

@@ -9,6 +9,7 @@ from repro.parallel import (
     FailedPoint,
     RunSpec,
     available_workers,
+    resolve_workers,
     run_specs,
     spec_for_callable,
 )
@@ -163,3 +164,15 @@ def test_empty_specs():
 
 def test_available_workers_positive():
     assert available_workers() >= 1
+
+
+def test_resolve_workers_fallback_chain():
+    """One shared 'auto' chain for the pool, sweeps, bench, and CLI."""
+    auto = available_workers()
+    for requested in (None, 0, -1, "auto", "AUTO", "", "  auto "):
+        assert resolve_workers(requested) == auto
+    assert resolve_workers(1) == 1
+    assert resolve_workers(7) == 7
+    assert resolve_workers("7") == 7
+    with pytest.raises(ValueError):
+        resolve_workers("seven")

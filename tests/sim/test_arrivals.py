@@ -1,0 +1,112 @@
+"""Arrival-time generators: counts, monotonicity, determinism, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.arrivals import DIURNAL_DAY, SHAPES, arrival_times
+from repro.sim.rng import RngStreams
+
+
+def _collect(shape, seed=7, count=5_000, mean_gap=1_000, **kwargs):
+    rng = RngStreams(seed).stream("arrivals")
+    chunks = list(arrival_times(shape, rng, count, mean_gap, **kwargs))
+    return np.concatenate(chunks), chunks
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_exact_count_monotone_positive(shape):
+    times, chunks = _collect(shape, chunk=512)
+    assert times.size == 5_000
+    assert times.dtype == np.int64
+    assert times[0] >= 1
+    assert (np.diff(times) >= 0).all()
+    # Bounded memory: no chunk exceeds the requested size.
+    assert max(c.size for c in chunks) <= 512
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_deterministic_across_repeats(shape):
+    a, _ = _collect(shape, seed=11)
+    b, _ = _collect(shape, seed=11)
+    c, _ = _collect(shape, seed=12)
+    assert (a == b).all()
+    assert not (a == c).all()
+
+
+def test_poisson_matches_legacy_gap_recipe():
+    """The poisson generator is byte-for-byte the PR 4 driver recipe."""
+    rng = RngStreams(3).stream("arrivals")
+    times, _ = _collect("poisson", seed=3, count=3_000, mean_gap=250, chunk=1 << 16)
+    draws = rng.exponential(250, size=3_000)
+    gaps = np.maximum(draws.astype(np.int64), 1)
+    assert (times == np.cumsum(gaps)).all()
+
+
+def test_poisson_mean_rate():
+    times, _ = _collect("poisson", count=50_000, mean_gap=1_000)
+    assert times[-1] / 50_000 == pytest.approx(1_000, rel=0.05)
+
+
+def test_bursty_structure():
+    """burst_len arrivals per epoch, spaced exactly intra_gap apart."""
+    times, _ = _collect(
+        "bursty", count=4_096, mean_gap=10_000, burst_len=8, burst_intra_gap_ns=3
+    )
+    groups = times.reshape(-1, 8)
+    assert (np.diff(groups, axis=1) == 3).all()
+    # Epoch gaps dominate the intra-burst spacing on average.
+    epoch_gaps = np.diff(groups[:, 0])
+    assert epoch_gaps.mean() > 8 * 3
+
+
+def test_bursty_truncates_final_burst():
+    times, _ = _collect("bursty", count=100, burst_len=64)
+    assert times.size == 100  # 64 + 36, not rounded up to 128
+
+
+def test_diurnal_peak_trough_ratio():
+    """Arrivals concentrate in high-multiplier segments of the profile."""
+    period = 240_000
+    times, _ = _collect(
+        "diurnal",
+        count=60_000,
+        mean_gap=1_000,
+        diurnal_period_ns=period,
+        diurnal_multipliers=DIURNAL_DAY,
+    )
+    segment = (times % period) // (period // len(DIURNAL_DAY))
+    counts = np.bincount(segment.astype(int), minlength=len(DIURNAL_DAY))
+    peak = counts[9]  # multiplier 2.00
+    trough = counts[1]  # multiplier 0.20
+    assert peak > 5 * trough
+    # The normalized profile preserves the long-run mean rate.
+    assert times[-1] / 60_000 == pytest.approx(1_000, rel=0.10)
+
+
+def test_diurnal_auto_period():
+    times, _ = _collect("diurnal", count=2_000, mean_gap=1_000)
+    assert times.size == 2_000
+
+
+def test_rejects_bad_arguments():
+    rng = RngStreams(1).stream("arrivals")
+    with pytest.raises(ValueError):
+        next(arrival_times("sawtooth", rng, 10, 100))
+    with pytest.raises(ValueError):
+        next(arrival_times("poisson", rng, 0, 100))
+    with pytest.raises(ValueError):
+        next(arrival_times("poisson", rng, 10, 0))
+    with pytest.raises(ValueError):
+        next(arrival_times("bursty", rng, 10, 100, burst_len=0))
+    with pytest.raises(ValueError):
+        next(arrival_times("bursty", rng, 10, 100, burst_intra_gap_ns=-1))
+    with pytest.raises(ValueError):
+        next(arrival_times("diurnal", rng, 10, 100, diurnal_multipliers=()))
+    with pytest.raises(ValueError):
+        next(arrival_times("diurnal", rng, 10, 100, diurnal_multipliers=(1.0, -1.0)))
+    with pytest.raises(ValueError):
+        next(
+            arrival_times(
+                "diurnal", rng, 10, 100, diurnal_period_ns=2, diurnal_multipliers=DIURNAL_DAY
+            )
+        )
