@@ -84,6 +84,7 @@ def _bursty_times(
     if intra_gap_ns < 0:
         raise ValueError(f"burst_intra_gap_ns must be >= 0, got {intra_gap_ns}")
     epoch = 0
+    last = 0
     remaining = count
     bursts_per_chunk = max(1, chunk // burst_len)
     offsets = np.arange(burst_len, dtype=np.int64) * intra_gap_ns
@@ -96,6 +97,13 @@ def _bursty_times(
         times = (epochs[:, None] + offsets[None, :]).reshape(-1)
         if times.size > remaining:
             times = times[:remaining]
+        # An epoch gap shorter than the burst span (burst_len *
+        # intra_gap_ns) makes consecutive bursts overlap; clamp against
+        # the running maximum, carried across chunk boundaries, to keep
+        # the stream non-decreasing.
+        times[0] = max(int(times[0]), last)
+        np.maximum.accumulate(times, out=times)
+        last = int(times[-1])
         remaining -= times.size
         yield times
 
@@ -123,6 +131,7 @@ def _diurnal_times(
     ops_starts = ops_edges - rates * segment_ns
 
     ops_now = 0.0
+    last = 0
     remaining = count
     while remaining:
         size = min(chunk, remaining)
@@ -141,7 +150,11 @@ def _diurnal_times(
         # Integer truncation can locally reorder by 1 ns across a
         # segment edge; restore monotonicity (exact ops times are
         # strictly increasing, so this only touches rounding ties).
+        # The running maximum is carried across chunk boundaries so an
+        # inversion landing exactly on a boundary is repaired too.
+        times[0] = max(int(times[0]), last)
         np.maximum.accumulate(times, out=times)
+        last = int(times[-1])
         remaining -= size
         yield times
 

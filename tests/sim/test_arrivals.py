@@ -59,6 +59,44 @@ def test_bursty_structure():
     assert epoch_gaps.mean() > 8 * 3
 
 
+def test_bursty_monotone_at_paper_scale_params():
+    """Regression: epoch gaps shorter than the burst span must not
+    produce decreasing times (crashed the shard driver with a negative
+    timeout delay at the 1M-invocation defaults)."""
+    for seed in range(5):
+        times, _ = _collect(
+            "bursty",
+            seed=seed,
+            count=200_000,
+            mean_gap=250,
+            burst_len=64,
+            burst_intra_gap_ns=1,
+        )
+        assert (np.diff(times) >= 0).all()
+        assert times.size == 200_000
+
+
+def test_bursty_monotone_across_chunk_boundaries():
+    """Overlap clamping carries the running maximum between chunks."""
+    times, chunks = _collect(
+        "bursty",
+        count=10_000,
+        mean_gap=1,  # epoch gap ~ burst_len ns, span = 7000 ns: heavy overlap
+        burst_len=8,
+        burst_intra_gap_ns=1_000,
+        chunk=16,
+    )
+    assert len(chunks) > 1
+    assert (np.diff(times) >= 0).all()
+
+
+def test_diurnal_monotone_with_tiny_chunks():
+    """The 1-ns truncation repair carries across chunk boundaries."""
+    for seed in range(20):
+        times, _ = _collect("diurnal", seed=seed, count=5_000, mean_gap=100, chunk=7)
+        assert (np.diff(times) >= 0).all()
+
+
 def test_bursty_truncates_final_burst():
     times, _ = _collect("bursty", count=100, burst_len=64)
     assert times.size == 100  # 64 + 36, not rounded up to 128
