@@ -14,7 +14,7 @@ defaults are derived from the paper's measured overheads:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.sim.clock import ms, secs, us
 
@@ -89,6 +89,13 @@ class RFaaSConfig:
     #: intervals, in-flight invocations).  Simulated results are
     #: bit-identical either way; see ``repro.sim.wheel``.
     scheduler: Optional[str] = None
+    #: Timer-wheel slot width as a power of two of nanoseconds, for
+    #: environments the deployment creates with ``scheduler="wheel"``:
+    #: ``None`` keeps the wheel's built-in default, ``"auto"`` adapts
+    #: the granularity to observed occupancy at runtime, an int in
+    #: [1, 40] pins it.  Ignored under the heap scheduler.  Simulated
+    #: results are bit-identical for every setting.
+    granularity_bits: Union[int, str, None] = None
 
 
 @dataclass

@@ -14,6 +14,8 @@ Usage::
     python -m repro.experiments bench --quick --parallel 2
     python -m repro.experiments scale --shards 4 --parallel auto
     python -m repro.experiments scale --arrival-shape diurnal --quick
+    python -m repro.experiments scale --granularity-bits 16 --admission per-event
+    python -m repro.experiments bench --ten-million --json BENCH_PR6.json --label pr6
 
 ``--parallel N`` fans independent work out across N worker processes
 via :mod:`repro.parallel` (``auto`` or ``0`` = one per usable CPU,
@@ -89,6 +91,32 @@ def _parallel_workers(value: str) -> int:
         raise argparse.ArgumentTypeError(
             f"expected an integer or 'auto', got {value!r}"
         ) from None
+
+
+def _granularity_bits(value: str):
+    """Parse ``--granularity-bits``: ``auto`` or an int in [1, 40].
+
+    Validation happens here, at the CLI boundary, via the same
+    :func:`repro.sim.wheel.validate_granularity_bits` the config layer
+    uses -- the error names the limit instead of failing deep inside
+    the wheel geometry.
+    """
+    from repro.sim.wheel import validate_granularity_bits
+
+    text = value.strip().lower()
+    if text != "auto":
+        try:
+            parsed: object = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected 'auto' or an integer, got {value!r}"
+            ) from None
+    else:
+        parsed = "auto"
+    try:
+        return validate_granularity_bits(parsed)  # type: ignore[arg-type]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _open_cache(args: argparse.Namespace):
@@ -177,6 +205,31 @@ def main(argv: list[str] | None = None) -> int:
         "streams at rate/K (default partition)",
     )
     parser.add_argument(
+        "--granularity-bits",
+        type=_granularity_bits,
+        default="auto",
+        metavar="BITS",
+        help="for 'scale': wheel slot width as a power of two of ns -- "
+        "'auto' (default) adapts to observed occupancy at runtime, an "
+        "integer in [1, 40] pins it",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=("batch", "per-event"),
+        default="batch",
+        help="for 'scale': arrival admission -- 'batch' (default) "
+        "bucket-sorts whole numpy arrival chunks in one vectorized "
+        "pass, 'per-event' schedules each arrival individually "
+        "(the PR 4/5 baseline engine)",
+    )
+    parser.add_argument(
+        "--ten-million",
+        action="store_true",
+        help="for 'bench': also run the 10^7-invocation single-shard "
+        "stress scenario (several minutes; records speedup, "
+        "bit-identity, and the RSS guard verdict as 'scale_10m')",
+    )
+    parser.add_argument(
         "--cache",
         action=argparse.BooleanOptionalAction,
         default=False,
@@ -250,6 +303,7 @@ def main(argv: list[str] | None = None) -> int:
             quick=args.quick,
             parallel=args.parallel,
             shards=args.shards if args.shards is not None else 2,
+            ten_million=args.ten_million,
         )
         show(results)
         if args.json:
@@ -292,6 +346,10 @@ def main(argv: list[str] | None = None) -> int:
         scale_overrides["arrival_shape"] = args.arrival_shape
     if args.shard_split != "partition":
         scale_overrides["shard_split"] = args.shard_split
+    if args.granularity_bits != "auto":
+        scale_overrides["granularity_bits"] = args.granularity_bits
+    if args.admission != "batch":
+        scale_overrides["admission"] = args.admission
 
     cache = _open_cache(args) if args.cache else None
     outer_workers = args.parallel

@@ -146,18 +146,32 @@ def _invocation_once() -> dict[str, Any]:
     }
 
 
-def _scale_once(scheduler: str, quick: bool = False) -> dict[str, Any]:
+def _scale_once(
+    scheduler: str,
+    quick: bool = False,
+    admission: str = "batch",
+    granularity_bits: Any = "auto",
+    overrides: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
     """One open-loop scale run (see :mod:`repro.experiments.scale`).
 
     Module-level so ``run_specs`` can ship it to a forked worker: each
     scheduler runs in a fresh process, which is what makes the
     ``peak_rss_bytes`` numbers attributable to that scheduler instead
-    of to whatever ran earlier in the bench process.
+    of to whatever ran earlier in the bench process.  *overrides*
+    merges extra ``run_scale`` kwargs (the 10^7 stress scenario).
     """
     from repro.experiments.scale import QUICK_KWARGS, run_scale
 
     kwargs = dict(QUICK_KWARGS) if quick else {}
-    result = run_scale(scheduler=scheduler, **kwargs)
+    if overrides:
+        kwargs.update(overrides)
+    result = run_scale(
+        scheduler=scheduler,
+        admission=admission,
+        granularity_bits=granularity_bits,
+        **kwargs,
+    )
     return {
         "wall_s": result.wall_s,
         "invocations": result.invocations,
@@ -166,7 +180,18 @@ def _scale_once(scheduler: str, quick: bool = False) -> dict[str, Any]:
         "peak_rss_bytes": result.peak_rss_bytes,
         "stream_buckets": result.stream_buckets,
         "occupancy": result.occupancy,
+        "admission": admission,
+        "granularity_bits": granularity_bits,
         "fingerprint": result.fingerprint(),
+    }
+
+
+def _occupancy_gauges(occupancy: dict[str, Any]) -> dict[str, int]:
+    """The three occupancy facts every scale BENCH entry must record."""
+    return {
+        "wheel_entries": int(occupancy.get("wheel", 0)),
+        "heap_entries": int(occupancy.get("heap", 0)),
+        "reanchors": int(occupancy.get("reanchors", 0)),
     }
 
 
@@ -232,18 +257,22 @@ def bench_invocation(repeats: int, parallel: int = 1) -> dict[str, Any]:
 def bench_scale(quick: bool = False) -> dict[str, Any]:
     """Heap-vs-wheel on the open-loop scale scenario (the tentpole bench).
 
+    The heap side runs the PR 4/5 engine verbatim (per-event
+    ``timeout()`` admission); the wheel side runs the PR 6 engine
+    (vectorized batch admission on the adaptive-granularity wheel), so
+    ``speedup`` measures the whole tentpole, not the scheduler alone.
     Each scheduler runs in its own forked process, sequentially: peak
     RSS is a process-lifetime high-water mark, so sharing a process
     would let the first run's footprint mask the second's.  The
-    simulated outputs must be bit-identical across schedulers
+    simulated outputs must be bit-identical across engines
     (``bit_identical``); the headline is ``speedup`` =
     heap wall clock / wheel wall clock on identical event streams.
     """
     runs: dict[str, dict[str, Any]] = {}
-    for scheduler in ("heap", "wheel"):
+    for scheduler, admission in (("heap", "per-event"), ("wheel", "batch")):
         spec = RunSpec(
             factory="repro.experiments.bench:_scale_once",
-            kwargs={"scheduler": scheduler, "quick": quick},
+            kwargs={"scheduler": scheduler, "quick": quick, "admission": admission},
             label=f"scale[{scheduler}]",
         )
         (outcome,) = run_specs([spec], 2)
@@ -251,7 +280,7 @@ def bench_scale(quick: bool = False) -> dict[str, Any]:
             raise RuntimeError(f"scale bench failed: {outcome.summary()}")
         runs[scheduler] = outcome
     heap, wheel = runs["heap"], runs["wheel"]
-    return {
+    record = {
         "heap": heap,
         "wheel": wheel,
         "invocations": wheel["invocations"],
@@ -261,6 +290,67 @@ def bench_scale(quick: bool = False) -> dict[str, Any]:
         "speedup": heap["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
         "bit_identical": heap["fingerprint"] == wheel["fingerprint"],
     }
+    record.update(_occupancy_gauges(wheel["occupancy"]))
+    return record
+
+
+#: The 10^7-invocation single-shard stress scenario: arrivals come 2x
+#: faster than the paper-scale default but the pool is twice as deep,
+#: so the run stays *unsaturated* (~10^6 in-flight leases at peak, the
+#: same order as the saturated 10^6 scenario) -- memory stays within
+#: the scale guard while the event count grows 10x.
+TEN_MILLION_KWARGS = {
+    "invocations": 10_000_000,
+    "workers": 1 << 21,
+    "mean_arrival_gap_ns": 500,
+}
+
+
+def bench_scale_ten_million(max_rss_growth: float = 0.20) -> dict[str, Any]:
+    """10^7 invocations on one shard: the PR 6 acceptance stress run.
+
+    Same shape as :func:`bench_scale` (heap per-event baseline vs
+    wheel batch engine, forked processes, bit-identity required), an
+    order of magnitude more events.  ``within_rss_guard`` asserts the
+    wheel engine's peak RSS stays within the regression guard's RSS
+    allowance (*max_rss_growth*) of the per-event heap baseline on the
+    *same* scenario -- batch admission must not buy speed with
+    footprint.
+    """
+    runs: dict[str, dict[str, Any]] = {}
+    for scheduler, admission in (("heap", "per-event"), ("wheel", "batch")):
+        spec = RunSpec(
+            factory="repro.experiments.bench:_scale_once",
+            kwargs={
+                "scheduler": scheduler,
+                "admission": admission,
+                "overrides": dict(TEN_MILLION_KWARGS),
+            },
+            label=f"scale10m[{scheduler}]",
+        )
+        (outcome,) = run_specs([spec], 2)
+        if isinstance(outcome, FailedPoint):
+            raise RuntimeError(f"10^7 scale bench failed: {outcome.summary()}")
+        runs[scheduler] = outcome
+    heap, wheel = runs["heap"], runs["wheel"]
+    rss_ratio = (
+        wheel["peak_rss_bytes"] / heap["peak_rss_bytes"] if heap["peak_rss_bytes"] else 0.0
+    )
+    record = {
+        "heap": heap,
+        "wheel": wheel,
+        "invocations": wheel["invocations"],
+        "events_processed": wheel["events_processed"],
+        "events_per_sec": wheel["events_per_sec"],
+        "peak_rss_bytes": max(heap["peak_rss_bytes"], wheel["peak_rss_bytes"]),
+        "speedup": heap["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
+        "bit_identical": heap["fingerprint"] == wheel["fingerprint"],
+        "rss_ratio_vs_heap": rss_ratio,
+        "max_rss_growth": max_rss_growth,
+        "within_rss_guard": bool(rss_ratio <= 1.0 + max_rss_growth),
+    }
+    record.update(_occupancy_gauges(wheel["occupancy"]))
+    return record
 
 
 def bench_scale_sharded(
@@ -309,6 +399,7 @@ def bench_scale_sharded(
         "speedup_vs_single": result.events_per_sec / single_rate if single_rate else 0.0,
         "speedup_representative": cpus > 1,
     }
+    record.update(_occupancy_gauges(result.occupancy))
     if cpus <= 1:
         record["note"] = (
             "sharded fan-out measured with 1 usable CPU: shards serialize "
@@ -426,12 +517,17 @@ def bench_cache_batch(
             shutil.rmtree(root, ignore_errors=True)
 
 
-def run_bench(quick: bool = False, parallel: int = 1, shards: int = 2) -> dict[str, Any]:
+def run_bench(
+    quick: bool = False, parallel: int = 1, shards: int = 2, ten_million: bool = False
+) -> dict[str, Any]:
     """Run all three hot-loop benchmarks; returns a JSON-ready dict.
 
     Every entry records its execution environment (``shards``,
     ``workers``, ``cpus_available``) so trajectory comparisons know
     which entries were measured under comparable decompositions.
+    *ten_million* additionally runs the 10^7-invocation stress scenario
+    (several minutes of wall clock; meant for recorded trajectory
+    entries, not CI quick runs).
     """
     repeats = 3 if quick else 9
     perf.reset()
@@ -454,6 +550,8 @@ def run_bench(quick: bool = False, parallel: int = 1, shards: int = 2) -> dict[s
             quick, shards=shards, parallel=parallel,
             single_wheel=results["scale_openloop"]["wheel"],
         )
+    if ten_million:
+        results["scale_10m"] = bench_scale_ten_million()
     results["shards"] = shards
     results["workers"] = resolve_workers(parallel)
     results["cpus_available"] = available_workers()
@@ -534,6 +632,33 @@ def check_regression(
                     f"{current_rss / base_rss - 1:.1%} above baseline {label!r} "
                     f"({base_rss:,}; allowed growth {max_rss_growth:.0%})"
                 )
+    # Adaptive re-anchors are rare by design: each one re-buckets the
+    # whole wheel, so a count that explodes versus the baseline means
+    # the occupancy-band detector is thrashing (granularity flapping),
+    # which silently taxes every subsequent insert.  Baselines recorded
+    # before the gauge existed lack the key and skip the check.
+    if isinstance(base_scale, dict) and isinstance(current_scale, dict):
+        base_re = base_scale.get("reanchors")
+        current_re = current_scale.get("reanchors")
+        if base_re is not None and current_re is not None:
+            allowed = max(8, 4 * int(base_re))
+            if int(current_re) > allowed:
+                problems.append(
+                    f"scale_openloop.reanchors {current_re} exploded past baseline "
+                    f"{label!r} ({base_re}; allowed max({8}, 4x baseline) = {allowed}) "
+                    f"-- the adaptive granularity detector is thrashing"
+                )
+    # The 10^7 stress entry carries its own RSS verdict (wheel-batch
+    # vs heap-per-event on the same scenario, same forked-process
+    # measurement); when the run recorded one, a breach fails here.
+    current_10m = results.get("scale_10m")
+    if isinstance(current_10m, dict) and current_10m.get("within_rss_guard") is False:
+        problems.append(
+            "scale_10m: wheel-batch peak RSS is "
+            f"{current_10m.get('rss_ratio_vs_heap', 0.0):.2f}x the per-event heap "
+            "baseline, beyond the allowed "
+            f"{1.0 + float(current_10m.get('max_rss_growth', 0.0)):.2f}x"
+        )
     # Sharded throughput is only comparable between identical
     # decompositions: a 2-shard and a 4-shard run simulate different
     # per-environment workloads, so mismatched shard counts (or a
@@ -603,7 +728,8 @@ def show(results: dict[str, Any]) -> None:
         print(
             "scale_openloop: {invocations:,} invocations  heap {heap_s:.1f}s -> "
             "wheel {wheel_s:.1f}s  ({speedup:.2f}x, {events_per_sec:,} events/s, "
-            "peak RSS {rss_mib:.0f} MiB, bit_identical={bit_identical})".format(
+            "peak RSS {rss_mib:.0f} MiB, bit_identical={bit_identical}, "
+            "reanchors={reanchors})".format(
                 invocations=scale["invocations"],
                 heap_s=scale["heap"]["wall_s"],
                 wheel_s=scale["wheel"]["wall_s"],
@@ -611,6 +737,24 @@ def show(results: dict[str, Any]) -> None:
                 events_per_sec=scale["events_per_sec"],
                 rss_mib=scale["peak_rss_bytes"] / 2**20,
                 bit_identical=scale["bit_identical"],
+                reanchors=scale.get("reanchors", 0),
+            )
+        )
+    stress = results.get("scale_10m")
+    if stress:
+        print(
+            "scale_10m: {invocations:,} invocations  heap {heap_s:.1f}s -> "
+            "wheel {wheel_s:.1f}s  ({speedup:.2f}x, {events_per_sec:,} events/s, "
+            "RSS {rss_ratio:.2f}x heap [guard {guard}], "
+            "bit_identical={bit_identical})".format(
+                invocations=stress["invocations"],
+                heap_s=stress["heap"]["wall_s"],
+                wheel_s=stress["wheel"]["wall_s"],
+                speedup=stress["speedup"],
+                events_per_sec=stress["events_per_sec"],
+                rss_ratio=stress["rss_ratio_vs_heap"],
+                guard="ok" if stress["within_rss_guard"] else "BREACHED",
+                bit_identical=stress["bit_identical"],
             )
         )
     sharded = results.get("scale_sharded")

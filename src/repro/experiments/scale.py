@@ -85,8 +85,9 @@ import gc
 import resource
 import time
 from collections import deque
+from heapq import heappop
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 import numpy as np
 
@@ -94,9 +95,10 @@ from repro.analysis.reporting import Table, format_bytes, format_ns
 from repro.analysis.stats import SummaryStats
 from repro.analysis.streams import StreamingSummary
 from repro.sim.arrivals import DIURNAL_DAY, arrival_times
+from repro.sim.events import BatchEvent
 from repro.sim.clock import ms, us
 from repro.sim.rng import RngStreams, shard_seed
-from repro.sim.wheel import WheelEnvironment, new_environment
+from repro.sim.wheel import WheelEnvironment, new_environment, validate_granularity_bits
 
 #: Latencies buffered before a vectorized flush into the streaming
 #: summary -- the only per-sample storage, bounded regardless of run
@@ -130,11 +132,17 @@ class ScaleConfig:
     seed: int = 0x5CA1E
     #: Event-loop scheduler: "heap" or "wheel" (see RFaaSConfig.scheduler).
     scheduler: Optional[str] = "wheel"
-    #: Wheel slot width, 2**bits ns.  The scale default (2**16 ns =
-    #: 65 us) keeps slots densely occupied at ~10^7 events per simulated
-    #: second; the wheel's own default (256 ns) suits the microsecond
-    #: RDMA timescales of the figure harnesses.  Ignored for "heap".
-    granularity_bits: int = 16
+    #: Wheel slot width, 2**bits ns, or ``"auto"`` (default): start at
+    #: the wheel's own 256 ns granularity and let the occupancy-band
+    #: controller re-anchor to the regime it observes -- the scale
+    #: scenario converges to the hand-tuned 2**16-ish ns within the
+    #: first adaptation window.  Ignored for "heap".
+    granularity_bits: Union[int, str] = "auto"
+    #: Arrival admission: "batch" (default) bucket-sorts whole numpy
+    #: arrival chunks into the scheduler via ``schedule_batch``;
+    #: "per-event" drives one ``timeout()`` per arrival (the PR 4/5
+    #: baseline the bit-identity contract is checked against).
+    admission: str = "batch"
     #: Streaming-histogram resolution (quantile error <= 2**-subbits).
     subbits: int = 8
     #: K-way decomposition of this one scenario (part of the scenario
@@ -311,6 +319,11 @@ class _OpenLoopDriver:
         timeout = self.env.timeout(self._next_gap())
         timeout.callbacks.append(self._on_arrival)
 
+    def drive(self) -> None:
+        """Run the simulation to completion (generic loop: the per-event
+        baseline must keep the unfused engine's exact cost profile)."""
+        self.env.run()
+
     def _handle_arrival(self, _event) -> None:
         env = self.env
         now = env._now
@@ -355,7 +368,7 @@ class _OpenLoopDriver:
             return
         completed = self.completed + 1
         self.completed = completed
-        if not completed & 0xFFFF and self._is_wheel:
+        if not completed & 0x3FF and self._is_wheel:
             self._sample_wheel()
         if self.backlog:
             self._begin(self.backlog.popleft())
@@ -367,12 +380,25 @@ class _OpenLoopDriver:
             self.stream.observe_many(np.asarray(self._buffer, dtype=np.float64))
             self._buffer.clear()
         if self._is_wheel:
-            self._sample_wheel()
+            self._sample_wheel(force=True)
 
-    def _sample_wheel(self) -> None:
-        sample = self.env.sample_occupancy()
+    def _sample_wheel(self, force: bool = False) -> None:
+        # Decimated: most calls return None without computing occupancy
+        # (see WheelEnvironment.sample_occupancy), so the completion-path
+        # cadence can be tight without costing wall clock.
+        sample = self.env.sample_occupancy(force)
+        if sample is None:
+            return
         peaks = self.occupancy_peaks
-        for key in ("wheel", "heap", "spill", "cascades", "overflow_inserts"):
+        for key in (
+            "wheel",
+            "heap",
+            "spill",
+            "cascades",
+            "overflow_inserts",
+            "reanchors",
+            "granularity_bits",
+        ):
             value = sample.get(key, 0)
             if value > peaks.get(key, -1):
                 peaks[key] = value
@@ -386,6 +412,12 @@ def _peak_rss_bytes() -> int:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
+def _validate_admission(admission: str) -> None:
+    """Reject unknown admission modes before any environment is built."""
+    if admission not in ("batch", "per-event"):
+        raise ValueError(f"admission must be 'batch' or 'per-event', got {admission!r}")
+
+
 def run_scale(
     invocations: int = 1_000_000,
     workers: int = 1 << 20,
@@ -395,7 +427,8 @@ def run_scale(
     service_log_mean: float = 19.8,
     service_log_sigma: float = 0.6,
     lease_check_interval_ns: int = ms(64),
-    granularity_bits: int = 16,
+    granularity_bits: Union[int, str] = "auto",
+    admission: str = "batch",
     subbits: int = 8,
     shards: int = 1,
     parallel: int = 1,
@@ -419,6 +452,8 @@ def run_scale(
     the shards out over ``parallel`` worker processes; the single-shard
     Poisson path below is byte-for-byte the PR 4 engine.
     """
+    validate_granularity_bits(granularity_bits)
+    _validate_admission(admission)
     if shards != 1 or arrival_shape != "poisson":
         return run_scale_sharded(
             invocations=invocations,
@@ -431,6 +466,7 @@ def run_scale(
             service_log_sigma=service_log_sigma,
             lease_check_interval_ns=lease_check_interval_ns,
             granularity_bits=granularity_bits,
+            admission=admission,
             subbits=subbits,
             arrival_shape=arrival_shape,
             shard_split=shard_split,
@@ -451,11 +487,18 @@ def run_scale(
         seed=seed,
         scheduler=scheduler,
         granularity_bits=granularity_bits,
+        admission=admission,
         subbits=subbits,
     )
     env_kwargs = {"granularity_bits": granularity_bits} if scheduler == "wheel" else {}
     env = new_environment(config.scheduler, **env_kwargs)
-    driver = _OpenLoopDriver(env, config)
+    if admission == "batch":
+        # Batch admission consumes the pre-generated arrival stream, so
+        # the 1-shard ShardDriver *is* the unsharded engine; the
+        # chained-gap _OpenLoopDriver stays as the per-event baseline.
+        driver: Any = _ShardDriver(env, config, 0, 1)
+    else:
+        driver = _OpenLoopDriver(env, config)
     driver.start()
 
     # The FSM allocates no reference cycles, so generational GC scans
@@ -466,7 +509,7 @@ def run_scale(
     gc.disable()
     started = time.perf_counter()
     try:
-        env.run()
+        driver.drive()
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -516,12 +559,17 @@ def _draw_services(rng, size: int, config: ScaleConfig):
     return np.clip(draws.astype(np.int64), config.min_service_ns, config.max_service_ns)
 
 
-def _shard_chunks(config: ScaleConfig, shard: int, shards: int):
-    """Yield this shard's ``(arrival_times, services)`` list chunks.
+def _shard_chunks(config: ScaleConfig, shard: int, shards: int, lists: bool = True):
+    """Yield this shard's ``(arrival_times, services)`` chunks.
 
     Consumption order is arrival order, so services are assigned by
     **arrival index**, not dispatch order -- the property that makes the
     decomposition independent of each shard's queueing dynamics.
+
+    With ``lists=True`` (the per-event driver) arrival times come as
+    Python lists for cheap scalar iteration; with ``lists=False`` they
+    stay ``int64`` arrays, ready for vectorized ``schedule_batch``
+    admission.  Services are always lists (indexed one at a time).
     """
     shape_kwargs = dict(
         burst_len=config.burst_len,
@@ -544,7 +592,8 @@ def _shard_chunks(config: ScaleConfig, shard: int, shards: int):
             config.mean_arrival_gap_ns * shards,
             **shape_kwargs,
         ):
-            yield times.tolist(), _draw_services(service_rng, times.size, config).tolist()
+            services = _draw_services(service_rng, times.size, config).tolist()
+            yield (times.tolist() if lists else times), services
         return
     if config.shard_split != "partition":
         raise ValueError(
@@ -568,7 +617,8 @@ def _shard_chunks(config: ScaleConfig, shard: int, shards: int):
         mine = (np.arange(index, index + times.size) % shards) == shard
         index += times.size
         if mine.any():
-            yield times[mine].tolist(), services[mine].tolist()
+            kept = times[mine]
+            yield (kept.tolist() if lists else kept), services[mine].tolist()
 
 
 class _ShardDriver:
@@ -578,6 +628,17 @@ class _ShardDriver:
     arrivals come as absolute times with services pre-assigned per
     arrival index, so any slice of the global scenario replays
     identically whatever happens in the other shards.
+
+    Two admission modes (``config.admission``):
+
+    * ``"per-event"`` -- one ``timeout()`` per arrival, chained from the
+      previous arrival's callback: the PR 5 baseline.
+    * ``"batch"`` -- each pre-generated arrival chunk is bucket-sorted
+      into the scheduler in one vectorized ``schedule_batch`` call; the
+      arrival callback just consumes the pre-assigned service stream
+      and admits the next chunk when the current one is exhausted.
+      ~10^6 Python ``timeout()`` calls per shard collapse into ~16
+      numpy passes.
     """
 
     __slots__ = (
@@ -600,6 +661,11 @@ class _ShardDriver:
         "_next_time",
         "_next_service",
         "_buffer",
+        "_batch",
+        "_lease_cbs",
+        "_schedule",
+        "_kernel_sync",
+        "_kernel_drive",
         "_on_arrival",
         "_on_lease",
         "_is_wheel",
@@ -618,15 +684,26 @@ class _ShardDriver:
         self.max_backlog = 0
         self.occupancy_peaks: dict[str, int] = {}
         self._interval = config.lease_check_interval_ns
-        self._chunks = _shard_chunks(config, shard, shards)
+        self._batch = config.admission == "batch"
+        self._chunks = _shard_chunks(config, shard, shards, lists=not self._batch)
         self._times: list[int] = []
         self._services: list[int] = []
         self._pos = 0
         self._next_time = 0
         self._next_service = 0
         self._buffer: list[int] = []
+        # Batch mode installs a closure kernel in start(); the method
+        # FSM below serves per-event mode.
         self._on_arrival = self._handle_arrival
         self._on_lease = self._handle_lease
+        #: One shared callbacks tuple for every lease timeout: the run
+        #: loop only reads and detaches callbacks, so re-arms and fresh
+        #: dispatches alike avoid a per-event list allocation.
+        self._lease_cbs = (self._on_lease,)
+        #: Bound once: ~7 re-arms per invocation go through this.
+        self._schedule = env.schedule_timeout
+        self._kernel_sync: Any = None
+        self._kernel_drive: Any = None
         self._is_wheel = isinstance(env, WheelEnvironment)
 
     def _advance(self) -> None:
@@ -644,9 +721,413 @@ class _ShardDriver:
             raise ValueError("shard needs at least one invocation")
         if self.free_slots < 1:
             raise ValueError("shard needs at least one warm slot")
+        if self._batch:
+            self._install_batch_kernel()
+            return
         self._advance()
         timeout = self.env.timeout(self._next_time)
         timeout.callbacks.append(self._on_arrival)
+
+    def drive(self) -> None:
+        """Run the simulation to completion (fused loop when available)."""
+        kernel = self._kernel_drive
+        if kernel is not None:
+            kernel()
+        else:
+            self.env.run()
+
+    def _install_batch_kernel(self) -> None:
+        """Build the batch-mode FSM as closures and admit the first chunk.
+
+        The arrival/lease handlers run ~9 million times per million
+        invocations; closing their state over cells (LOAD_DEREF) instead
+        of attribute access roughly halves the interpreter work per
+        event.  Three further hot-path savings over the method FSM:
+
+        * the just-processed arrival BatchEvent is *reused* as its own
+          lease timer (value/callbacks re-set, rescheduled) -- a
+          dispatch allocates nothing;
+        * a completed lease event is likewise reused for the backlogged
+          invocation it hands its slot to;
+        * the dominant re-arm destination -- a level-0 wheel slot ahead
+          of the cursor -- is filed inline against stable wheel
+          internals (``_slots0``/``_mask0``/``_eid`` never change
+          identity, even across re-anchors), with everything else
+          falling back to ``schedule_timeout``.  The entry tuples and
+          eid allocation points are identical, so pop order -- hence the
+          fingerprint -- is untouched.
+
+        Simulated-domain state is written back by ``finish()`` via the
+        ``_sync`` closure; ``_buffer``/``backlog``/``occupancy_peaks``
+        are shared mutable objects and need no sync.
+        """
+        env = self.env
+        schedule = env.schedule_timeout
+        schedule_batch = env.schedule_batch
+        interval = self._interval
+        flush_batch = _FLUSH_BATCH
+        flush = self._flush
+        sample = self._sample_wheel
+        buffer = self._buffer
+        backlog = self.backlog
+        chunks = self._chunks
+        total = self.count
+        is_wheel = self._is_wheel
+        if is_wheel:
+            slots0 = env._slots0
+            mask0 = env._mask0
+            eid = env._eid
+            # Bound once: _eid is never rebound, even across re-anchors.
+            eidn = eid.__next__
+        else:
+            slots0 = mask0 = eid = eidn = None
+        free_slots = self.free_slots
+        arrived = 0
+        completed = 0
+        queued = 0
+        max_backlog = 0
+        services: list[int] = []
+        nservices = 0
+        pos = 0
+        lease_cbs: tuple = ()
+
+        def admit_chunk() -> None:
+            nonlocal services, nservices, pos
+            times, services = next(chunks)
+            nservices = len(services)
+            pos = 0
+            schedule_batch(times, on_arrival)
+
+        def on_arrival(event) -> None:
+            nonlocal pos, arrived, free_slots, queued, max_backlog
+            now = env._now
+            service = services[pos]
+            pos += 1
+            arrived += 1
+            # Admit the successor chunk from the *last* arrival of the
+            # current one, before its dispatch -- the same point in the
+            # event order where the per-event driver schedules its next
+            # arrival timeout.
+            if pos == nservices and arrived < total:
+                admit_chunk()
+            if free_slots:
+                free_slots -= 1
+                buffer.append(service)  # sojourn: zero wait + service
+                if len(buffer) >= flush_batch:
+                    flush()
+                event._value = now + service
+                event.callbacks = lease_cbs
+                delay = service if service <= interval else interval
+                if is_wheel:
+                    when = now + delay
+                    s0 = when >> env._gbits
+                    d0 = s0 - env._cursor
+                    if 0 < d0 <= mask0:
+                        slots0[s0 & mask0].append((when, 1, next(eid), event))
+                        env._l0_count += 1
+                        return
+                schedule(event, delay)
+            else:
+                backlog.append((now, service))
+                queued += 1
+                if len(backlog) > max_backlog:
+                    max_backlog = len(backlog)
+
+        def on_lease(event) -> None:
+            nonlocal completed, free_slots
+            now = env._now
+            remaining = event._value - now
+            if remaining > 0:
+                # The lease descriptor is a tuple, so the loop never
+                # detached it: re-arming is just a re-insert.
+                delay = interval if remaining > interval else remaining
+                if is_wheel:
+                    when = now + delay
+                    s0 = when >> env._gbits
+                    d0 = s0 - env._cursor
+                    if 0 < d0 <= mask0:
+                        slots0[s0 & mask0].append((when, 1, next(eid), event))
+                        env._l0_count += 1
+                        return
+                schedule(event, delay)
+                return
+            completed += 1
+            if not completed & 0x3FF and is_wheel:
+                sample()
+            if backlog:
+                arrival_ns, service = backlog.popleft()
+                buffer.append(now - arrival_ns + service)
+                if len(buffer) >= flush_batch:
+                    flush()
+                event._value = now + service
+                delay = service if service <= interval else interval
+                if is_wheel:
+                    when = now + delay
+                    s0 = when >> env._gbits
+                    d0 = s0 - env._cursor
+                    if 0 < d0 <= mask0:
+                        slots0[s0 & mask0].append((when, 1, next(eid), event))
+                        env._l0_count += 1
+                        return
+                schedule(event, delay)
+            else:
+                free_slots += 1
+
+        def drive() -> None:
+            """Fused event loop: the wheel's pop fast path with both
+            kernel handlers inlined.
+
+            ``WheelEnvironment.run`` costs a Python call frame, an
+            ``env._now`` store, a class check and a failure check per
+            event before the handler does any work; at ~9 events per
+            invocation that overhead alone is seconds per million
+            invocations.  This loop recognizes the kernel's own events
+            by their dispatch-descriptor identity (``lease_cbs``, or a
+            tuple holding ``on_arrival``) and runs the handler bodies
+            inline with ``now`` kept in a local.  Everything the run
+            loop would have done for these events is replicated: same
+            pop order (identical guard structure over the same spill /
+            overflow / active objects), same ``events_processed``
+            accounting, and ``env._now`` / ``env._ai`` are synced
+            before any call that can observe them (``_pop``, the
+            ``schedule_timeout`` fallback, chunk admission, occupancy
+            sampling, foreign callbacks) and in ``finally``.  The
+            failure check is skipped only for the kernel's own events,
+            which are constructed ``_ok`` and never fail; foreign
+            events get the full generic treatment.  Invariants relied
+            on: callbacks never rebind ``_active`` / ``_spill`` /
+            ``_queue`` (refill and re-anchor drain them in place, and
+            only inside ``_pop``), and inline L0 inserts never target
+            the active bucket (``0 < d0`` excludes the cursor slot).
+            """
+            nonlocal pos, arrived, completed, free_slots, queued, max_backlog
+            pop = env._pop
+            spill = env._spill
+            overflow = env._queue
+            active = env._active
+            ai = env._ai
+            alen = len(active)
+            processed = 0
+            now = env._now
+            # Shadowed wheel state, valid between "cold" calls (_pop,
+            # the schedule fallback, chunk admission, foreign
+            # callbacks): _gbits/_cursor only change inside those calls,
+            # so they live in locals and are re-read afterwards;
+            # inline-insert increments of _l0_count accumulate in
+            # l0_add and are flushed to the wheel before every cold
+            # call (whose dry-wheel checks read the true count) and on
+            # exit.  `clear` is True while the spill and overflow heaps
+            # are both empty -- they only gain entries during cold
+            # calls and only drain here -- letting the common case
+            # skip both head-comparison guards per event.
+            gbits = env._gbits
+            cursor = env._cursor
+            l0_add = 0
+            clear = not spill and not overflow
+            try:
+                while True:
+                    if ai < alen:
+                        if clear:
+                            entry = active[ai]
+                            active[ai] = None
+                            ai += 1
+                        else:
+                            entry = active[ai]
+                            if spill and spill[0] < entry:
+                                head = spill[0]
+                                if overflow and overflow[0] < head:
+                                    entry = heappop(overflow)
+                                else:
+                                    entry = heappop(spill)
+                                clear = not spill and not overflow
+                            elif overflow and overflow[0] < entry:
+                                entry = heappop(overflow)
+                                clear = not spill and not overflow
+                            else:
+                                active[ai] = None
+                                ai += 1
+                    else:
+                        env._ai = ai
+                        env._now = now
+                        if l0_add:
+                            env._l0_count += l0_add
+                            l0_add = 0
+                        try:
+                            entry = pop()
+                        except IndexError:
+                            return
+                        active = env._active
+                        ai = env._ai
+                        alen = len(active)
+                        gbits = env._gbits
+                        cursor = env._cursor
+                        clear = not spill and not overflow
+                    now = entry[0]
+                    event = entry[3]
+                    processed += 1
+                    cbs = event.callbacks
+                    if cbs is lease_cbs:
+                        deadline = event._value
+                        if deadline > now:
+                            when = now + interval
+                            if when > deadline:
+                                when = deadline
+                            s0 = when >> gbits
+                            d0 = s0 - cursor
+                            if 0 < d0 <= mask0:
+                                slots0[s0 & mask0].append((when, 1, eidn(), event))
+                                l0_add += 1
+                            else:
+                                env._now = now
+                                env._ai = ai
+                                if l0_add:
+                                    env._l0_count += l0_add
+                                    l0_add = 0
+                                schedule(event, when - now)
+                                gbits = env._gbits
+                                cursor = env._cursor
+                                clear = not spill and not overflow
+                            continue
+                        completed += 1
+                        if not completed & 0x3FF:
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            sample()
+                        if backlog:
+                            arrival_ns, service = backlog.popleft()
+                            buffer.append(now - arrival_ns + service)
+                            if len(buffer) >= flush_batch:
+                                # flush() force-samples occupancy: give
+                                # it the true wheel state first.
+                                env._now = now
+                                env._ai = ai
+                                if l0_add:
+                                    env._l0_count += l0_add
+                                    l0_add = 0
+                                flush()
+                            deadline = now + service
+                            event._value = deadline
+                            when = now + interval
+                            if when > deadline:
+                                when = deadline
+                            s0 = when >> gbits
+                            d0 = s0 - cursor
+                            if 0 < d0 <= mask0:
+                                slots0[s0 & mask0].append((when, 1, eidn(), event))
+                                l0_add += 1
+                            else:
+                                env._now = now
+                                env._ai = ai
+                                if l0_add:
+                                    env._l0_count += l0_add
+                                    l0_add = 0
+                                schedule(event, when - now)
+                                gbits = env._gbits
+                                cursor = env._cursor
+                                clear = not spill and not overflow
+                        else:
+                            free_slots += 1
+                        continue
+                    if cbs.__class__ is tuple and cbs[0] is on_arrival:
+                        service = services[pos]
+                        pos += 1
+                        arrived += 1
+                        if pos == nservices and arrived < total:
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            admit_chunk()
+                            gbits = env._gbits
+                            cursor = env._cursor
+                            clear = not spill and not overflow
+                        if free_slots:
+                            free_slots -= 1
+                            buffer.append(service)
+                            if len(buffer) >= flush_batch:
+                                # flush() force-samples occupancy: give
+                                # it the true wheel state first.
+                                env._now = now
+                                env._ai = ai
+                                if l0_add:
+                                    env._l0_count += l0_add
+                                    l0_add = 0
+                                flush()
+                            deadline = now + service
+                            event._value = deadline
+                            event.callbacks = lease_cbs
+                            when = now + interval
+                            if when > deadline:
+                                when = deadline
+                            s0 = when >> gbits
+                            d0 = s0 - cursor
+                            if 0 < d0 <= mask0:
+                                slots0[s0 & mask0].append((when, 1, eidn(), event))
+                                l0_add += 1
+                            else:
+                                env._now = now
+                                env._ai = ai
+                                if l0_add:
+                                    env._l0_count += l0_add
+                                    l0_add = 0
+                                schedule(event, when - now)
+                                gbits = env._gbits
+                                cursor = env._cursor
+                                clear = not spill and not overflow
+                        else:
+                            backlog.append((now, service))
+                            queued += 1
+                            blen = len(backlog)
+                            if blen > max_backlog:
+                                max_backlog = blen
+                        continue
+                    # Foreign event: full generic run-loop semantics.
+                    env._now = now
+                    env._ai = ai
+                    if l0_add:
+                        env._l0_count += l0_add
+                        l0_add = 0
+                    if cbs.__class__ is tuple:
+                        cbs[0](event)
+                    else:
+                        event.callbacks = None
+                        for callback in cbs:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise exc
+                        raise RuntimeError(f"event failed with non-exception {exc!r}")
+                    gbits = env._gbits
+                    cursor = env._cursor
+                    clear = not spill and not overflow
+            finally:
+                env._ai = ai
+                env._now = now
+                if l0_add:
+                    env._l0_count += l0_add
+                env.events_processed += processed
+
+        def sync() -> None:
+            self.arrived = arrived
+            self.completed = completed
+            self.queued = queued
+            self.max_backlog = max_backlog
+            self.free_slots = free_slots
+
+        lease_cbs = (on_lease,)
+        self._on_arrival = on_arrival
+        self._on_lease = on_lease
+        self._lease_cbs = lease_cbs
+        self._kernel_sync = sync
+        # The fused loop leans on wheel internals; heap-batch runs keep
+        # the generic Environment.run dispatch over the same closures.
+        self._kernel_drive = drive if is_wheel else None
+        admit_chunk()
 
     def _handle_arrival(self, _event) -> None:
         env = self.env
@@ -668,29 +1149,29 @@ class _ShardDriver:
                 self.max_backlog = len(backlog)
 
     def _begin(self, arrival_ns: int, service: int) -> None:
-        env = self.env
-        now = env._now
+        now = self.env._now
         buffer = self._buffer
         buffer.append(now - arrival_ns + service)
         if len(buffer) >= _FLUSH_BATCH:
             self._flush()
         interval = self._interval
-        timeout = env.timeout(service if service <= interval else interval, now + service)
-        timeout.callbacks.append(self._on_lease)
+        # A BatchEvent is the cheapest schedulable event (five slot
+        # stores, no validation chain): the lease timer needs nothing
+        # more, and the deadline/eid sequence -- hence the fingerprint
+        # -- is identical to the pooled-Timeout recipe.
+        event = BatchEvent(self.env, self._lease_cbs, now + service)
+        self._schedule(event, service if service <= interval else interval)
 
     def _handle_lease(self, event) -> None:
-        env = self.env
-        remaining = event._value - env._now
+        remaining = event._value - self.env._now
         if remaining > 0:
             interval = self._interval
-            event.callbacks = [self._on_lease]
-            env.schedule_timeout(
-                event, interval if remaining > interval else remaining
-            )
+            # Tuple dispatch descriptor: still attached, just re-insert.
+            self._schedule(event, interval if remaining > interval else remaining)
             return
         completed = self.completed + 1
         self.completed = completed
-        if not completed & 0xFFFF and self._is_wheel:
+        if not completed & 0x3FF and self._is_wheel:
             self._sample_wheel()
         if self.backlog:
             arrival_ns, service = self.backlog.popleft()
@@ -702,6 +1183,8 @@ class _ShardDriver:
     _sample_wheel = _OpenLoopDriver._sample_wheel
 
     def finish(self) -> None:
+        if self._kernel_sync is not None:
+            self._kernel_sync()
         self._flush()
 
 
@@ -738,7 +1221,8 @@ def _run_shard(
     service_log_mean: float = 19.8,
     service_log_sigma: float = 0.6,
     lease_check_interval_ns: int = ms(64),
-    granularity_bits: int = 16,
+    granularity_bits: Union[int, str] = "auto",
+    admission: str = "batch",
     subbits: int = 8,
     arrival_shape: str = "poisson",
     shard_split: str = "partition",
@@ -765,6 +1249,7 @@ def _run_shard(
         seed=seed,
         scheduler=scheduler,
         granularity_bits=granularity_bits,
+        admission=admission,
         subbits=subbits,
         shards=shards,
         shard_split=shard_split,
@@ -774,6 +1259,8 @@ def _run_shard(
         diurnal_period_ns=diurnal_period_ns,
         diurnal_multipliers=tuple(diurnal_multipliers),
     )
+    validate_granularity_bits(granularity_bits)
+    _validate_admission(admission)
     if not 0 <= shard < shards:
         raise ValueError(f"shard {shard} outside [0, {shards})")
     env_kwargs = {"granularity_bits": granularity_bits} if scheduler == "wheel" else {}
@@ -786,7 +1273,7 @@ def _run_shard(
     gc.disable()
     started = time.perf_counter()
     try:
-        env.run()
+        driver.drive()
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -965,7 +1452,8 @@ def run_scale_sharded(
     service_log_mean: float = 19.8,
     service_log_sigma: float = 0.6,
     lease_check_interval_ns: int = ms(64),
-    granularity_bits: int = 16,
+    granularity_bits: Union[int, str] = "auto",
+    admission: str = "batch",
     subbits: int = 8,
     arrival_shape: str = "poisson",
     shard_split: str = "partition",
@@ -986,6 +1474,8 @@ def run_scale_sharded(
     """
     from repro.parallel import FailedPoint, RunSpec, available_workers, resolve_workers, run_specs
 
+    validate_granularity_bits(granularity_bits)
+    _validate_admission(admission)
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if shards > invocations:
@@ -1003,6 +1493,7 @@ def run_scale_sharded(
         service_log_sigma=service_log_sigma,
         lease_check_interval_ns=lease_check_interval_ns,
         granularity_bits=granularity_bits,
+        admission=admission,
         subbits=subbits,
         arrival_shape=arrival_shape,
         shard_split=shard_split,

@@ -41,6 +41,7 @@ class Counters:
         "heap_entries",
         "wheel_cascades",
         "wheel_overflow_inserts",
+        "wheel_reanchors",
         "shard_runs",
     )
 
@@ -71,6 +72,8 @@ class Counters:
         self.wheel_cascades = 0
         #: Scheduled entries that bypassed the wheel (beyond horizon).
         self.wheel_overflow_inserts = 0
+        #: Granularity re-anchors performed by adaptive wheels.
+        self.wheel_reanchors = 0
         #: Shard simulations executed by the sharded scale engine.
         self.shard_runs = 0
 

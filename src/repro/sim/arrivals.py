@@ -42,6 +42,13 @@ import numpy as np
 #: chunking so partition-mode shards replay identical stream prefixes.
 ARRIVAL_CHUNK = 1 << 16
 
+#: The dtype every generator yields (and batch admission expects):
+#: absolute nanosecond deadlines as signed 64-bit ints.  Using one
+#: named dtype everywhere keeps the float->int truncation step
+#: identical across shapes, which the bit-identity contract between
+#: batch and per-event admission depends on.
+ARRIVAL_DTYPE = np.int64
+
 #: Arrival shapes understood by :func:`arrival_times`.
 SHAPES = ("poisson", "bursty", "diurnal")
 
@@ -64,7 +71,7 @@ def _poisson_times(
     while remaining:
         size = min(chunk, remaining)
         draws = rng.exponential(mean_gap_ns, size=size)
-        gaps = np.maximum(draws.astype(np.int64), 1)
+        gaps = np.maximum(draws.astype(ARRIVAL_DTYPE), 1)
         times = now + np.cumsum(gaps)
         now = int(times[-1])
         remaining -= size
@@ -87,11 +94,11 @@ def _bursty_times(
     last = 0
     remaining = count
     bursts_per_chunk = max(1, chunk // burst_len)
-    offsets = np.arange(burst_len, dtype=np.int64) * intra_gap_ns
+    offsets = np.arange(burst_len, dtype=ARRIVAL_DTYPE) * intra_gap_ns
     while remaining:
         bursts = min(bursts_per_chunk, -(-remaining // burst_len))
         draws = rng.exponential(mean_gap_ns * burst_len, size=bursts)
-        gaps = np.maximum(draws.astype(np.int64), 1)
+        gaps = np.maximum(draws.astype(ARRIVAL_DTYPE), 1)
         epochs = epoch + np.cumsum(gaps)
         epoch = int(epochs[-1])
         times = (epochs[:, None] + offsets[None, :]).reshape(-1)
@@ -146,7 +153,7 @@ def _diurnal_times(
         )
         within = (rem - ops_starts[segment]) / rates[segment]
         real = periods * period_ns + segment * segment_ns + within
-        times = np.maximum(real.astype(np.int64), 1)
+        times = np.maximum(real.astype(ARRIVAL_DTYPE), 1)
         # Integer truncation can locally reorder by 1 ns across a
         # segment edge; restore monotonicity (exact ops times are
         # strictly increasing, so this only touches rounding ties).

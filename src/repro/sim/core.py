@@ -27,10 +27,10 @@ from __future__ import annotations
 
 import sys
 from heapq import heappop, heappush
-from itertools import count
+from itertools import count, islice, repeat
 from typing import Any, Iterable, Optional, Union
 
-from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.sim.events import NORMAL, AllOf, AnyOf, BatchEvent, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
 #: Upper bound on the Timeout free list; beyond this, processed
@@ -121,6 +121,44 @@ class Environment:
         """
         heappush(self._queue, (self._now + delay, NORMAL, next(self._eid), event))
 
+    def schedule_batch(self, times: Any, callback: Any) -> list[Event]:
+        """Admit a whole chunk of NORMAL-priority events in one call.
+
+        *times* is a non-decreasing sequence of absolute deadlines (a
+        ``numpy.int64`` array straight from :mod:`repro.sim.arrivals`,
+        or any int sequence), each ``>= now``.  One :class:`BatchEvent`
+        is created per deadline, all sharing a single ``(callback,)``
+        tuple, and entry ids are allocated in sequence order -- so the
+        resulting pop order is exactly what per-event
+        ``schedule_timeout`` calls in the same order would produce.
+
+        This heap implementation exists as the correctness baseline;
+        the timer wheel overrides it with a vectorized bucket sort.
+        Returns the admitted events, in deadline order.
+        """
+        whens = times.tolist() if hasattr(times, "tolist") else [int(t) for t in times]
+        if not whens:
+            return []
+        now = self._now
+        if whens[0] < now:
+            raise ValueError(f"batch deadline {whens[0]} is in the past (now={now})")
+        if any(b < a for a, b in zip(whens, whens[1:])):
+            raise ValueError("batch deadlines must be non-decreasing")
+        shared = (callback,)
+        events = [BatchEvent(self, shared) for _ in whens]
+        eids = islice(self._eid, len(whens))
+        queue = self._queue
+        if queue:
+            push = heappush
+            for entry in zip(whens, repeat(NORMAL), eids, events):
+                push(queue, entry)
+        else:
+            # A list sorted ascending satisfies the heap invariant
+            # directly (parent index < child index), so an empty queue
+            # takes the whole chunk as one extend.
+            queue.extend(zip(whens, repeat(NORMAL), eids, events))
+        return events
+
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or ``None`` if none."""
         return self._queue[0][0] if self._queue else None
@@ -136,10 +174,16 @@ class Environment:
         self._now = when
         self.events_processed += 1
 
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
         assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
+        if callbacks.__class__ is tuple:
+            # Persistent dispatch descriptor (see BatchEvent): exactly
+            # one callback, never detached.
+            callbacks[0](event)
+        else:
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
 
         if not event._ok and not event._defused:
             exc = event._value
@@ -211,12 +255,19 @@ class Environment:
                 self._now = when
                 processed += 1
 
-                callbacks, event.callbacks = event.callbacks, None
-                if len(callbacks) == 1:
+                callbacks = event.callbacks
+                if callbacks.__class__ is tuple:
+                    # Persistent dispatch descriptor (see BatchEvent):
+                    # exactly one callback, never detached -- a re-armed
+                    # event keeps its descriptor across schedulings.
                     callbacks[0](event)
                 else:
-                    for callback in callbacks:
-                        callback(event)
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
 
                 if not event._ok and not event._defused:
                     exc = event._value

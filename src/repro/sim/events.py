@@ -150,6 +150,34 @@ class Timeout(Event):
         return f"<Timeout delay={self._delay}>"
 
 
+class BatchEvent(Event):
+    """A pre-triggered event admitted via ``Environment.schedule_batch``.
+
+    The batch-admission path creates one of these per arrival in a
+    vectorized pass; keeping the constructor to five slot stores (and
+    sharing one callbacks tuple across the whole batch) is what makes
+    admitting 2^16 events at once cheap.
+
+    A *tuple* in ``callbacks`` is a persistent dispatch descriptor: it
+    must hold exactly one callable, and the event loop invokes it
+    without detaching it, so a handler that re-schedules the same event
+    (the scale kernel re-arms lease timers millions of times) skips
+    both the detach store and the re-attach store.  Consequently
+    ``processed`` is not meaningful for tuple-dispatch events; use
+    ``triggered`` (value-based), which is True from construction.  A
+    list in ``callbacks`` keeps the ordinary one-shot detach contract.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", callbacks: Any, value: Any = None) -> None:
+        self.env = env
+        self.callbacks = callbacks
+        self._value = value
+        self._ok = True
+        self._defused = False
+
+
 class ConditionValue:
     """Ordered mapping from source events to their values.
 

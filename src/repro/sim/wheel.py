@@ -51,21 +51,97 @@ Where entries live
 When the wheel runs completely dry the cursor re-anchors itself to the
 current time on the next insert, so a schedule that went far-future
 (overflow only) does not degrade every later insert to the heap.
+
+Adaptive granularity (``granularity_bits="auto"``)
+--------------------------------------------------
+A fixed slot width must be hand-tuned per regime (256 ns suits the
+microsecond RDMA harnesses, ~65 us the scale engine's millisecond
+leases).  In auto mode the wheel watches counters its hot paths touch
+anyway -- events drained, empty-slot probes, cascades, overflow inserts
+-- and every ``_ADAPT_WINDOW`` drained events checks them against an
+occupancy band.  Out of band, it *re-anchors*: at a quiescent cursor
+boundary (active bucket drained, spill empty -- exactly ``_refill``'s
+precondition) every pending entry is re-filed under a granularity
+sized from the pending-deadline horizon.  Entries are geometry-free
+``(when, priority, eid, event)`` tuples, so re-anchoring can never
+change the pop order; the fuzz tests force re-anchors mid-workload and
+still require bit-identical firing sequences.
+
+Batch admission (``schedule_batch``)
+------------------------------------
+Pre-generated arrival chunks (:mod:`repro.sim.arrivals`) are admitted
+in one vectorized pass: ``searchsorted`` splits the sorted deadlines
+into spill/level-0/level-1/overflow segments and equal-slot runs land
+with one ``extend`` per bucket, replacing ~2^16 per-event Python calls
+per chunk.  Entry ids are allocated in sequence order and each batch
+shares a single callbacks tuple, so results are identical to per-event
+admission of the same stream while the admission cost all but
+disappears from the profile.
 """
 
 from __future__ import annotations
 
 import sys
 from heapq import heappop, heappush
+from itertools import islice, repeat
 from typing import Any, Optional, Union
+
+import numpy as np
 
 from repro import perf
 from repro.sim.core import Environment, EmptySchedule, StopSimulation, _TIMEOUT_POOL_MAX
-from repro.sim.events import NORMAL, Event, Timeout
+from repro.sim.events import NORMAL, BatchEvent, Event, Timeout
 
 #: Priority used by ``run(until=<int>)`` stop markers (matches the base
 #: class, which the ordering-equivalence tests rely on).
 _STOP_PRIORITY = 1 << 30
+
+#: Level-0 slot width used until the first adaptation when
+#: ``granularity_bits="auto"`` (the wheel's all-round default).
+_AUTO_INITIAL_BITS = 8
+#: Ceiling for both auto-chosen and config-supplied granularities:
+#: 2**40 ns slots (~18 min) is already absurdly coarse for this
+#: simulator's nanosecond clock.
+MAX_GRANULARITY_BITS = 40
+#: Drained events between occupancy-band evaluations.
+_ADAPT_WINDOW = 1 << 15
+#: Back-off ceiling when the band says "bad" but no better geometry
+#: exists (e.g. genuinely bimodal deadlines): evaluations get rarer
+#: instead of burning O(pending) scans forever.
+_ADAPT_WINDOW_MAX = 1 << 22
+#: Too-coarse signal: average sort-on-drain bucket above this.
+_ADAPT_BUCKET_MAX = 1 << 12
+#: Too-sparse signal: more than this many empty-slot probes per
+#: drained event.
+_ADAPT_PROBE_FACTOR = 4
+#: Fraction of :meth:`sample_occupancy` calls that actually compute and
+#: publish (count-based decimation; the rest return ``None``), so
+#: callers can sample on hot paths without measurable cost.
+_SAMPLE_DECIMATION = 64
+
+
+def validate_granularity_bits(value: Union[int, str]) -> Union[int, str]:
+    """Validate a user-facing ``granularity_bits`` setting.
+
+    Accepts ``"auto"`` (adaptive) or an int in ``[1, 40]``; anything
+    else raises ``ValueError`` here, at the config/CLI boundary, rather
+    than failing deep inside the wheel geometry.  (The wheel *class*
+    still accepts ``granularity_bits=0`` directly -- 1 ns slots are a
+    legitimate geometry for unit tests -- but no real scenario wants
+    them, so the config surface starts at 1.)
+    """
+    if value == "auto":
+        return value
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"granularity_bits must be 'auto' or an integer, got {value!r}"
+        )
+    if not 1 <= value <= MAX_GRANULARITY_BITS:
+        raise ValueError(
+            f"granularity_bits must be in [1, {MAX_GRANULARITY_BITS}] "
+            f"(or 'auto'), got {value}"
+        )
+    return value
 
 
 class WheelEnvironment(Environment):
@@ -94,18 +170,48 @@ class WheelEnvironment(Environment):
         "_l1_count",
         "cascades",
         "overflow_inserts",
+        "_adaptive",
+        "_adapt_window",
+        "_adapt_drained",
+        "_adapt_refills",
+        "_adapt_probes",
+        "_adapt_cascaded",
+        "_adapt_overflow_mark",
+        "reanchors",
+        "_sample_tick",
+        "occupancy_samples",
     )
 
     def __init__(
         self,
         initial_time: int = 0,
-        granularity_bits: int = 8,
+        granularity_bits: Union[int, str] = 8,
         slot_bits: int = 12,
         window_bits: int = 10,
     ) -> None:
         super().__init__(initial_time)
-        if granularity_bits < 0 or slot_bits < 1 or window_bits < 1:
+        adaptive = granularity_bits == "auto"
+        if adaptive:
+            granularity_bits = _AUTO_INITIAL_BITS
+        if (
+            not isinstance(granularity_bits, int)
+            or granularity_bits < 0
+            or slot_bits < 1
+            or window_bits < 1
+        ):
             raise ValueError("wheel geometry bits must be positive")
+        self._adaptive = adaptive
+        self._adapt_window = _ADAPT_WINDOW
+        self._adapt_drained = 0
+        self._adapt_refills = 0
+        self._adapt_probes = 0
+        self._adapt_cascaded = 0
+        self._adapt_overflow_mark = 0
+        #: Granularity re-anchors performed by the adaptive controller.
+        self.reanchors = 0
+        self._sample_tick = 0
+        #: sample_occupancy() calls that actually computed (not gated).
+        self.occupancy_samples = 0
         self._gbits = granularity_bits
         self._sbits0 = slot_bits
         self._mask0 = (1 << slot_bits) - 1
@@ -191,6 +297,78 @@ class WheelEnvironment(Environment):
             return
         heappush(self._spill, (when, NORMAL, next(self._eid), event))
 
+    def schedule_batch(self, times: Any, callback: Any) -> list[Event]:
+        """Vectorized batch admission: bucket-sort a whole chunk at once.
+
+        Same contract as the base class (non-decreasing absolute
+        *times*, all ``>= now``; one shared-callback :class:`BatchEvent`
+        per deadline, eids in sequence order), but instead of ~2^16
+        per-event Python calls the chunk is classified in one numpy
+        pass: ``searchsorted`` against the cursor finds the
+        spill/level-0/level-1/overflow segment boundaries (the slot
+        numbers are sorted because the times are), and contiguous
+        equal-slot runs land in their buckets with one ``extend`` each.
+        Pop order is identical to per-event admission of the same
+        sequence because the entry tuples are.
+        """
+        arr = np.asarray(times, dtype=np.int64)
+        n = int(arr.size)
+        if not n:
+            return []
+        now = self._now
+        if int(arr[0]) < now:
+            raise ValueError(f"batch deadline {int(arr[0])} is in the past (now={now})")
+        if n > 1 and bool((arr[1:] < arr[:-1]).any()):
+            raise ValueError("batch deadlines must be non-decreasing")
+        # Dry wheel + stale cursor: re-anchor first (mirrors _insert) so
+        # an overflow-only past does not leak the chunk to the heap.
+        if (
+            self._cursor < now >> self._gbits
+            and not (self._l0_count or self._l1_count or self._spill)
+            and self._ai >= len(self._active)
+        ):
+            self._cursor = now >> self._gbits
+        gbits = self._gbits
+        sbits0 = self._sbits0
+        cursor = self._cursor
+        s0 = arr >> gbits
+        shared = (callback,)
+        events = [BatchEvent(self, shared) for _ in range(n)]
+        entries = list(zip(arr.tolist(), repeat(NORMAL), islice(self._eid, n), events))
+        # Segment boundaries over the sorted slot numbers:
+        # s0 <= cursor                  -> spill
+        # cursor < s0 <= cursor + mask0 -> level 0
+        # within the level-1 horizon    -> level 1
+        # beyond                        -> overflow heap
+        i_spill = int(np.searchsorted(s0, cursor, side="right"))
+        i_l0 = int(np.searchsorted(s0, cursor + self._mask0, side="right"))
+        horizon_end = (((cursor >> sbits0) + self._mask1) + 1) << sbits0
+        i_l1 = int(np.searchsorted(s0, horizon_end, side="left"))
+        if i_spill:
+            spill = self._spill
+            for k in range(i_spill):
+                heappush(spill, entries[k])
+        if i_l0 > i_spill:
+            seg = s0[i_spill:i_l0]
+            slots0, mask0 = self._slots0, self._mask0
+            starts = [0, *(np.flatnonzero(seg[1:] != seg[:-1]) + 1).tolist(), i_l0 - i_spill]
+            for a, b in zip(starts, starts[1:]):
+                slots0[int(seg[a]) & mask0].extend(entries[i_spill + a : i_spill + b])
+            self._l0_count += i_l0 - i_spill
+        if i_l1 > i_l0:
+            seg = s0[i_l0:i_l1] >> sbits0
+            slots1, mask1 = self._slots1, self._mask1
+            starts = [0, *(np.flatnonzero(seg[1:] != seg[:-1]) + 1).tolist(), i_l1 - i_l0]
+            for a, b in zip(starts, starts[1:]):
+                slots1[int(seg[a]) & mask1].extend(entries[i_l0 + a : i_l0 + b])
+            self._l1_count += i_l1 - i_l0
+        if i_l1 < n:
+            queue = self._queue
+            for k in range(i_l1, n):
+                heappush(queue, entries[k])
+            self.overflow_inserts += n - i_l1
+        return events
+
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """Pooled timeout (see base class), scheduled through the wheel."""
         pool = self._timeout_pool
@@ -219,6 +397,8 @@ class WheelEnvironment(Environment):
         self._l1_count -= len(bucket)
         self._l0_count += len(bucket)
         self.cascades += 1
+        if self._adaptive:
+            self._adapt_cascaded += len(bucket)
         gbits, mask0, slots0 = self._gbits, self._mask0, self._slots0
         for entry in bucket:
             slots0[(entry[0] >> gbits) & mask0].append(entry)
@@ -235,8 +415,10 @@ class WheelEnvironment(Environment):
         c = self._cursor
         slots0, mask0, smask0 = self._slots0, self._mask0, self._smask0
         sbits0 = self._sbits0
+        probes = 0
         while True:
             c += 1
+            probes += 1
             if not c & smask0:
                 self._cascade(c >> sbits0)
             bucket = slots0[c & mask0]
@@ -252,6 +434,10 @@ class WheelEnvironment(Environment):
         bucket.sort()
         self._active = bucket
         self._ai = 0
+        if self._adaptive:
+            self._adapt_drained += len(bucket)
+            self._adapt_refills += 1
+            self._adapt_probes += probes
 
     def _pop(self) -> tuple:
         """Remove and return the globally minimal ``(when, prio, eid,
@@ -286,7 +472,126 @@ class WheelEnvironment(Environment):
                 return heappop(spill)
             if not (self._l0_count or self._l1_count):
                 return heappop(self._queue)
+            if self._adaptive and self._adapt_drained >= self._adapt_window:
+                # Quiescent cursor boundary (active drained, spill
+                # empty): the only point where re-filing every pending
+                # entry under a new granularity is safe and cheap to
+                # reason about.  Loop back afterwards -- a re-anchor
+                # may have moved everything into spill or overflow.
+                self._maybe_reanchor()
+                continue
             self._refill()
+
+    # -- adaptive granularity ------------------------------------------
+
+    def _maybe_reanchor(self) -> None:
+        """Evaluate the occupancy band; re-anchor geometry if out of band.
+
+        The band is judged from counters the hot paths already touch:
+        *too fine* when most drained events took an extra hop (level-1
+        cascade or overflow insert) because deadlines outlive level 0;
+        *too sparse* when the cursor walks many empty slots per event;
+        *too coarse* when the average sort-on-drain bucket is huge.
+        Preconditions match :meth:`_refill`: active bucket exhausted and
+        spill empty, so every pending entry has ``when >= now`` and
+        reclassifies exactly as a fresh wheel would file it.
+        """
+        drained = self._adapt_drained
+        refills = self._adapt_refills
+        probes = self._adapt_probes
+        cascaded = self._adapt_cascaded
+        overflowed = self.overflow_inserts - self._adapt_overflow_mark
+        self._adapt_drained = 0
+        self._adapt_refills = 0
+        self._adapt_probes = 0
+        self._adapt_cascaded = 0
+        self._adapt_overflow_mark = self.overflow_inserts
+        too_fine = (cascaded + overflowed) * 2 > drained
+        too_sparse = probes > drained * _ADAPT_PROBE_FACTOR
+        too_coarse = bool(refills) and drained > refills * _ADAPT_BUCKET_MAX
+        if not (too_fine or too_sparse or too_coarse):
+            self._adapt_window = _ADAPT_WINDOW
+            return
+        target = self._target_bits()
+        if target == self._gbits:
+            # Out of band but no better single granularity exists (e.g.
+            # genuinely bimodal deadlines): back off exponentially so
+            # the O(pending) target scan stays amortized away.
+            self._adapt_window = min(self._adapt_window * 2, _ADAPT_WINDOW_MAX)
+            return
+        self._reanchor(target)
+        self._adapt_window = _ADAPT_WINDOW
+
+    def _target_bits(self) -> int:
+        """Granularity fitting the *current* pending-deadline horizon.
+
+        Sizes slots so the bulk (90th percentile) of pending horizons
+        fits inside level 0, but never finer than the mean spacing
+        between deadlines -- the two failure modes the band detects.
+        """
+        whens: list[int] = []
+        extend = whens.extend
+        if self._l0_count:
+            for bucket in self._slots0:
+                if bucket:
+                    extend(entry[0] for entry in bucket)
+        if self._l1_count:
+            for bucket in self._slots1:
+                if bucket:
+                    extend(entry[0] for entry in bucket)
+        extend(entry[0] for entry in self._queue)
+        if not whens:
+            return self._gbits
+        horizons = np.asarray(whens, dtype=np.int64) - self._now
+        span = int(np.quantile(horizons, 0.90))
+        if span < 1:
+            span = 1
+        g_span = span.bit_length() - self._sbits0
+        spacing = span // len(whens)
+        g_density = spacing.bit_length()
+        target = max(g_span, g_density, 0)
+        return min(target, MAX_GRANULARITY_BITS)
+
+    def _reanchor(self, bits: int) -> None:
+        """Re-anchor the wheel at granularity *bits*, preserving order.
+
+        Entries are geometry-independent ``(when, priority, eid, event)``
+        tuples, so re-filing them under new slot boundaries cannot
+        change the pop order -- only which O(1) structure serves them.
+        The overflow heap is drained too, so entries that overflowed
+        only because the old geometry was too fine migrate back into
+        the wheel.  ``_queue`` and ``_spill`` are mutated in place,
+        never rebound: the inlined run loop holds local references.
+        """
+        entries: list[tuple] = []
+        extend = entries.extend
+        slots0 = self._slots0
+        for index in range(len(slots0)):
+            if slots0[index]:
+                extend(slots0[index])
+                slots0[index] = []
+        slots1 = self._slots1
+        for index in range(len(slots1)):
+            if slots1[index]:
+                extend(slots1[index])
+                slots1[index] = []
+        extend(self._queue)
+        self._queue.clear()
+        self._l0_count = 0
+        self._l1_count = 0
+        self._gbits = bits
+        self._cursor = self._now >> bits
+        overflow_mark = self.overflow_inserts
+        insert = self._insert
+        for entry in entries:
+            insert(entry)
+        # Re-filing is not a new scheduling decision: keep the lifetime
+        # overflow counter meaning "entries scheduled beyond the horizon".
+        self.overflow_inserts = overflow_mark
+        self._adapt_overflow_mark = overflow_mark
+        self.reanchors += 1
+        if perf.enabled:
+            perf.counters.wheel_reanchors += 1
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or ``None`` if none.
@@ -341,16 +646,28 @@ class WheelEnvironment(Environment):
             "heap": len(self._queue),
             "cascades": self.cascades,
             "overflow_inserts": self.overflow_inserts,
+            "reanchors": self.reanchors,
+            "granularity_bits": self._gbits,
         }
 
-    def sample_occupancy(self) -> dict[str, int]:
-        """:meth:`occupancy`, also published to :mod:`repro.perf`.
+    def sample_occupancy(self, force: bool = False) -> Optional[dict[str, int]]:
+        """Decimated :meth:`occupancy`, also published to :mod:`repro.perf`.
 
-        While counting is enabled, ``perf.counters.wheel_entries`` /
-        ``heap_entries`` track the *peak* sampled residency and the
-        cascade/overflow lifetime totals are brought up to date, so
-        bench snapshots show where the schedule actually lived.
+        Only every ``_SAMPLE_DECIMATION``-th call (or a ``force=True``
+        one) computes anything; the rest bump one counter and return
+        ``None``.  Callers on hot paths -- the scale drivers sample per
+        completion batch -- therefore pay a fixed two-attribute cost
+        per call, well under 1% of event throughput, while peaks still
+        get tracked.  While counting is enabled,
+        ``perf.counters.wheel_entries`` / ``heap_entries`` track the
+        *peak* sampled residency and the cascade/overflow/re-anchor
+        lifetime totals are brought up to date.
         """
+        tick = self._sample_tick + 1
+        self._sample_tick = tick
+        if not force and tick % _SAMPLE_DECIMATION:
+            return None
+        self.occupancy_samples += 1
         occupancy = self.occupancy()
         if perf.enabled:
             counters = perf.counters
@@ -375,10 +692,16 @@ class WheelEnvironment(Environment):
         self._now = when
         self.events_processed += 1
 
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
         assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
+        if callbacks.__class__ is tuple:
+            # Persistent dispatch descriptor (see BatchEvent): exactly
+            # one callback, never detached.
+            callbacks[0](event)
+        else:
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
 
         if not event._ok and not event._defused:
             exc = event._value
@@ -419,6 +742,17 @@ class WheelEnvironment(Environment):
         # per event is measurable at millions of events; spill and
         # overflow are bound once (heappush/heappop mutate them in
         # place, only _active changes identity, at refill).
+        #
+        # `active`/`ai` are carried as locals across iterations and only
+        # written back to self before the slow-path _pop() (nothing a
+        # callback can do rebinds _active or advances _ai: inserts at or
+        # before the cursor go to the spill heap, refill/re-anchor only
+        # run inside _pop).  A callback reading self._ai mid-walk -- the
+        # dry-wheel guards in _insert/schedule_batch, or an occupancy
+        # sample -- sees a value that lags by at most one bucket; both
+        # readers treat that conservatively (the guards skip an optional
+        # cursor re-anchor and file via the overflow heap, which pops in
+        # the same global order).
         pop = self._pop
         spill = self._spill
         overflow = self._queue
@@ -427,11 +761,17 @@ class WheelEnvironment(Environment):
         timeout_cls = Timeout
         processed = 0
         pooled = 0
+        active = self._active
+        ai = self._ai
+        # The active bucket's length is fixed for the whole walk
+        # (drained entries are overwritten with None, never removed;
+        # callbacks cannot touch the bucket -- it was unlinked from
+        # _slots0 at refill), so it is cached instead of re-measured
+        # every event.
+        alen = len(active)
         try:
             while True:
-                active = self._active
-                ai = self._ai
-                if ai < len(active):
+                if ai < alen:
                     entry = active[ai]
                     if spill and spill[0] < entry:
                         head = spill[0]
@@ -442,27 +782,44 @@ class WheelEnvironment(Environment):
                     elif overflow and overflow[0] < entry:
                         entry = heappop(overflow)
                     else:
-                        self._ai = ai + 1
                         active[ai] = None
-                    when, _prio, _eid, event = entry
+                        ai += 1
                 else:
+                    self._ai = ai
                     try:
-                        when, _prio, _eid, event = pop()
+                        entry = pop()
                     except IndexError:
                         if isinstance(until, Event) and not until.triggered:
                             raise RuntimeError(
                                 "simulation ran out of events before the awaited event triggered"
                             ) from None
                         return None
-                self._now = when
+                    active = self._active
+                    ai = self._ai
+                    alen = len(active)
+                event_when = entry[0]
+                event = entry[3]
+                # Drop the tuple so the pool's getrefcount guard sees
+                # the same counts as the heap loop (which unpacks and
+                # releases its entry before the check).
+                entry = None
+                self._now = event_when
                 processed += 1
 
-                callbacks, event.callbacks = event.callbacks, None
-                if len(callbacks) == 1:
+                callbacks = event.callbacks
+                if callbacks.__class__ is tuple:
+                    # Persistent dispatch descriptor (see BatchEvent):
+                    # exactly one callback, never detached -- a re-armed
+                    # lease timer keeps its descriptor across millions
+                    # of schedulings with zero callback-slot traffic.
                     callbacks[0](event)
                 else:
-                    for callback in callbacks:
-                        callback(event)
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
 
                 if not event._ok and not event._defused:
                     exc = event._value
@@ -470,8 +827,13 @@ class WheelEnvironment(Environment):
                         raise exc
                     raise RuntimeError(f"event failed with non-exception {exc!r}")
 
+                # `callbacks is None` pre-filters pooling: a re-armed
+                # lease timeout has fresh callbacks (and a wheel entry
+                # reference), so the common re-arm case exits on one
+                # load instead of reaching getrefcount.
                 if (
-                    event.__class__ is timeout_cls
+                    event.callbacks is None
+                    and event.__class__ is timeout_cls
                     and event._ok
                     and not event._defused
                     and len(pool) < _TIMEOUT_POOL_MAX
@@ -482,6 +844,7 @@ class WheelEnvironment(Environment):
         except StopSimulation as stop:
             return stop.args[0]
         finally:
+            self._ai = ai
             self.events_processed += processed
             self._timeout_pool_appends += pooled
 

@@ -49,7 +49,18 @@ def test_events_dominated_by_lease_renewals(quick_runs):
     re-arm periodically, so events exceed 2x invocations."""
     result = quick_runs["heap"]
     assert result.events_processed > 2 * result.invocations
+
+
+def test_per_event_engine_exercises_timeout_pool():
+    """The per-event driver allocates one Timeout per arrival and lease
+    timer and must recycle them; the batch engine deliberately bypasses
+    Timeout allocation entirely (shared-callback BatchEvents), so the
+    pool assertion only applies to per-event admission."""
+    result = run_scale(scheduler="heap", admission="per-event", **QUICK_KWARGS)
     assert result.timeout_pool_hits > 0
+    batch = run_scale(scheduler="heap", admission="batch", **QUICK_KWARGS)
+    assert batch.timeout_pool_hits == 0
+    assert batch.fingerprint() == result.fingerprint()
 
 
 def test_table_renders(quick_runs):

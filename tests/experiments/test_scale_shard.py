@@ -104,6 +104,40 @@ def test_arrival_shapes_complete_and_reproduce(shape):
     assert a.fingerprint() == b.fingerprint()
 
 
+# -- PR 6 engine: batch admission + adaptive wheel, every shape --------
+
+
+@pytest.mark.parametrize("shape", ["poisson", "bursty", "diurnal"])
+def test_batch_auto_invariant_across_shard_counts(shape):
+    """The full PR 6 engine (adaptive wheel + batch admission) keeps the
+    K-shard partition exact for every arrival shape, and batch
+    admission is bit-identical to per-event admission of the same
+    sharded streams."""
+    fingerprints = {
+        shards: run_scale(
+            arrival_shape=shape,
+            shards=shards,
+            parallel=1,
+            scheduler="wheel",
+            granularity_bits="auto",
+            admission="batch",
+            **UNSATURATED,
+        ).fingerprint()
+        for shards in (1, 2)
+    }
+    _agree(fingerprints[1], fingerprints[2])
+    per_event = run_scale(
+        arrival_shape=shape,
+        shards=2,
+        parallel=1,
+        scheduler="wheel",
+        granularity_bits="auto",
+        admission="per-event",
+        **UNSATURATED,
+    )
+    assert per_event.fingerprint() == fingerprints[2]
+
+
 def test_bursty_shape_saturates_harder_than_poisson():
     poisson = run_scale_sharded(shards=1, parallel=1, **SATURATED)
     bursty = run_scale_sharded(
