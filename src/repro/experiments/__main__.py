@@ -223,6 +223,26 @@ def main(argv: list[str] | None = None) -> int:
         "(the PR 4/5 baseline engine)",
     )
     parser.add_argument(
+        "--lease-lane",
+        choices=("on", "off"),
+        default="on",
+        help="for 'scale': keep periodic lease timers in the vectorized "
+        "struct-of-arrays lane ('on', default) or as individual wheel "
+        "events ('off', the PR 6 engine); effective only with "
+        "--admission batch on the wheel scheduler",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="FILE",
+        help="for 'scale': wrap the drive loop in cProfile and print "
+        "the top-25 cumulative entries; with FILE, also dump pstats "
+        "to FILE and the text report to FILE.txt (single-shard "
+        "poisson path only)",
+    )
+    parser.add_argument(
         "--ten-million",
         action="store_true",
         help="for 'bench': also run the 10^7-invocation single-shard "
@@ -350,6 +370,10 @@ def main(argv: list[str] | None = None) -> int:
         scale_overrides["granularity_bits"] = args.granularity_bits
     if args.admission != "batch":
         scale_overrides["admission"] = args.admission
+    if args.lease_lane != "on":
+        scale_overrides["lease_lane"] = args.lease_lane
+    if args.profile is not None:
+        scale_overrides["profile"] = args.profile
 
     cache = _open_cache(args) if args.cache else None
     outer_workers = args.parallel

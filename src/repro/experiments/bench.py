@@ -151,6 +151,7 @@ def _scale_once(
     quick: bool = False,
     admission: str = "batch",
     granularity_bits: Any = "auto",
+    lease_lane: str = "on",
     overrides: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """One open-loop scale run (see :mod:`repro.experiments.scale`).
@@ -170,6 +171,7 @@ def _scale_once(
         scheduler=scheduler,
         admission=admission,
         granularity_bits=granularity_bits,
+        lease_lane=lease_lane,
         **kwargs,
     )
     return {
@@ -182,16 +184,22 @@ def _scale_once(
         "occupancy": result.occupancy,
         "admission": admission,
         "granularity_bits": granularity_bits,
+        "lease_lane": lease_lane,
         "fingerprint": result.fingerprint(),
     }
 
 
 def _occupancy_gauges(occupancy: dict[str, Any]) -> dict[str, int]:
-    """The three occupancy facts every scale BENCH entry must record."""
+    """The occupancy facts every scale BENCH entry must record."""
     return {
         "wheel_entries": int(occupancy.get("wheel", 0)),
         "heap_entries": int(occupancy.get("heap", 0)),
         "reanchors": int(occupancy.get("reanchors", 0)),
+        "lane_entries_peak": int(occupancy.get("lane_entries_peak", 0)),
+        "lane_slabs": int(occupancy.get("lane_slabs", 0)),
+        "lane_max_slab": int(occupancy.get("lane_max_slab", 0)),
+        "lane_rearm_batches": int(occupancy.get("lane_rearm_batches", 0)),
+        "lane_scalar_fires": int(occupancy.get("lane_scalar_fires", 0)),
     }
 
 
@@ -254,41 +262,79 @@ def bench_invocation(repeats: int, parallel: int = 1) -> dict[str, Any]:
     return out
 
 
-def bench_scale(quick: bool = False) -> dict[str, Any]:
-    """Heap-vs-wheel on the open-loop scale scenario (the tentpole bench).
+#: The three scale engines every scale bench compares: the per-event
+#: heap referee (PR 4/5), the PR 6 batch kernel with leases as wheel
+#: events, and the lease-lane kernel (leases as struct-of-arrays slabs).
+_SCALE_CONFIGS = (
+    ("heap", "heap", "per-event", "off"),
+    ("wheel_nolane", "wheel", "batch", "off"),
+    ("wheel", "wheel", "batch", "on"),
+)
 
-    The heap side runs the PR 4/5 engine verbatim (per-event
-    ``timeout()`` admission); the wheel side runs the PR 6 engine
-    (vectorized batch admission on the adaptive-granularity wheel), so
-    ``speedup`` measures the whole tentpole, not the scheduler alone.
-    Each scheduler runs in its own forked process, sequentially: peak
-    RSS is a process-lifetime high-water mark, so sharing a process
-    would let the first run's footprint mask the second's.  The
-    simulated outputs must be bit-identical across engines
-    (``bit_identical``); the headline is ``speedup`` =
-    heap wall clock / wheel wall clock on identical event streams.
+
+def _scale_three_way(
+    label: str, quick: bool = False, overrides: Optional[dict[str, Any]] = None
+) -> dict[str, dict[str, Any]]:
+    """Run the heap referee, lane-off and lane-on engines, each in its
+    own forked process (peak RSS is a process-lifetime high-water mark,
+    so sharing a process would let one run's footprint mask another's).
     """
     runs: dict[str, dict[str, Any]] = {}
-    for scheduler, admission in (("heap", "per-event"), ("wheel", "batch")):
+    for key, scheduler, admission, lane in _SCALE_CONFIGS:
+        kwargs: dict[str, Any] = {
+            "scheduler": scheduler,
+            "quick": quick,
+            "admission": admission,
+            "lease_lane": lane,
+        }
+        if overrides:
+            kwargs["overrides"] = dict(overrides)
         spec = RunSpec(
             factory="repro.experiments.bench:_scale_once",
-            kwargs={"scheduler": scheduler, "quick": quick, "admission": admission},
-            label=f"scale[{scheduler}]",
+            kwargs=kwargs,
+            label=f"{label}[{key}]",
         )
         (outcome,) = run_specs([spec], 2)
         if isinstance(outcome, FailedPoint):
-            raise RuntimeError(f"scale bench failed: {outcome.summary()}")
-        runs[scheduler] = outcome
-    heap, wheel = runs["heap"], runs["wheel"]
+            raise RuntimeError(f"{label} bench failed: {outcome.summary()}")
+        runs[key] = outcome
+    return runs
+
+
+def bench_scale(quick: bool = False) -> dict[str, Any]:
+    """Three engines on the open-loop scale scenario (the tentpole bench).
+
+    The heap side runs the PR 4/5 engine verbatim (per-event
+    ``timeout()`` admission); ``wheel_nolane`` is the PR 6 engine
+    (vectorized batch admission, leases as wheel events); ``wheel`` is
+    the PR 7 lease-lane engine.  The simulated outputs must be
+    bit-identical across all three (``bit_identical``); the headline
+    ``speedup`` is heap wall clock / lane-on wall clock, and
+    ``lane_speedup`` isolates the lane itself (lane-off / lane-on).
+    ``rss_ratio_vs_nolane`` guards the acceptance bound that the lane
+    must not buy speed with footprint.
+    """
+    runs = _scale_three_way("scale", quick=quick)
+    heap, nolane, wheel = runs["heap"], runs["wheel_nolane"], runs["wheel"]
     record = {
         "heap": heap,
+        "wheel_nolane": nolane,
         "wheel": wheel,
         "invocations": wheel["invocations"],
         "events_processed": wheel["events_processed"],
         "events_per_sec": wheel["events_per_sec"],
-        "peak_rss_bytes": max(heap["peak_rss_bytes"], wheel["peak_rss_bytes"]),
+        "peak_rss_bytes": max(r["peak_rss_bytes"] for r in runs.values()),
         "speedup": heap["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
-        "bit_identical": heap["fingerprint"] == wheel["fingerprint"],
+        "lane_speedup": nolane["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
+        "rss_ratio_vs_nolane": (
+            wheel["peak_rss_bytes"] / nolane["peak_rss_bytes"]
+            if nolane["peak_rss_bytes"]
+            else 0.0
+        ),
+        "bit_identical": (
+            heap["fingerprint"] == wheel["fingerprint"]
+            and nolane["fingerprint"] == wheel["fingerprint"]
+        ),
     }
     record.update(_occupancy_gauges(wheel["occupancy"]))
     return record
@@ -307,44 +353,39 @@ TEN_MILLION_KWARGS = {
 
 
 def bench_scale_ten_million(max_rss_growth: float = 0.20) -> dict[str, Any]:
-    """10^7 invocations on one shard: the PR 6 acceptance stress run.
+    """10^7 invocations on one shard: the acceptance stress run.
 
-    Same shape as :func:`bench_scale` (heap per-event baseline vs
-    wheel batch engine, forked processes, bit-identity required), an
-    order of magnitude more events.  ``within_rss_guard`` asserts the
-    wheel engine's peak RSS stays within the regression guard's RSS
-    allowance (*max_rss_growth*) of the per-event heap baseline on the
-    *same* scenario -- batch admission must not buy speed with
-    footprint.
+    Same shape as :func:`bench_scale` (heap referee, lane-off, lane-on;
+    forked processes, bit-identity required), an order of magnitude
+    more events.  ``within_rss_guard`` asserts the lane-on engine's
+    peak RSS stays within the regression guard's RSS allowance
+    (*max_rss_growth*) of the per-event heap baseline on the *same*
+    scenario -- the lane must not buy speed with footprint.
     """
-    runs: dict[str, dict[str, Any]] = {}
-    for scheduler, admission in (("heap", "per-event"), ("wheel", "batch")):
-        spec = RunSpec(
-            factory="repro.experiments.bench:_scale_once",
-            kwargs={
-                "scheduler": scheduler,
-                "admission": admission,
-                "overrides": dict(TEN_MILLION_KWARGS),
-            },
-            label=f"scale10m[{scheduler}]",
-        )
-        (outcome,) = run_specs([spec], 2)
-        if isinstance(outcome, FailedPoint):
-            raise RuntimeError(f"10^7 scale bench failed: {outcome.summary()}")
-        runs[scheduler] = outcome
-    heap, wheel = runs["heap"], runs["wheel"]
+    runs = _scale_three_way("scale10m", overrides=TEN_MILLION_KWARGS)
+    heap, nolane, wheel = runs["heap"], runs["wheel_nolane"], runs["wheel"]
     rss_ratio = (
         wheel["peak_rss_bytes"] / heap["peak_rss_bytes"] if heap["peak_rss_bytes"] else 0.0
     )
     record = {
         "heap": heap,
+        "wheel_nolane": nolane,
         "wheel": wheel,
         "invocations": wheel["invocations"],
         "events_processed": wheel["events_processed"],
         "events_per_sec": wheel["events_per_sec"],
-        "peak_rss_bytes": max(heap["peak_rss_bytes"], wheel["peak_rss_bytes"]),
+        "peak_rss_bytes": max(r["peak_rss_bytes"] for r in runs.values()),
         "speedup": heap["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
-        "bit_identical": heap["fingerprint"] == wheel["fingerprint"],
+        "lane_speedup": nolane["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
+        "rss_ratio_vs_nolane": (
+            wheel["peak_rss_bytes"] / nolane["peak_rss_bytes"]
+            if nolane["peak_rss_bytes"]
+            else 0.0
+        ),
+        "bit_identical": (
+            heap["fingerprint"] == wheel["fingerprint"]
+            and nolane["fingerprint"] == wheel["fingerprint"]
+        ),
         "rss_ratio_vs_heap": rss_ratio,
         "max_rss_growth": max_rss_growth,
         "within_rss_guard": bool(rss_ratio <= 1.0 + max_rss_growth),
@@ -648,6 +689,23 @@ def check_regression(
                     f"{label!r} ({base_re}; allowed max({8}, 4x baseline) = {allowed}) "
                     f"-- the adaptive granularity detector is thrashing"
                 )
+    # Lease-lane re-arm batches should stay near one per deferral
+    # window: an exploding count means slab re-arms are fragmenting
+    # into many tiny masked passes (e.g. the deferral windows or the
+    # side-block consolidation went wrong), which erodes the lane's
+    # whole advantage while times stay bit-identical.  Baselines
+    # recorded before the lane existed lack the key and skip the check.
+    if isinstance(base_scale, dict) and isinstance(current_scale, dict):
+        base_rb = base_scale.get("lane_rearm_batches")
+        current_rb = current_scale.get("lane_rearm_batches")
+        if base_rb is not None and current_rb is not None:
+            allowed = max(64, 4 * int(base_rb))
+            if int(current_rb) > allowed:
+                problems.append(
+                    f"scale_openloop.lane_rearm_batches {current_rb} exploded past "
+                    f"baseline {label!r} ({base_rb}; allowed max(64, 4x baseline) "
+                    f"= {allowed}) -- lane slab re-arms are fragmenting"
+                )
     # The 10^7 stress entry carries its own RSS verdict (wheel-batch
     # vs heap-per-event on the same scenario, same forked-process
     # measurement); when the run recorded one, a breach fails here.
@@ -725,7 +783,7 @@ def show(results: dict[str, Any]) -> None:
         )
     scale = results.get("scale_openloop")
     if scale:
-        print(
+        line = (
             "scale_openloop: {invocations:,} invocations  heap {heap_s:.1f}s -> "
             "wheel {wheel_s:.1f}s  ({speedup:.2f}x, {events_per_sec:,} events/s, "
             "peak RSS {rss_mib:.0f} MiB, bit_identical={bit_identical}, "
@@ -740,8 +798,31 @@ def show(results: dict[str, Any]) -> None:
                 reanchors=scale.get("reanchors", 0),
             )
         )
+        if "lane_speedup" in scale:
+            line += (
+                "\n  lease lane: {lane_speedup:.2f}x vs lane-off "
+                "({nolane_s:.1f}s -> {wheel_s:.1f}s, RSS {rss_ratio:.2f}x, "
+                "peak {lane_peak:,} entries, max slab {max_slab:,})".format(
+                    lane_speedup=scale["lane_speedup"],
+                    nolane_s=scale["wheel_nolane"]["wall_s"],
+                    wheel_s=scale["wheel"]["wall_s"],
+                    rss_ratio=scale.get("rss_ratio_vs_nolane", 0.0),
+                    lane_peak=scale.get("lane_entries_peak", 0),
+                    max_slab=scale.get("lane_max_slab", 0),
+                )
+            )
+        print(line)
     stress = results.get("scale_10m")
     if stress:
+        if "lane_speedup" in stress:
+            print(
+                "scale_10m lease lane: {lane_speedup:.2f}x vs lane-off "
+                "({nolane_s:.1f}s -> {wheel_s:.1f}s)".format(
+                    lane_speedup=stress["lane_speedup"],
+                    nolane_s=stress["wheel_nolane"]["wall_s"],
+                    wheel_s=stress["wheel"]["wall_s"],
+                )
+            )
         print(
             "scale_10m: {invocations:,} invocations  heap {heap_s:.1f}s -> "
             "wheel {wheel_s:.1f}s  ({speedup:.2f}x, {events_per_sec:,} events/s, "

@@ -143,6 +143,13 @@ class ScaleConfig:
     #: "per-event" drives one ``timeout()`` per arrival (the PR 4/5
     #: baseline the bit-identity contract is checked against).
     admission: str = "batch"
+    #: Lease-lane engine: "on" (default) keeps periodic lease timers in
+    #: the struct-of-arrays :class:`~repro.sim.wheel.LeaseLane` and
+    #: drains them in vectorized slabs; "off" re-arms them through the
+    #: wheel per event (the PR 6 engine).  Effective only for
+    #: ``scheduler="wheel"`` with batch admission; the per-event heap
+    #: referee always runs lane-off.
+    lease_lane: str = "on"
     #: Streaming-histogram resolution (quantile error <= 2**-subbits).
     subbits: int = 8
     #: K-way decomposition of this one scenario (part of the scenario
@@ -398,6 +405,12 @@ class _OpenLoopDriver:
             "overflow_inserts",
             "reanchors",
             "granularity_bits",
+            "lane_entries",
+            "lane_entries_peak",
+            "lane_slabs",
+            "lane_max_slab",
+            "lane_rearm_batches",
+            "lane_scalar_fires",
         ):
             value = sample.get(key, 0)
             if value > peaks.get(key, -1):
@@ -418,6 +431,29 @@ def _validate_admission(admission: str) -> None:
         raise ValueError(f"admission must be 'batch' or 'per-event', got {admission!r}")
 
 
+def _validate_lease_lane(lease_lane: str) -> None:
+    """Reject unknown lease-lane modes before any environment is built."""
+    if lease_lane not in ("on", "off"):
+        raise ValueError(f"lease_lane must be 'on' or 'off', got {lease_lane!r}")
+
+
+def _report_profile(profiler, destination: Union[bool, str]) -> None:
+    """Print the top-25 cumulative-time entries; archive when a path is given."""
+    import io
+    import pstats
+
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("cumulative").print_stats(25)
+    text = out.getvalue()
+    print(text)
+    if isinstance(destination, str):
+        stats.dump_stats(destination)
+        with open(destination + ".txt", "w") as handle:
+            handle.write(text)
+        print(f"profile archived to {destination} (+ .txt)")
+
+
 def run_scale(
     invocations: int = 1_000_000,
     workers: int = 1 << 20,
@@ -429,6 +465,7 @@ def run_scale(
     lease_check_interval_ns: int = ms(64),
     granularity_bits: Union[int, str] = "auto",
     admission: str = "batch",
+    lease_lane: str = "on",
     subbits: int = 8,
     shards: int = 1,
     parallel: int = 1,
@@ -439,6 +476,7 @@ def run_scale(
     diurnal_period_ns: int = 0,
     diurnal_multipliers: tuple = DIURNAL_DAY,
     cache_dir: Optional[str] = None,
+    profile: Union[bool, str, None] = None,
 ):
     """Drive the open-loop scale scenario once and measure it.
 
@@ -454,7 +492,10 @@ def run_scale(
     """
     validate_granularity_bits(granularity_bits)
     _validate_admission(admission)
+    _validate_lease_lane(lease_lane)
     if shards != 1 or arrival_shape != "poisson":
+        if profile:
+            raise ValueError("--profile supports the single-shard poisson path only")
         return run_scale_sharded(
             invocations=invocations,
             workers=workers,
@@ -467,6 +508,7 @@ def run_scale(
             lease_check_interval_ns=lease_check_interval_ns,
             granularity_bits=granularity_bits,
             admission=admission,
+            lease_lane=lease_lane,
             subbits=subbits,
             arrival_shape=arrival_shape,
             shard_split=shard_split,
@@ -488,6 +530,7 @@ def run_scale(
         scheduler=scheduler,
         granularity_bits=granularity_bits,
         admission=admission,
+        lease_lane=lease_lane,
         subbits=subbits,
     )
     env_kwargs = {"granularity_bits": granularity_bits} if scheduler == "wheel" else {}
@@ -509,7 +552,22 @@ def run_scale(
     gc.disable()
     started = time.perf_counter()
     try:
-        driver.drive()
+        if profile:
+            # Opt-in cProfile wrap of the drive loop only (satellite:
+            # keeps "next rung" decisions data-driven).  The tracing
+            # overhead disqualifies the run from benchmarking; results
+            # stay valid -- profiling changes no simulated state.
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                driver.drive()
+            finally:
+                profiler.disable()
+                _report_profile(profiler, profile)
+        else:
+            driver.drive()
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -662,6 +720,7 @@ class _ShardDriver:
         "_next_service",
         "_buffer",
         "_batch",
+        "_lane_mode",
         "_lease_cbs",
         "_schedule",
         "_kernel_sync",
@@ -705,6 +764,13 @@ class _ShardDriver:
         self._kernel_sync: Any = None
         self._kernel_drive: Any = None
         self._is_wheel = isinstance(env, WheelEnvironment)
+        #: Lease-lane engine is effective only where its preconditions
+        #: hold: a wheel (the lane attaches to WheelEnvironment) driven
+        #: in batch mode (the fused kernel owns the callbacks the bulk
+        #: drain's counted-completion shortcut relies on).
+        self._lane_mode = (
+            config.lease_lane == "on" and self._batch and self._is_wheel
+        )
 
     def _advance(self) -> None:
         """Prefetch the next (arrival time, service) pair."""
@@ -722,7 +788,10 @@ class _ShardDriver:
         if self.free_slots < 1:
             raise ValueError("shard needs at least one warm slot")
         if self._batch:
-            self._install_batch_kernel()
+            if self._lane_mode:
+                self._install_lane_kernel()
+            else:
+                self._install_batch_kernel()
             return
         self._advance()
         timeout = self.env.timeout(self._next_time)
@@ -1129,6 +1198,372 @@ class _ShardDriver:
         self._kernel_drive = drive if is_wheel else None
         admit_chunk()
 
+    def _install_lane_kernel(self) -> None:
+        """Batch kernel variant with lease timers in the LeaseLane.
+
+        Arrivals still enter the wheel through ``schedule_batch`` and
+        are dispatched by the fused loop below, but a dispatch admits
+        its lease into the struct-of-arrays lane instead of scheduling
+        a wheel event -- so the wheel carries one event per invocation
+        while the ~7 re-validations each live as three int64 cells,
+        fired in vectorized slabs between wheel pops.
+
+        Bit-identity with the lane-off kernel (hence with the per-event
+        heap referee) holds because every eid is allocated at the same
+        sequence point per-event execution would allocate it:
+
+        * ``lane.admit`` draws ``next(env._eid)`` at dispatch, exactly
+          where the lane-off kernel's inline L0 insert draws it;
+        * slab re-arms draw a contiguous ``reserve_eids`` block in
+          deadline order -- the order per-event fires would draw them --
+          and completions draw none, so deferring their callbacks to a
+          counted bulk total commutes (they only ever do
+          ``completed += 1; free_slots += 1``);
+        * the lane is drained up to the next wheel entry's ``(when,
+          priority, eid)`` key before that entry is dispatched, so the
+          global fire order (and with it every tie-break between a
+          lease deadline and an arrival at the same nanosecond) is the
+          per-event order;
+        * while the backlog is non-empty a completion's callback is
+          observable (it pops the backlog, records a sojourn, admits a
+          new lease), so the drain runs its exact scalar path until the
+          backlog drains -- ``exact=backlog`` hands the deque itself to
+          the lane as the switch.
+
+        The wheel shadowing is simpler than the lane-off kernel's: no
+        lease ever enters the wheel, so there are no inline inserts and
+        no ``gbits``/``cursor``/``l0_add`` locals -- only the pop fast
+        path over ``active``/``ai`` and the spill/overflow guards.
+        """
+        env = self.env
+        schedule_batch = env.schedule_batch
+        interval = self._interval
+        flush_batch = _FLUSH_BATCH
+        flush = self._flush
+        sample = self._sample_wheel
+        buffer = self._buffer
+        backlog = self.backlog
+        chunks = self._chunks
+        total = self.count
+        lane = env.attach_lease_lane(interval)
+        admit = lane.admit
+        drain = lane.drain
+        head_key = lane.head_key
+        free_slots = self.free_slots
+        arrived = 0
+        completed = 0
+        queued = 0
+        max_backlog = 0
+        services: list[int] = []
+        nservices = 0
+        pos = 0
+        # Cached lane head key; -1 deadline means "lane empty".  Kept
+        # current by comparing after every admit and re-reading after
+        # every drain, so the per-event merge check is two int compares.
+        lane_dl = -1
+        lane_eid = 0
+
+        def on_complete(when: int) -> None:
+            """Scalar-exact completion (the lane's drain calls this only
+            on its exact path, where per-completion effects are
+            observable; bulk drains return a count instead)."""
+            nonlocal completed, free_slots
+            completed += 1
+            if not completed & 0x3FF:
+                sample()
+            if backlog:
+                arrival_ns, service = backlog.popleft()
+                buffer.append(when - arrival_ns + service)
+                if len(buffer) >= flush_batch:
+                    flush()
+                admit(
+                    when + (service if service <= interval else interval),
+                    when + service,
+                )
+            else:
+                free_slots += 1
+
+        lane.on_complete = on_complete
+
+        def admit_chunk() -> None:
+            nonlocal services, nservices, pos
+            times, services = next(chunks)
+            nservices = len(services)
+            pos = 0
+            schedule_batch(times, on_arrival)
+
+        def on_arrival(event) -> None:
+            """Generic-dispatch arrival body (used if anything other
+            than the fused loop pops an arrival; the loop inlines it)."""
+            nonlocal pos, arrived, free_slots, queued, max_backlog
+            nonlocal lane_dl, lane_eid
+            now = env._now
+            service = services[pos]
+            pos += 1
+            arrived += 1
+            if pos == nservices and arrived < total:
+                admit_chunk()
+            if free_slots:
+                free_slots -= 1
+                buffer.append(service)
+                if len(buffer) >= flush_batch:
+                    flush()
+                when = now + (service if service <= interval else interval)
+                eid = admit(when, now + service)
+                if lane_dl < 0 or when < lane_dl or (when == lane_dl and eid < lane_eid):
+                    lane_dl = when
+                    lane_eid = eid
+            else:
+                backlog.append((now, service))
+                queued += 1
+                if len(backlog) > max_backlog:
+                    max_backlog = len(backlog)
+
+        def drive() -> None:
+            """Fused loop: wheel pop fast path + deferred lane drains.
+
+            While the backlog is empty, due lease fires are *deferred*
+            past arrival dispatches: a pending completion could only
+            raise ``free_slots`` (which an already-dispatchable arrival
+            never observes) and a re-arm touches nothing outside the
+            lane, so postponing them is observably identical -- and it
+            batches what would be 1-3 fires per arrival into one slab
+            per deferral window.  The three points where deferral would
+            become observable force a catch-up drain first:
+
+            * an arrival finding ``free_slots == 0`` (pending
+              completions might have freed a slot; drain up to the
+              arrival's key, then re-check);
+            * a chunk admission (it draws a block of wheel eids, and
+              deferred lane draws must not cross it or later
+              lease-vs-arrival ties at equal nanoseconds would break
+              the other way);
+            * the wheel running dry (the tail drain).
+
+            While the backlog is non-empty every completion is
+            observable (it pops the backlog), so the lane drains to
+            exact per-event order before *every* wheel entry, scalar
+            while the deque is non-empty (``exact=backlog``).
+
+            Deferral permutes eid draws only among lane-internal
+            entries between two chunk admissions; lane-vs-lane ties at
+            equal deadlines have commuting effects (completions count,
+            re-arms are invisible, and tied backlog handoffs pop the
+            same FIFO either way), so every fingerprint observable is
+            bit-identical to per-event execution.
+
+            ``env._now``/``env._ai`` are synced before every call that
+            can observe them (drain, _pop, chunk admission, flush,
+            sampling, foreign callbacks) and in ``finally``; drains
+            never touch wheel structures, so the shadowed pop state
+            stays valid across them.
+            """
+            nonlocal pos, arrived, completed, free_slots, queued, max_backlog
+            nonlocal lane_dl, lane_eid
+            pop = env._pop
+            spill = env._spill
+            overflow = env._queue
+            active = env._active
+            ai = env._ai
+            alen = len(active)
+            processed = 0
+            now = env._now
+            clear = not spill and not overflow
+            try:
+                while True:
+                    if ai < alen:
+                        if clear:
+                            entry = active[ai]
+                            active[ai] = None
+                            ai += 1
+                        else:
+                            entry = active[ai]
+                            if spill and spill[0] < entry:
+                                head = spill[0]
+                                if overflow and overflow[0] < head:
+                                    entry = heappop(overflow)
+                                else:
+                                    entry = heappop(spill)
+                                clear = not spill and not overflow
+                            elif overflow and overflow[0] < entry:
+                                entry = heappop(overflow)
+                                clear = not spill and not overflow
+                            else:
+                                active[ai] = None
+                                ai += 1
+                    else:
+                        env._ai = ai
+                        env._now = now
+                        try:
+                            entry = pop()
+                        except IndexError:
+                            if lane_dl >= 0:
+                                # Wheel empty, arrivals exhausted: one
+                                # call drains every remaining lease
+                                # generation to completion.
+                                before = completed
+                                fired, bulk, last = drain(None, 0, 0, backlog or None, False)
+                                processed += fired
+                                if bulk:
+                                    completed += bulk
+                                    free_slots += bulk
+                                if last > now:
+                                    now = last
+                                env._now = now
+                                lane_dl = -1
+                                if (before >> 10) != (completed >> 10):
+                                    sample()
+                            return
+                        active = env._active
+                        ai = env._ai
+                        alen = len(active)
+                        clear = not spill and not overflow
+                    when = entry[0]
+                    prio = entry[1]
+                    if backlog and lane_dl >= 0 and (
+                        lane_dl < when
+                        or (
+                            lane_dl == when
+                            and (prio > 1 or (prio == 1 and lane_eid < entry[2]))
+                        )
+                    ):
+                        env._ai = ai
+                        env._now = now
+                        before = completed
+                        fired, bulk, last = drain(when, prio, entry[2], backlog or None, False)
+                        processed += fired
+                        if bulk:
+                            completed += bulk
+                            free_slots += bulk
+                        if last > now:
+                            now = last
+                        head = head_key()
+                        if head is None:
+                            lane_dl = -1
+                        else:
+                            lane_dl, lane_eid = head
+                        if (before >> 10) != (completed >> 10):
+                            env._now = now
+                            sample()
+                    event = entry[3]
+                    now = when
+                    processed += 1
+                    cbs = event.callbacks
+                    if cbs.__class__ is tuple and cbs[0] is on_arrival:
+                        service = services[pos]
+                        pos += 1
+                        arrived += 1
+                        if pos == nservices and arrived < total:
+                            if lane_dl >= 0 and (
+                                lane_dl < now
+                                or (lane_dl == now and lane_eid < entry[2])
+                            ):
+                                # Catch up deferred lane fires before the
+                                # chunk draws its eid block.
+                                env._ai = ai
+                                before = completed
+                                fired, bulk, _last = drain(
+                                    now, 1, entry[2], backlog or None, False
+                                )
+                                processed += fired
+                                if bulk:
+                                    completed += bulk
+                                    free_slots += bulk
+                                head = head_key()
+                                if head is None:
+                                    lane_dl = -1
+                                else:
+                                    lane_dl, lane_eid = head
+                                if (before >> 10) != (completed >> 10):
+                                    env._now = now
+                                    sample()
+                            env._now = now
+                            env._ai = ai
+                            admit_chunk()
+                            clear = not spill and not overflow
+                        if not free_slots and lane_dl >= 0 and (
+                            lane_dl < now
+                            or (lane_dl == now and lane_eid < entry[2])
+                        ):
+                            # Saturation check: deferred completions may
+                            # have freed a slot; catch up, then re-test.
+                            env._ai = ai
+                            before = completed
+                            fired, bulk, _last = drain(
+                                now, 1, entry[2], backlog or None, False
+                            )
+                            processed += fired
+                            if bulk:
+                                completed += bulk
+                                free_slots += bulk
+                            head = head_key()
+                            if head is None:
+                                lane_dl = -1
+                            else:
+                                lane_dl, lane_eid = head
+                            if (before >> 10) != (completed >> 10):
+                                env._now = now
+                                sample()
+                        if free_slots:
+                            free_slots -= 1
+                            buffer.append(service)
+                            if len(buffer) >= flush_batch:
+                                env._now = now
+                                env._ai = ai
+                                flush()
+                            lease_when = now + (
+                                service if service <= interval else interval
+                            )
+                            eid = admit(lease_when, now + service)
+                            if lane_dl < 0 or lease_when < lane_dl or (
+                                lease_when == lane_dl and eid < lane_eid
+                            ):
+                                lane_dl = lease_when
+                                lane_eid = eid
+                        else:
+                            backlog.append((now, service))
+                            queued += 1
+                            blen = len(backlog)
+                            if blen > max_backlog:
+                                max_backlog = blen
+                        continue
+                    # Foreign event: full generic run-loop semantics.
+                    env._now = now
+                    env._ai = ai
+                    if cbs.__class__ is tuple:
+                        cbs[0](event)
+                    else:
+                        event.callbacks = None
+                        for callback in cbs:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise exc
+                        raise RuntimeError(f"event failed with non-exception {exc!r}")
+                    clear = not spill and not overflow
+                    head = head_key()
+                    if head is None:
+                        lane_dl = -1
+                    else:
+                        lane_dl, lane_eid = head
+            finally:
+                env._ai = ai
+                env._now = now
+                env.events_processed += processed
+
+        def sync() -> None:
+            self.arrived = arrived
+            self.completed = completed
+            self.queued = queued
+            self.max_backlog = max_backlog
+            self.free_slots = free_slots
+
+        self._on_arrival = on_arrival
+        self._kernel_sync = sync
+        self._kernel_drive = drive
+        admit_chunk()
+
     def _handle_arrival(self, _event) -> None:
         env = self.env
         now = env._now
@@ -1223,6 +1658,7 @@ def _run_shard(
     lease_check_interval_ns: int = ms(64),
     granularity_bits: Union[int, str] = "auto",
     admission: str = "batch",
+    lease_lane: str = "on",
     subbits: int = 8,
     arrival_shape: str = "poisson",
     shard_split: str = "partition",
@@ -1250,6 +1686,7 @@ def _run_shard(
         scheduler=scheduler,
         granularity_bits=granularity_bits,
         admission=admission,
+        lease_lane=lease_lane,
         subbits=subbits,
         shards=shards,
         shard_split=shard_split,
@@ -1261,6 +1698,7 @@ def _run_shard(
     )
     validate_granularity_bits(granularity_bits)
     _validate_admission(admission)
+    _validate_lease_lane(lease_lane)
     if not 0 <= shard < shards:
         raise ValueError(f"shard {shard} outside [0, {shards})")
     env_kwargs = {"granularity_bits": granularity_bits} if scheduler == "wheel" else {}
@@ -1454,6 +1892,7 @@ def run_scale_sharded(
     lease_check_interval_ns: int = ms(64),
     granularity_bits: Union[int, str] = "auto",
     admission: str = "batch",
+    lease_lane: str = "on",
     subbits: int = 8,
     arrival_shape: str = "poisson",
     shard_split: str = "partition",
@@ -1476,6 +1915,7 @@ def run_scale_sharded(
 
     validate_granularity_bits(granularity_bits)
     _validate_admission(admission)
+    _validate_lease_lane(lease_lane)
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if shards > invocations:
@@ -1494,6 +1934,7 @@ def run_scale_sharded(
         lease_check_interval_ns=lease_check_interval_ns,
         granularity_bits=granularity_bits,
         admission=admission,
+        lease_lane=lease_lane,
         subbits=subbits,
         arrival_shape=arrival_shape,
         shard_split=shard_split,

@@ -43,6 +43,9 @@ class Counters:
         "wheel_overflow_inserts",
         "wheel_reanchors",
         "shard_runs",
+        "lane_entries",
+        "lane_slabs",
+        "lane_rearm_batches",
     )
 
     def __init__(self) -> None:
@@ -76,10 +79,18 @@ class Counters:
         self.wheel_reanchors = 0
         #: Shard simulations executed by the sharded scale engine.
         self.shard_runs = 0
+        #: Peak sampled lease-lane residency (struct-of-arrays timers).
+        self.lane_entries = 0
+        #: Lease-lane drain calls that fired at least one entry.
+        self.lane_slabs = 0
+        #: Vectorized lease re-arm passes (one per masked slab).
+        self.lane_rearm_batches = 0
 
 
 #: Counters that are sampled gauges (peaks): merged with max, not sum.
-_GAUGES = frozenset({"wheel_entries", "heap_entries"})
+_GAUGES = frozenset(
+    {"wheel_entries", "heap_entries", "lane_entries", "lane_slabs", "lane_rearm_batches"}
+)
 
 
 counters = Counters()

@@ -77,6 +77,37 @@ per chunk.  Entry ids are allocated in sequence order and each batch
 shares a single callbacks tuple, so results are identical to per-event
 admission of the same stream while the admission cost all but
 disappears from the profile.
+
+Lease lane (:class:`LeaseLane`)
+-------------------------------
+The dominant event class of the scale engine -- periodic lease
+re-validations, ~7 re-arms per invocation -- is homogeneous: every
+timer has the same period and a known absolute finish time.  The lane
+stores them as parallel ``int64`` arrays ``(deadline, finish, eid)``
+instead of per-event tuples, and drains *slabs* of due deadlines at
+once with vectorized held/released masks (``new_deadline = min(deadline
++ interval, finish)``).  Three structural facts make this sort-free:
+
+* every pending periodic deadline lies in ``(now, now + interval]``
+  (each fire re-arms at most one interval ahead), so the pending set is
+  a sliding window of width one interval;
+* appends always land at ``now + interval`` -- the right edge -- so an
+  append-only *next* buffer is automatically ``(deadline, eid)``-sorted
+  and becomes the new drain array (``cur``) by concatenation when the
+  old one is exhausted;
+* the only irregular entries -- final re-arms clipped to the finish
+  time, and fresh leases shorter than one interval -- *complete* when
+  they fire, so they commute with each other and live in small sorted
+  side blocks plus a scalar heap.
+
+Ordering stays bit-identical to per-event execution: the drive loop
+drains the lane strictly up to the next wheel entry's ``(when,
+priority, eid)`` key, ties included, and slab re-arms take their entry
+ids from :meth:`Environment.reserve_eids` -- one id per re-arm in pop
+order, exactly the ids scalar re-arms would draw, because completions
+with an empty backlog allocate none.  When completion order *is*
+observable (caller passes its backlog), the lane falls back to an exact
+scalar merge until the backlog drains.
 """
 
 from __future__ import annotations
@@ -118,6 +149,19 @@ _ADAPT_PROBE_FACTOR = 4
 #: publish (count-based decimation; the rest return ``None``), so
 #: callers can sample on hot paths without measurable cost.
 _SAMPLE_DECIMATION = 64
+#: Below this many due entries a lease-lane slab fires scalar even in
+#: bulk mode: numpy mask machinery only pays off past a few dozen
+#: elements (burst-phase slabs are typically 2-8 entries).
+_LANE_SCALAR_SLAB = 32
+#: Irregular-completion blocks are consolidated (concat + lexsort) when
+#: more than this many accumulate, keeping head scans O(1)-ish.
+_LANE_IRR_BLOCKS = 16
+#: Buckets at least this large are sorted via ``numpy.lexsort`` over
+#: extracted ``(when, priority, eid)`` key arrays instead of
+#: ``list.sort`` tuple comparisons (the sort-on-drain satellite).
+_REFILL_ARGSORT_MIN = 1024
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 def validate_granularity_bits(value: Union[int, str]) -> Union[int, str]:
@@ -142,6 +186,678 @@ def validate_granularity_bits(value: Union[int, str]) -> Union[int, str]:
             f"(or 'auto'), got {value}"
         )
     return value
+
+
+class LeaseLane:
+    """Struct-of-arrays deadline calendar for homogeneous periodic timers.
+
+    See the module docstring ("Lease lane") for the array layout and the
+    sliding-window invariant that keeps it sort-free.  The lane never
+    touches the wheel's structures; the owner (generic ``run``/``step``
+    or the fused scale kernel) merges it against wheel pops by ``(when,
+    priority, eid)`` key, with every lane entry at ``NORMAL`` priority.
+
+    ``on_complete(when)`` is invoked per completion only on the exact
+    scalar path; vectorized drains *count* completions and return the
+    count for the caller to fold, which is sound exactly when the
+    caller's completion handling is commutative and allocates no entry
+    ids (an empty backlog in the scale driver).
+    """
+
+    __slots__ = (
+        "env",
+        "interval",
+        "on_complete",
+        # current generation: sorted (deadline, eid) arrays drained by index
+        "_cur_dl",
+        "_cur_fin",
+        "_cur_eid",
+        "_ci",
+        # next generation: ordered blocks + scalar tail buffers
+        "_nxt_blocks",
+        "_nxt_dl",
+        "_nxt_fin",
+        "_nxt_eid",
+        "_floor",
+        # out-of-order periodic blocks: sorted, drained by prefix
+        "_side_blocks",
+        # irregulars: sorted completion blocks + a scalar heap
+        "_irr_blocks",
+        "_irr_heap",
+        "_irr_rearms",
+        "_count",
+        # gauges
+        "entries_peak",
+        "slabs",
+        "max_slab",
+        "rearm_batches",
+        "scalar_fires",
+        "generations",
+        "admitted",
+        "completions",
+    )
+
+    def __init__(self, env: Environment, interval: int, on_complete: Any = None) -> None:
+        interval = int(interval)
+        if interval < 1:
+            raise ValueError(f"lease lane interval must be >= 1 ns, got {interval}")
+        self.env = env
+        self.interval = interval
+        self.on_complete = on_complete
+        self._cur_dl = _EMPTY_I64
+        self._cur_fin = _EMPTY_I64
+        self._cur_eid = _EMPTY_I64
+        self._ci = 0
+        self._nxt_blocks: list[tuple] = []
+        self._nxt_dl: list[int] = []
+        self._nxt_fin: list[int] = []
+        self._nxt_eid: list[int] = []
+        #: Deadline floor for fast-path appends: the largest deadline
+        #: ever appended.  Appends below it (possible only for callers
+        #: outside the fire-order contract) divert to the heap.
+        self._floor = 0
+        #: Periodic blocks whose deadlines fall below the floor (a
+        #: deferred re-arm slab behind already-admitted leases): kept as
+        #: whole sorted ``[dl, fin, eid, start]`` blocks and drained by
+        #: vectorized prefix, exactly like irregular-completion blocks
+        #: but re-arming.  Without this, every such slab would degrade
+        #: to per-entry heap traffic.
+        self._side_blocks: list[list] = []
+        self._irr_blocks: list[list] = []
+        self._irr_heap: list[tuple] = []
+        #: Heap entries that still re-arm (finish > deadline).  While any
+        #: exist, eid-allocation order is only preserved by the scalar
+        #: path, so drains force exact mode.  The scale driver never
+        #: creates them (its heap entries all complete on fire).
+        self._irr_rearms = 0
+        self._count = 0
+        self.entries_peak = 0
+        #: Drain calls that fired at least one entry.
+        self.slabs = 0
+        #: Largest single vectorized cur-slab.
+        self.max_slab = 0
+        #: Vectorized re-arm passes (one per masked slab).
+        self.rearm_batches = 0
+        #: Entries fired one-by-one (exact merges, tiny slabs).
+        self.scalar_fires = 0
+        #: cur <- nxt swaps.
+        self.generations = 0
+        self.admitted = 0
+        self.completions = 0
+
+    # -- admission -----------------------------------------------------
+
+    def admit(self, when: int, finish: int) -> int:
+        """Admit one lease timer; returns its entry id.
+
+        The id is allocated here, at the same sequence point per-event
+        scheduling would allocate it, which is what keeps lane-on runs
+        bit-identical to lane-off runs.  ``finish <= when`` admits a
+        completes-on-fire entry (a fresh lease shorter than one
+        interval, deadline == finish).
+        """
+        eid = next(self.env._eid)
+        when = int(when)
+        if int(finish) > when:
+            if when >= self._floor:
+                self._nxt_dl.append(when)
+                self._nxt_fin.append(int(finish))
+                self._nxt_eid.append(eid)
+                self._floor = when
+            else:
+                heappush(self._irr_heap, (when, eid, int(finish)))
+                self._irr_rearms += 1
+        else:
+            heappush(self._irr_heap, (when, eid, when))
+        count = self._count + 1
+        self._count = count
+        self.admitted += 1
+        if count > self.entries_peak:
+            self.entries_peak = count
+        return eid
+
+    def admit_cohort(self, whens: Any, finishes: Any) -> int:
+        """Vectorized admission of a sorted cohort; returns the base eid.
+
+        *whens* must be non-decreasing; ids are ``base + arange(n)`` via
+        :meth:`Environment.reserve_eids`, exactly the ids ``n`` scalar
+        :meth:`admit` calls would draw.  Periodic entries (finish >
+        deadline) append as one block; completes-on-fire entries become
+        one sorted irregular block.
+        """
+        dl = np.asarray(whens, dtype=np.int64)
+        fin = np.asarray(finishes, dtype=np.int64)
+        if dl.shape != fin.shape or dl.ndim != 1:
+            raise ValueError("cohort deadline/finish arrays must be equal 1-D")
+        n = int(dl.size)
+        if not n:
+            return -1  # zero admits consume zero entry ids
+        if n > 1 and bool((dl[1:] < dl[:-1]).any()):
+            raise ValueError("cohort deadlines must be non-decreasing")
+        base = self.env.reserve_eids(n)
+        eids = np.arange(base, base + n, dtype=np.int64)
+        periodic = fin > dl
+        if periodic.all():
+            self._append_block(dl, fin, eids)
+        else:
+            released = ~periodic
+            pdl = dl[periodic]
+            if pdl.size:
+                self._append_block(pdl, fin[periodic], eids[periodic])
+            self._push_irr_block(dl[released], eids[released])
+        self._count += n
+        self.admitted += n
+        if self._count > self.entries_peak:
+            self.entries_peak = self._count
+        return base
+
+    def _append_block(self, dl: Any, fin: Any, eid: Any) -> None:
+        """Append a (deadline, eid)-sorted periodic block to *next*."""
+        if self._nxt_dl:
+            self._flush_tail()
+        if int(dl[0]) < self._floor:
+            # Out-of-order block (a deferred re-arm slab, or a generic
+            # cohort behind the floor): keep it whole as a side block.
+            self._push_side_block(dl, fin, eid)
+            return
+        self._nxt_blocks.append((dl, fin, eid))
+        self._floor = int(dl[-1])
+
+    def _push_side_block(self, dl: Any, fin: Any, eid: Any) -> None:
+        if not dl.size:
+            return
+        blocks = self._side_blocks
+        blocks.append([dl, fin, eid, 0])
+        if len(blocks) > _LANE_IRR_BLOCKS:
+            alld = np.concatenate([b[0][b[3] :] for b in blocks])
+            allf = np.concatenate([b[1][b[3] :] for b in blocks])
+            alle = np.concatenate([b[2][b[3] :] for b in blocks])
+            order = np.lexsort((alle, alld))
+            self._side_blocks = [[alld[order], allf[order], alle[order], 0]]
+
+    def _flush_tail(self) -> None:
+        self._nxt_blocks.append(
+            (
+                np.asarray(self._nxt_dl, dtype=np.int64),
+                np.asarray(self._nxt_fin, dtype=np.int64),
+                np.asarray(self._nxt_eid, dtype=np.int64),
+            )
+        )
+        self._nxt_dl = []
+        self._nxt_fin = []
+        self._nxt_eid = []
+
+    def _swap(self) -> None:
+        """cur <- concat(next).  Precondition: cur exhausted, next nonempty."""
+        if self._nxt_dl:
+            self._flush_tail()
+        blocks = self._nxt_blocks
+        if len(blocks) == 1:
+            dl, fin, eid = blocks[0]
+        else:
+            dl = np.concatenate([b[0] for b in blocks])
+            fin = np.concatenate([b[1] for b in blocks])
+            eid = np.concatenate([b[2] for b in blocks])
+        blocks.clear()
+        self._cur_dl = dl
+        self._cur_fin = fin
+        self._cur_eid = eid
+        self._ci = 0
+        self.generations += 1
+
+    def _push_irr_block(self, dl: Any, eid: Any) -> None:
+        if not dl.size:
+            return
+        blocks = self._irr_blocks
+        blocks.append([dl, eid, 0])
+        if len(blocks) > _LANE_IRR_BLOCKS:
+            alld = np.concatenate([b[0][b[2] :] for b in blocks])
+            alle = np.concatenate([b[1][b[2] :] for b in blocks])
+            order = np.lexsort((alle, alld))
+            self._irr_blocks = [[alld[order], alle[order], 0]]
+
+    # -- head inspection -----------------------------------------------
+
+    def head_key(self) -> Optional[tuple]:
+        """Minimal pending ``(deadline, eid)`` key, or ``None`` if empty."""
+        have = False
+        best_dl = best_eid = 0
+        cur_dl = self._cur_dl
+        ci = self._ci
+        if ci < cur_dl.shape[0]:
+            best_dl = int(cur_dl[ci])
+            best_eid = int(self._cur_eid[ci])
+            have = True
+        elif self._nxt_blocks or self._nxt_dl:
+            if self._nxt_blocks:
+                block = self._nxt_blocks[0]
+                best_dl = int(block[0][0])
+                best_eid = int(block[2][0])
+            else:
+                best_dl = self._nxt_dl[0]
+                best_eid = self._nxt_eid[0]
+            have = True
+        for dl_a, _fin_a, eid_a, start in self._side_blocks:
+            d = int(dl_a[start])
+            if not have or d < best_dl or (d == best_dl and int(eid_a[start]) < best_eid):
+                best_dl = d
+                best_eid = int(eid_a[start])
+                have = True
+        for dl_a, eid_a, start in self._irr_blocks:
+            d = int(dl_a[start])
+            if not have or d < best_dl or (d == best_dl and int(eid_a[start]) < best_eid):
+                best_dl = d
+                best_eid = int(eid_a[start])
+                have = True
+        heap = self._irr_heap
+        if heap:
+            head = heap[0]
+            if not have or head[0] < best_dl or (head[0] == best_dl and head[1] < best_eid):
+                best_dl = head[0]
+                best_eid = head[1]
+                have = True
+        return (best_dl, best_eid) if have else None
+
+    # -- firing --------------------------------------------------------
+
+    def _pop_due(self, lw: Optional[int], lp: int, le: int) -> Optional[tuple]:
+        """Remove and return the minimal ``(deadline, eid, finish)``
+        triple strictly preceding the ``(lw, lp, le)`` limit key (lane
+        entries compare at ``NORMAL`` priority); ``None`` otherwise."""
+        while True:
+            cur_dl = self._cur_dl
+            ci = self._ci
+            src = 0
+            bsel = -1
+            best_dl = best_eid = 0
+            if ci < cur_dl.shape[0]:
+                best_dl = int(cur_dl[ci])
+                best_eid = int(self._cur_eid[ci])
+                src = 1
+            elif self._nxt_blocks or self._nxt_dl:
+                self._swap()
+                continue
+            blocks = self._irr_blocks
+            for bi in range(len(blocks)):
+                dl_a, eid_a, start = blocks[bi]
+                d = int(dl_a[start])
+                e = int(eid_a[start])
+                if not src or d < best_dl or (d == best_dl and e < best_eid):
+                    best_dl = d
+                    best_eid = e
+                    src = 2
+                    bsel = bi
+            side = self._side_blocks
+            for bi in range(len(side)):
+                block = side[bi]
+                start = block[3]
+                d = int(block[0][start])
+                e = int(block[2][start])
+                if not src or d < best_dl or (d == best_dl and e < best_eid):
+                    best_dl = d
+                    best_eid = e
+                    src = 4
+                    bsel = bi
+            heap = self._irr_heap
+            if heap:
+                head = heap[0]
+                if not src or head[0] < best_dl or (head[0] == best_dl and head[1] < best_eid):
+                    best_dl = head[0]
+                    best_eid = head[1]
+                    src = 3
+            if not src:
+                return None
+            if lw is not None:
+                if best_dl > lw:
+                    return None
+                if best_dl == lw and (lp < NORMAL or (lp == NORMAL and best_eid >= le)):
+                    return None
+            if src == 1:
+                fin = int(self._cur_fin[ci])
+                self._ci = ci + 1
+                return best_dl, best_eid, fin
+            if src == 2:
+                block = blocks[bsel]
+                start = block[2] + 1
+                if start >= block[0].shape[0]:
+                    del blocks[bsel]
+                else:
+                    block[2] = start
+                return best_dl, best_eid, best_dl
+            if src == 4:
+                block = side[bsel]
+                start = block[3]
+                fin = int(block[1][start])
+                start += 1
+                if start >= block[0].shape[0]:
+                    del side[bsel]
+                else:
+                    block[3] = start
+                return best_dl, best_eid, fin
+            dl, eid, fin = heappop(heap)
+            if fin > dl:
+                self._irr_rearms -= 1
+            return dl, eid, fin
+
+    def fire_one(self) -> Optional[int]:
+        """Scalar-fire the earliest entry (exact); returns its deadline.
+
+        Re-arms survivors in place (allocating one entry id, like a
+        per-event re-arm would) and invokes ``on_complete(when)`` for
+        finished leases.  Sets ``env._now`` to the fired deadline; the
+        caller accounts ``events_processed``.
+        """
+        popped = self._pop_due(None, 0, 0)
+        if popped is None:
+            return None
+        dl, _eid, fin = popped
+        env = self.env
+        env._now = dl
+        self.scalar_fires += 1
+        if fin > dl:
+            eid2 = next(env._eid)
+            ndl = dl + self.interval
+            if ndl < fin:
+                self._append_one(ndl, fin, eid2)
+            else:
+                heappush(self._irr_heap, (fin, eid2, fin))
+        else:
+            self._count -= 1
+            self.completions += 1
+            callback = self.on_complete
+            if callback is not None:
+                callback(dl)
+        return dl
+
+    def _append_one(self, when: int, fin: int, eid: int) -> None:
+        if when >= self._floor:
+            self._nxt_dl.append(when)
+            self._nxt_fin.append(fin)
+            self._nxt_eid.append(eid)
+            self._floor = when
+        else:
+            heappush(self._irr_heap, (when, eid, fin))
+            self._irr_rearms += 1
+
+    def _due_end(self, dl_a: Any, eid_a: Any, start: int, lw: Optional[int], lp: int, le: int) -> int:
+        """End index of the due prefix of a sorted (deadline, eid) array."""
+        n = dl_a.shape[0]
+        if lw is None:
+            return n
+        j = start + int(np.searchsorted(dl_a[start:], lw, side="left"))
+        if j < n and int(dl_a[j]) == lw and lp >= NORMAL:
+            j2 = start + int(np.searchsorted(dl_a[start:], lw, side="right"))
+            if lp > NORMAL:
+                j = j2
+            else:
+                j += int(np.searchsorted(eid_a[j:j2], le, side="left"))
+        return j
+
+    def _fire_cur_slab(self, ci: int, j: int) -> int:
+        return self._fire_slab(self._cur_dl, self._cur_fin, ci, j)
+
+    def _fire_slab(self, dl_a: Any, fin_a: Any, ci: int, j: int) -> int:
+        """Fire ``[ci:j]`` of a sorted block in bulk; returns the
+        completion count.
+
+        Held entries (finish > deadline) re-arm via one masked pass:
+        contiguous ids from ``reserve_eids`` in slab order, new
+        deadlines ``min(deadline + interval, finish)``, unclipped
+        survivors appended as the next block and clipped finals filed as
+        a sorted irregular-completion block.  Tiny slabs take a scalar
+        loop -- same ids, same destinations, no mask overhead.
+        """
+        env = self.env
+        interval = self.interval
+        n = j - ci
+        if n < _LANE_SCALAR_SLAB:
+            heap = self._irr_heap
+            comp = 0
+            for k in range(ci, j):
+                dl = int(dl_a[k])
+                fin = int(fin_a[k])
+                if fin > dl:
+                    eid2 = next(env._eid)
+                    ndl = dl + interval
+                    if ndl < fin:
+                        self._append_one(ndl, fin, eid2)
+                    else:
+                        heappush(heap, (fin, eid2, fin))
+                else:
+                    comp += 1
+            self.scalar_fires += n
+            self._count -= comp
+            return comp
+        dl = dl_a[ci:j]
+        fin = fin_a[ci:j]
+        held = fin > dl
+        n_held = int(np.count_nonzero(held))
+        comp = n - n_held
+        if n_held:
+            hdl = dl[held] if comp else dl
+            hfin = fin[held] if comp else fin
+            base = env.reserve_eids(n_held)
+            neid = np.arange(base, base + n_held, dtype=np.int64)
+            ndl = hdl + interval
+            clip = hfin <= ndl
+            if clip.any():
+                keep = ~clip
+                if keep.any():
+                    self._append_block(ndl[keep], hfin[keep], neid[keep])
+                cdl = hfin[clip]
+                ceid = neid[clip]
+                order = np.lexsort((ceid, cdl))
+                self._push_irr_block(cdl[order], ceid[order])
+            else:
+                self._append_block(ndl, hfin, neid)
+            self.rearm_batches += 1
+        if n > self.max_slab:
+            self.max_slab = n
+        self._count -= comp
+        return comp
+
+    def drain(
+        self,
+        limit_when: Optional[int],
+        limit_prio: int,
+        limit_eid: int,
+        exact: Any = None,
+        strict: bool = True,
+    ) -> tuple:
+        """Fire every lane entry preceding the limit key.
+
+        ``limit_when=None`` drains the lane completely.  Returns
+        ``(fired, bulk_completed, last_when)``: *fired* is the event
+        count (for ``events_processed``), *bulk_completed* the
+        completions counted-not-callbacked on the vectorized path (the
+        caller folds them; always 0 on the exact path, where
+        ``on_complete`` ran per event), *last_when* the latest fired
+        deadline (-1 if none).
+
+        ``exact``: ``None`` vectorizes from the start; ``True`` forces
+        the exact scalar merge throughout; a backlog deque runs exact
+        while it is non-empty, then switches to vectorized slabs (the
+        point completions stop being observable).
+
+        ``strict``: when True (default) and out-of-order periodic
+        entries sit on the fallback heap (``_irr_rearms > 0``), the
+        whole call is forced scalar so every re-arm draws its eid at
+        exactly the per-event sequence point.  A caller for whom eid
+        draws are unobservable between its own synchronization points
+        (the fused scale kernel: all draws inside one drain are
+        lane-internal and never cross a chunk admission) passes
+        ``strict=False`` to keep the vectorized path, whose heap pops
+        re-arm scalar but out of slab order.
+        """
+        fired = 0
+        bulk_completed = 0
+        last_when = -1
+        if strict and (self._irr_rearms or self._side_blocks):
+            # Out-of-order periodic entries exist (heap or side blocks);
+            # only the scalar path preserves their eid-allocation order.
+            exact = True
+        if exact is not None:
+            interval = self.interval
+            env = self.env
+            while exact is True or exact:
+                popped = self._pop_due(limit_when, limit_prio, limit_eid)
+                if popped is None:
+                    if fired:
+                        self.slabs += 1
+                        self.scalar_fires += fired
+                    return fired, 0, last_when
+                dl, _eid, fin = popped
+                fired += 1
+                last_when = dl
+                env._now = dl
+                if fin > dl:
+                    eid2 = next(env._eid)
+                    ndl = dl + interval
+                    if ndl < fin:
+                        self._append_one(ndl, fin, eid2)
+                    else:
+                        heappush(self._irr_heap, (fin, eid2, fin))
+                else:
+                    self._count -= 1
+                    self.completions += 1
+                    callback = self.on_complete
+                    if callback is not None:
+                        callback(dl)
+            self.scalar_fires += fired
+        # -- vectorized phase ------------------------------------------
+        heap = self._irr_heap
+        lw, lp, le = limit_when, limit_prio, limit_eid
+        while True:
+            progress = False
+            blocks = self._irr_blocks
+            bi = 0
+            while bi < len(blocks):
+                block = blocks[bi]
+                dl_a, eid_a, start = block
+                k = self._due_end(dl_a, eid_a, start, lw, lp, le)
+                if k > start:
+                    cnt = k - start
+                    fired += cnt
+                    bulk_completed += cnt
+                    self._count -= cnt
+                    w = int(dl_a[k - 1])
+                    if w > last_when:
+                        last_when = w
+                    progress = True
+                    if k >= dl_a.shape[0]:
+                        del blocks[bi]
+                        continue
+                    block[2] = k
+                bi += 1
+            side = self._side_blocks
+            if side:
+                # Detach while firing: re-arm fallbacks push fresh side
+                # blocks onto self._side_blocks, which must not perturb
+                # this iteration (or be consolidated away mid-pass).
+                self._side_blocks = []
+                remaining = []
+                for block in side:
+                    dl_a, fin_a, eid_a, start = block
+                    k = self._due_end(dl_a, eid_a, start, lw, lp, le)
+                    if k > start:
+                        comp = self._fire_slab(dl_a, fin_a, start, k)
+                        bulk_completed += comp
+                        fired += k - start
+                        w = int(dl_a[k - 1])
+                        if w > last_when:
+                            last_when = w
+                        progress = True
+                        if k < dl_a.shape[0]:
+                            block[3] = k
+                            remaining.append(block)
+                    else:
+                        remaining.append(block)
+                if self._side_blocks:
+                    remaining.extend(self._side_blocks)
+                self._side_blocks = remaining
+            while heap:
+                head = heap[0]
+                dl = head[0]
+                if lw is not None and (
+                    dl > lw or (dl == lw and (lp < NORMAL or (lp == NORMAL and head[1] >= le)))
+                ):
+                    break
+                heappop(heap)
+                fired += 1
+                if dl > last_when:
+                    last_when = dl
+                progress = True
+                fin = head[2]
+                if fin > dl:
+                    # Out-of-order periodic entry (generic callers only;
+                    # a bulk slab can push these via the floor fallback):
+                    # re-arm scalar so no fire is lost.  Times and counts
+                    # stay exact; callers needing eid bit-identity must
+                    # keep deadlines in fire order so this never runs.
+                    self._irr_rearms -= 1
+                    eid2 = next(self.env._eid)
+                    ndl = dl + self.interval
+                    if ndl < fin:
+                        self._append_one(ndl, fin, eid2)
+                    else:
+                        heappush(heap, (fin, eid2, fin))
+                    self.scalar_fires += 1
+                else:
+                    bulk_completed += 1
+                    self._count -= 1
+            cur_dl = self._cur_dl
+            ci = self._ci
+            if ci >= cur_dl.shape[0]:
+                if self._nxt_blocks or self._nxt_dl:
+                    # Swap lazily: only when the incoming head is due.
+                    if self._nxt_blocks:
+                        head_dl = int(self._nxt_blocks[0][0][0])
+                    else:
+                        head_dl = self._nxt_dl[0]
+                    if lw is None or head_dl < lw or (head_dl == lw and lp >= NORMAL):
+                        self._swap()
+                        progress = True
+                        continue
+            else:
+                j = self._due_end(cur_dl, self._cur_eid, ci, lw, lp, le)
+                if j > ci:
+                    comp = self._fire_cur_slab(ci, j)
+                    bulk_completed += comp
+                    w = int(cur_dl[j - 1])
+                    if w > last_when:
+                        last_when = w
+                    fired += j - ci
+                    self._ci = j
+                    progress = True
+            if not progress:
+                break
+        if fired:
+            self.slabs += 1
+        self.completions += bulk_completed
+        return fired, bulk_completed, last_when
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def stats(self) -> dict[str, int]:
+        """Gauges for occupancy sampling and the bench lane guards."""
+        return {
+            "lane_entries": self._count,
+            "lane_entries_peak": self.entries_peak,
+            "lane_slabs": self.slabs,
+            "lane_max_slab": self.max_slab,
+            "lane_rearm_batches": self.rearm_batches,
+            "lane_scalar_fires": self.scalar_fires,
+            "lane_generations": self.generations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<LeaseLane interval={self.interval}ns pending={self._count} "
+            f"peak={self.entries_peak}>"
+        )
 
 
 class WheelEnvironment(Environment):
@@ -180,6 +896,7 @@ class WheelEnvironment(Environment):
         "reanchors",
         "_sample_tick",
         "occupancy_samples",
+        "_lane",
     )
 
     def __init__(
@@ -231,6 +948,30 @@ class WheelEnvironment(Environment):
         self.cascades = 0
         #: Entries that bypassed the wheel into the overflow heap.
         self.overflow_inserts = 0
+        #: Optional :class:`LeaseLane` side calendar (see attach_lease_lane).
+        self._lane: Optional[LeaseLane] = None
+
+    # -- lease lane ----------------------------------------------------
+
+    @property
+    def lease_lane(self) -> Optional[LeaseLane]:
+        return self._lane
+
+    def attach_lease_lane(self, interval: int, on_complete: Any = None) -> LeaseLane:
+        """Attach a :class:`LeaseLane` for periodic timers of *interval* ns.
+
+        At most one lane per environment.  Once attached, :meth:`step`,
+        :meth:`run`, :meth:`peek`, :meth:`pending_events` and
+        :meth:`occupancy` all merge the lane against the wheel under
+        the global ``(when, priority, eid)`` contract (lane entries at
+        ``NORMAL`` priority); the fused scale kernel bypasses the
+        generic loop but honors the same contract.
+        """
+        if self._lane is not None:
+            raise RuntimeError("lease lane already attached")
+        lane = LeaseLane(self, interval, on_complete)
+        self._lane = lane
+        return lane
 
     # -- scheduling ----------------------------------------------------
 
@@ -312,6 +1053,8 @@ class WheelEnvironment(Environment):
         sequence because the entry tuples are.
         """
         arr = np.asarray(times, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"batch times must be 1-D, got shape {arr.shape}")
         n = int(arr.size)
         if not n:
             return []
@@ -431,7 +1174,22 @@ class WheelEnvironment(Environment):
         self._cursor = c
         slots0[c & mask0] = []
         self._l0_count -= len(bucket)
-        bucket.sort()
+        if len(bucket) >= _REFILL_ARGSORT_MIN:
+            # Sort-on-drain via numpy for big buckets: lexsort over
+            # extracted key columns beats list.sort's per-element tuple
+            # comparisons well before 1k entries.  The eid column makes
+            # the key total (eids are unique), so the Event objects
+            # themselves are never compared; sorting on `when` alone
+            # (even stably) would be wrong -- after a re-anchor a
+            # bucket's insertion order is not (priority, eid) order.
+            nb = len(bucket)
+            when = np.fromiter((e[0] for e in bucket), np.int64, nb)
+            prio = np.fromiter((e[1] for e in bucket), np.int64, nb)
+            eid = np.fromiter((e[2] for e in bucket), np.int64, nb)
+            order = np.lexsort((eid, prio, when))
+            bucket = [bucket[i] for i in order.tolist()]
+        else:
+            bucket.sort()
         self._active = bucket
         self._ai = 0
         if self._adaptive:
@@ -478,6 +1236,42 @@ class WheelEnvironment(Environment):
                 # entry under a new granularity is safe and cheap to
                 # reason about.  Loop back afterwards -- a re-anchor
                 # may have moved everything into spill or overflow.
+                self._maybe_reanchor()
+                continue
+            self._refill()
+
+    def _peek_key(self) -> Optional[tuple]:
+        """``(when, priority, eid)`` of the next wheel entry, sans removal.
+
+        ``None`` when nothing is pending.  Advances cursor/refill/
+        re-anchor state exactly as :meth:`_pop` would -- all of which is
+        order-neutral -- so a subsequent :meth:`_pop` returns the same
+        entry in O(1).  Used by the lane-aware event loop to decide
+        whether the lease lane fires first.
+        """
+        while True:
+            active = self._active
+            ai = self._ai
+            if ai < len(active):
+                entry = active[ai]
+                spill = self._spill
+                if spill and spill[0] < entry:
+                    entry = spill[0]
+                overflow = self._queue
+                if overflow and overflow[0] < entry:
+                    entry = overflow[0]
+                return entry[:3]
+            spill = self._spill
+            if spill:
+                entry = spill[0]
+                overflow = self._queue
+                if overflow and overflow[0] < entry:
+                    entry = overflow[0]
+                return entry[:3]
+            if not (self._l0_count or self._l1_count):
+                overflow = self._queue
+                return overflow[0][:3] if overflow else None
+            if self._adaptive and self._adapt_drained >= self._adapt_window:
                 self._maybe_reanchor()
                 continue
             self._refill()
@@ -615,10 +1409,16 @@ class WheelEnvironment(Environment):
                 for entry in bucket:
                     if best is None or entry < best:
                         best = entry
+        lane = self._lane
+        if lane is not None:
+            head = lane.head_key()
+            if head is not None and (best is None or head[0] < best[0]):
+                return head[0]
         return best[0] if best is not None else None
 
     def pending_events(self) -> int:
         """Total events currently scheduled (all structures)."""
+        lane = self._lane
         return (
             len(self._active)
             - self._ai
@@ -626,6 +1426,7 @@ class WheelEnvironment(Environment):
             + self._l0_count
             + self._l1_count
             + len(self._queue)
+            + (len(lane) if lane is not None else 0)
         )
 
     def occupancy(self) -> dict[str, int]:
@@ -637,7 +1438,7 @@ class WheelEnvironment(Environment):
         :mod:`repro.perf` (``wheel_entries`` / ``heap_entries``).
         """
         wheel = len(self._active) - self._ai + len(self._spill)
-        return {
+        occ = {
             "wheel": wheel + self._l0_count + self._l1_count,
             "active": len(self._active) - self._ai,
             "spill": len(self._spill),
@@ -649,6 +1450,22 @@ class WheelEnvironment(Environment):
             "reanchors": self.reanchors,
             "granularity_bits": self._gbits,
         }
+        lane = self._lane
+        if lane is not None:
+            occ.update(lane.stats())
+        else:
+            # Zero gauges keep the key set stable so bench entries and
+            # shard merges carry lane columns whether or not a lane ran.
+            occ.update(
+                lane_entries=0,
+                lane_entries_peak=0,
+                lane_slabs=0,
+                lane_max_slab=0,
+                lane_rearm_batches=0,
+                lane_scalar_fires=0,
+                lane_generations=0,
+            )
+        return occ
 
     def sample_occupancy(self, force: bool = False) -> Optional[dict[str, int]]:
         """Decimated :meth:`occupancy`, also published to :mod:`repro.perf`.
@@ -679,12 +1496,33 @@ class WheelEnvironment(Environment):
             counters.wheel_overflow_inserts = max(
                 counters.wheel_overflow_inserts, self.overflow_inserts
             )
+            if self._lane is not None:
+                if occupancy["lane_entries"] > counters.lane_entries:
+                    counters.lane_entries = occupancy["lane_entries"]
+                counters.lane_slabs = max(counters.lane_slabs, occupancy["lane_slabs"])
+                counters.lane_rearm_batches = max(
+                    counters.lane_rearm_batches, occupancy["lane_rearm_batches"]
+                )
         return occupancy
 
     # -- event loop ----------------------------------------------------
 
     def step(self) -> None:
-        """Process exactly one event (same semantics as the base class)."""
+        """Process exactly one event (same semantics as the base class).
+
+        With a lease lane attached, the lane head is merged against the
+        wheel head under the global ``(when, priority, eid)`` order and
+        fires first when it precedes.
+        """
+        lane = self._lane
+        if lane is not None:
+            head = lane.head_key()
+            if head is not None:
+                key = self._peek_key()
+                if key is None or (head[0], NORMAL, head[1]) < key:
+                    lane.fire_one()
+                    self.events_processed += 1
+                    return
         try:
             when, _prio, _eid, event = self._pop()
         except IndexError:
@@ -719,8 +1557,46 @@ class WheelEnvironment(Environment):
             self._timeout_pool.append(event)  # type: ignore[arg-type]
             self._timeout_pool_appends += 1
 
+    def _run_with_lane(self, until: Union[None, int, Event]) -> Any:
+        """Generic event loop merging the lease lane with the wheel.
+
+        Correctness path for arbitrary callbacks: one :meth:`step` per
+        event, lane entries fired scalar-exact.  The vectorized slab
+        path lives in the fused scale kernel, which owns its callbacks
+        and can prove the commutativity the bulk drain requires.
+        """
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    return until.value
+                until.callbacks.append(StopSimulation.callback)
+            else:
+                at = int(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} is in the past (now={self._now})")
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                self._insert((at, _STOP_PRIORITY, next(self._eid), stop))
+                stop.callbacks.append(StopSimulation.callback)
+        step = self.step
+        try:
+            while True:
+                try:
+                    step()
+                except EmptySchedule:
+                    if isinstance(until, Event) and not until.triggered:
+                        raise RuntimeError(
+                            "simulation ran out of events before the awaited event triggered"
+                        ) from None
+                    return None
+        except StopSimulation as stop_exc:
+            return stop_exc.args[0]
+
     def run(self, until: Union[None, int, Event] = None) -> Any:
         """Run the simulation (same contract as the base class)."""
+        if self._lane is not None:
+            return self._run_with_lane(until)
         if until is not None:
             if isinstance(until, Event):
                 if until.callbacks is None:

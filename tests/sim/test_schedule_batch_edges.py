@@ -1,0 +1,105 @@
+"""``schedule_batch`` edge cases, on both the heap and wheel engines.
+
+The hardening satellite: empty chunks, single elements, all-equal
+timestamps, chunks landing exactly at ``now``, chunks in the past, and
+non-1-D inputs must behave identically on ``Environment`` (the
+correctness baseline) and ``WheelEnvironment`` (the vectorized
+override) -- errors included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.core import Environment
+from repro.sim.wheel import WheelEnvironment
+
+
+def _envs():
+    return [Environment(), WheelEnvironment(), WheelEnvironment(granularity_bits="auto")]
+
+
+def _fire_all(env, times):
+    fired = []
+
+    def on_fire(event):
+        fired.append(env.now)
+
+    events = env.schedule_batch(times, on_fire)
+    env.run()
+    return events, fired
+
+
+@pytest.mark.parametrize("env", _envs())
+def test_empty_chunk_is_a_noop(env):
+    events = env.schedule_batch(np.empty(0, dtype=np.int64), lambda e: None)
+    assert events == []
+    assert env.peek() is None
+    # No entry ids consumed: the next event is still id 0.
+    assert next(env._eid) == 0
+
+
+@pytest.mark.parametrize("env", _envs())
+def test_single_element_chunk(env):
+    events, fired = _fire_all(env, np.array([1_234], dtype=np.int64))
+    assert len(events) == 1
+    assert fired == [1_234]
+    assert env.now == 1_234
+
+
+@pytest.mark.parametrize("env", _envs())
+def test_all_equal_timestamps_fire_in_admission_order(env):
+    order = []
+
+    def make(tag):
+        def on_fire(event):
+            order.append(tag)
+
+        return on_fire
+
+    times = np.full(8, 5_000, dtype=np.int64)
+    for k in range(8):
+        env.schedule_batch(times[k : k + 1], make(k))
+    env.run()
+    assert order == list(range(8))
+
+
+@pytest.mark.parametrize("env", _envs())
+def test_chunk_exactly_at_now_fires_immediately(env):
+    # Advance the clock first, then admit a chunk entirely at `now`.
+    env.timeout(700)
+    env.run()
+    assert env.now == 700
+    events, fired = _fire_all(env, np.array([700, 700, 700], dtype=np.int64))
+    assert fired == [700, 700, 700]
+
+
+@pytest.mark.parametrize("env", _envs())
+def test_chunk_in_the_past_rejected(env):
+    env.timeout(1_000)
+    env.run()
+    with pytest.raises(ValueError, match="past"):
+        env.schedule_batch(np.array([999], dtype=np.int64), lambda e: None)
+    # A chunk whose *first* element is fine but that decreases is also out.
+    with pytest.raises(ValueError, match="non-decreasing"):
+        env.schedule_batch(np.array([2_000, 1_500], dtype=np.int64), lambda e: None)
+
+
+@pytest.mark.parametrize("env", _envs())
+def test_non_1d_chunk_rejected(env):
+    with pytest.raises(ValueError, match="1-D"):
+        env.schedule_batch(np.array([[1, 2], [3, 4]], dtype=np.int64), lambda e: None)
+
+
+def test_batch_pop_order_identical_across_engines():
+    times = np.sort(np.random.default_rng(9).integers(1, 10_000, 500)).astype(np.int64)
+    results = []
+    for env in _envs():
+        fired = []
+
+        def on_fire(event):
+            fired.append(env.now)
+
+        env.schedule_batch(times, on_fire)
+        env.run()
+        results.append(fired)
+    assert results[0] == results[1] == results[2]

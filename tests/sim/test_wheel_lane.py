@@ -1,0 +1,323 @@
+"""Lease lane: struct-of-arrays calendar vs per-event execution.
+
+The contract under test (see ``repro.sim.wheel.LeaseLane``): periodic
+lease timers held as parallel int64 arrays must fire in exactly the
+``(when, priority, eid)`` order that per-event scheduling would
+produce -- merged against ordinary wheel pops, through re-arms,
+out-of-order admissions (side blocks / fallback heap) and both drain
+modes (exact scalar and vectorized slabs).  The per-event heap
+``Environment`` is the referee throughout.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.sim.core import Environment
+from repro.sim.wheel import _REFILL_ARGSORT_MIN, LeaseLane, WheelEnvironment
+
+MS = 1_000_000
+INTERVAL = 64 * MS
+
+
+def _random_timers(seed, n, horizon=400 * MS):
+    """(start, finish) pairs with services straddling the interval."""
+    rng = random.Random(seed)
+    timers = []
+    for _ in range(n):
+        start = rng.randrange(1, horizon)
+        service = rng.randrange(1, 3 * INTERVAL)
+        first = start + min(service, INTERVAL)
+        timers.append((start, first, start + service))
+    timers.sort()
+    return timers
+
+
+def _heap_reference(timers, extra_timeouts=()):
+    """Per-event lease chains on the heap Environment: the referee.
+
+    Each lease is a self-re-arming Timeout chain with exactly the lane's
+    semantics: fire every ``INTERVAL`` from the first deadline, final
+    fire exactly at the finish time, one eid per (re)arm.
+    """
+    env = Environment()
+    completions = []
+    fired = []
+
+    def make_chain(finish):
+        def on_fire(event):
+            now = env.now
+            if now >= finish:
+                completions.append(now)
+            else:
+                nxt = min(now + INTERVAL, finish)
+                timeout = env.timeout(nxt - now)
+                timeout.callbacks.append(on_fire)
+
+        return on_fire
+
+    def on_plain(event):
+        fired.append((env.now, event._value))
+
+    pending = list(timers)
+
+    def admit_due(_event=None):
+        while pending and pending[0][0] <= env.now:
+            _start, first, finish = pending.pop(0)
+            timeout = env.timeout(first - env.now)
+            timeout.callbacks.append(make_chain(finish))
+
+    # Admission points: one zero-delay timeout per distinct start time,
+    # so eids are drawn at the same virtual times the lane test draws
+    # them.
+    for start, _first, _finish in timers:
+        timeout = env.timeout(start)
+        timeout.callbacks.append(admit_due)
+    for delay, value in extra_timeouts:
+        timeout = env.timeout(delay, value)
+        timeout.callbacks.append(on_plain)
+    env.run()
+    return completions, fired, env.events_processed
+
+
+def _lane_run(timers, scheduler_cls, extra_timeouts=(), **env_kwargs):
+    """The same workload with leases in the lane, admitted at start."""
+    env = scheduler_cls(**env_kwargs)
+    lane = env.attach_lease_lane(INTERVAL)
+    completions = []
+    fired = []
+    lane.on_complete = completions.append
+
+    pending = list(timers)
+
+    def admit_due(_event=None):
+        while pending and pending[0][0] <= env.now:
+            _start, first, finish = pending.pop(0)
+            lane.admit(first, finish)
+
+    def on_plain(event):
+        fired.append((env.now, event._value))
+
+    for start, _first, _finish in timers:
+        timeout = env.timeout(start)
+        timeout.callbacks.append(admit_due)
+    for delay, value in extra_timeouts:
+        timeout = env.timeout(delay, value)
+        timeout.callbacks.append(on_plain)
+    env.run()
+    return completions, fired, env.events_processed
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_generic_run_matches_heap_reference(seed):
+    timers = _random_timers(seed, 120)
+    extra = [(random.Random(seed ^ 0xE).randrange(1, 400 * MS), i) for i in range(40)]
+    ref_completions, ref_fired, ref_events = _heap_reference(timers, extra)
+    completions, fired, events = _lane_run(timers, WheelEnvironment, extra)
+    assert completions == ref_completions
+    assert fired == ref_fired
+    assert events == ref_events
+
+
+def test_generic_run_matches_under_adaptive_reanchors():
+    timers = _random_timers(99, 150)
+    ref_completions, ref_fired, ref_events = _heap_reference(timers)
+    completions, fired, events = _lane_run(
+        timers, WheelEnvironment, granularity_bits="auto"
+    )
+    assert completions == ref_completions
+    assert fired == ref_fired
+    assert events == ref_events
+
+
+def test_lane_ties_break_on_admission_order():
+    """Equal deadlines complete in eid (admission) order."""
+    env = WheelEnvironment()
+    lane = env.attach_lease_lane(INTERVAL)
+    seen = []
+
+    def tagged(when):
+        seen.append((when, len(seen)))
+
+    lane.on_complete = tagged
+    # Three leases finishing at the same nanosecond, admitted in order.
+    for _ in range(3):
+        lane.admit(5 * MS, 5 * MS)
+    env.run()
+    assert [w for w, _ in seen] == [5 * MS] * 3
+    assert [i for _, i in seen] == [0, 1, 2]
+    assert len(lane) == 0
+
+
+def test_peek_and_pending_events_include_lane():
+    env = WheelEnvironment()
+    lane = env.attach_lease_lane(INTERVAL)
+    env.timeout(10 * MS)
+    lane.admit(2 * MS, 2 * MS)
+    assert env.peek() == 2 * MS
+    assert env.pending_events() == 2
+    env.run()
+    assert env.pending_events() == 0
+
+
+def test_attach_twice_raises():
+    env = WheelEnvironment()
+    env.attach_lease_lane(INTERVAL)
+    with pytest.raises(RuntimeError):
+        env.attach_lease_lane(INTERVAL)
+    with pytest.raises(ValueError):
+        WheelEnvironment().attach_lease_lane(0)
+
+
+# -- cohort admission --------------------------------------------------
+
+
+def test_admit_cohort_matches_scalar_admits():
+    timers = _random_timers(5, 64)
+    whens = np.array([t[1] for t in timers], dtype=np.int64)
+    fins = np.array([t[2] for t in timers], dtype=np.int64)
+    order = np.argsort(whens, kind="stable")
+    whens, fins = whens[order], fins[order]
+
+    env_a = WheelEnvironment()
+    lane_a = env_a.attach_lease_lane(INTERVAL)
+    base = lane_a.admit_cohort(whens, fins)
+    assert base == 0  # first ids drawn from a fresh environment
+    done_a = []
+    lane_a.on_complete = done_a.append
+    env_a.run()
+
+    env_b = WheelEnvironment()
+    lane_b = env_b.attach_lease_lane(INTERVAL)
+    for when, fin in zip(whens.tolist(), fins.tolist()):
+        lane_b.admit(when, fin)
+    done_b = []
+    lane_b.on_complete = done_b.append
+    env_b.run()
+
+    assert done_a == done_b
+    assert env_a.events_processed == env_b.events_processed
+
+
+def test_admit_cohort_validation():
+    env = WheelEnvironment()
+    lane = env.attach_lease_lane(INTERVAL)
+    # Empty cohorts admit nothing and consume no entry ids.
+    assert lane.admit_cohort(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)) == -1
+    assert next(env._eid) == 0
+    with pytest.raises(ValueError):
+        lane.admit_cohort(np.array([[1, 2]]), np.array([[3, 4]]))
+    with pytest.raises(ValueError):
+        lane.admit_cohort(np.array([1, 2]), np.array([3]))
+    with pytest.raises(ValueError):
+        lane.admit_cohort(np.array([5, 3]), np.array([9, 9]))
+
+
+# -- drain contracts ---------------------------------------------------
+
+
+def _drain_workload(seed, n=400):
+    """Adversarial out-of-order admissions exercising every fallback:
+    the nxt tail, block appends behind the floor (side blocks), and
+    scalar below-floor admits (the irregular heap)."""
+    rng = random.Random(seed)
+    env = WheelEnvironment()
+    lane = env.attach_lease_lane(INTERVAL)
+    # A monotone batch first (raises the floor far ahead) ...
+    whens = np.sort(
+        np.array([rng.randrange(50 * MS, 300 * MS) for _ in range(n // 2)], dtype=np.int64)
+    )
+    fins = whens + np.array(
+        [rng.randrange(1, 3 * INTERVAL) for _ in range(n // 2)], dtype=np.int64
+    )
+    lane.admit_cohort(whens, fins)
+    # ... then admissions behind it, scalar and blockwise.
+    for _ in range(n // 4):
+        when = rng.randrange(1, 40 * MS)
+        lane.admit(when, when + rng.randrange(0, 2 * INTERVAL))
+    low = np.sort(
+        np.array([rng.randrange(1, 45 * MS) for _ in range(n // 4)], dtype=np.int64)
+    )
+    lane.admit_cohort(low, low + INTERVAL // 2)
+    return env, lane
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_drain_bulk_matches_exact(seed):
+    """Relaxed bulk drains fire the same times/counts as exact drains."""
+    env_a, lane_a = _drain_workload(seed)
+    done_a = []
+    lane_a.on_complete = done_a.append
+    fired_a, bulk_a, last_a = lane_a.drain(None, 0, 0, exact=True)
+    assert bulk_a == 0  # exact path invokes the callback per completion
+
+    env_b, lane_b = _drain_workload(seed)
+    done_b = []
+    lane_b.on_complete = done_b.append
+    fired_b, bulk_b, last_b = lane_b.drain(None, 0, 0, strict=False)
+    assert fired_b == fired_a
+    assert last_b == last_a
+    # Bulk counts completions instead of calling back; totals and the
+    # completion-time multiset must agree.
+    assert len(done_b) + bulk_b == len(done_a)
+    assert len(lane_a) == len(lane_b) == 0
+
+
+def test_strict_drain_forces_exact_with_out_of_order_entries():
+    env, lane = _drain_workload(17)
+    done = []
+    lane.on_complete = done.append
+    fired, bulk, _last = lane.drain(None, 0, 0)  # strict default
+    assert bulk == 0  # everything went through the scalar path
+    assert fired > 0 and len(done) > 0
+
+
+def test_drain_respects_limit_key():
+    env = WheelEnvironment()
+    lane = env.attach_lease_lane(INTERVAL)
+    for k in range(4):
+        lane.admit(10 * MS + k, 10 * MS + k)  # completions at distinct ns
+    eid_limit = 2  # entries 0,1 precede (10ms+1, NORMAL, 2); 1 has dl < limit
+    done = []
+    lane.on_complete = done.append
+    fired, _bulk, last = lane.drain(10 * MS + 1, 1, eid_limit, exact=True)
+    assert fired == 2
+    assert done == [10 * MS, 10 * MS + 1]
+    assert last == 10 * MS + 1
+    assert len(lane) == 2
+
+
+def test_reserve_eids_contract():
+    env = Environment()
+    assert env.reserve_eids(1) == 0
+    assert env.reserve_eids(5) == 1
+    assert next(env._eid) == 6
+    with pytest.raises(ValueError):
+        env.reserve_eids(0)
+
+
+# -- the argsort refill satellite --------------------------------------
+
+
+def test_large_bucket_refill_matches_heap_order():
+    """A bucket past _REFILL_ARGSORT_MIN sorts via lexsort; pop order
+    must stay bit-identical to the heap, ties included."""
+    n = _REFILL_ARGSORT_MIN + 300
+    rng = random.Random(42)
+    # Many duplicate timestamps inside one coarse slot to stress ties.
+    delays = [rng.randrange(1, 50) * 1000 for _ in range(n)]
+    orders = []
+    for cls in (Environment, WheelEnvironment):
+        env = cls() if cls is Environment else cls(granularity_bits=20)
+        fired = []
+
+        def on_fire(event):
+            fired.append((env.now, event._value))
+
+        for i, delay in enumerate(delays):
+            timeout = env.timeout(delay, i)
+            timeout.callbacks.append(on_fire)
+        env.run()
+        orders.append(fired)
+    assert orders[0] == orders[1]
