@@ -1,0 +1,72 @@
+"""Spot-executor churn streams for the control-plane scale engine.
+
+rFaaS executors are *spot* resources (Sec. III-A): nodes borrowed from
+a batch system can be reclaimed at any moment, taking every lease they
+host with them.  This module draws the deterministic churn calendar the
+control scenario (:mod:`repro.experiments.control`) replays against
+both its drivers: death instants, victim indices, and the matching
+revival instants.
+
+Times are quantized onto the scenario's residue grid (see
+``repro.experiments.control`` for the full scheme): all death times are
+``== death_residue (mod quantum)`` and strictly increasing, so a death
+can never share a timestamp with any other event class and the two
+drivers never face an ordering ambiguity the fingerprint could see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChurnStream:
+    """One deterministic churn calendar."""
+
+    #: Strictly increasing death instants (ns), all on the death residue.
+    death_times_ns: np.ndarray
+    #: Victim executor index per death (a draw, not a guarantee: a draw
+    #: that lands on an already-dead node is a no-op the drivers count).
+    victims: np.ndarray
+    #: Constant dead time before the node returns at full capacity.
+    downtime_ns: int
+
+    def __len__(self) -> int:
+        return int(self.death_times_ns.size)
+
+
+def churn_stream(
+    rng: np.random.Generator,
+    deaths: int,
+    executors: int,
+    horizon_ns: int,
+    downtime_ns: int,
+    quantum: int = 16,
+    death_residue: int = 4,
+) -> ChurnStream:
+    """Draw *deaths* node failures uniformly over ``(0, horizon_ns)``.
+
+    Death times are sorted, snapped to ``death_residue (mod quantum)``,
+    and made strictly increasing with a minimum gap of one quantum (the
+    ``maximum.accumulate`` shift trick keeps the residue intact), so
+    ordering between deaths is total and residue collisions with other
+    event classes are impossible by construction.
+    """
+    if deaths < 0:
+        raise ValueError(f"deaths must be >= 0, got {deaths}")
+    if executors < 1:
+        raise ValueError(f"executors must be >= 1, got {executors}")
+    if not 0 <= death_residue < quantum:
+        raise ValueError(f"death_residue {death_residue} outside [0, {quantum})")
+    if deaths == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return ChurnStream(empty, empty.copy(), int(downtime_ns))
+    raw = np.sort(rng.uniform(float(quantum), float(horizon_ns), size=deaths))
+    times = (raw.astype(np.int64) // quantum) * quantum + death_residue
+    # Strictly increasing with gap >= quantum, residue preserved.
+    ramp = quantum * np.arange(deaths, dtype=np.int64)
+    times = np.maximum.accumulate(times - ramp) + ramp
+    victims = rng.integers(0, executors, size=deaths, dtype=np.int64)
+    return ChurnStream(times, victims, int(downtime_ns))

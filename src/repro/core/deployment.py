@@ -74,7 +74,9 @@ class Deployment:
 
         for index in range(managers):
             nic = fabric.attach(f"manager{index}")
-            deployment.managers.append(ResourceManager(nic, config))
+            # Disjoint lease-id namespaces keep ids unique across the
+            # replica set while each manager stays deterministic.
+            deployment.managers.append(ResourceManager(nic, config, lease_namespace=index))
 
         for index in range(executors):
             nic = fabric.attach(f"executor{index}")

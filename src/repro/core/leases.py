@@ -19,11 +19,18 @@ from __future__ import annotations
 import enum
 import hashlib
 import hmac
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import count
 from typing import Optional
 
-_lease_ids = count(1)
+#: Fallback id source for ad-hoc :class:`Lease` constructions (tests,
+#: interactive use) only.  Platform paths never draw from it: the
+#: resource manager allocates ids from its own per-instance counter
+#: (``ResourceManager._lease_ids``), because a process-global stream
+#: leaks across runs -- back-to-back simulations would see different
+#: ids, a determinism/fingerprint hazard (the same class of bug
+#: ``Environment.reserve_eids`` solved for event ids).
+_fallback_lease_ids = count(1)
 
 
 def sign_lease(
@@ -63,8 +70,15 @@ class Lease:
     billing_addr: int = 0
     billing_rkey: int = 0
     manager_host: str = ""
-    lease_id: int = field(default_factory=lambda: next(_lease_ids))
+    #: Assigned by the granting manager (deterministic per manager);
+    #: ``None`` falls back to a process-global stream for ad-hoc
+    #: constructions outside any manager.
+    lease_id: Optional[int] = None
     state: LeaseState = LeaseState.ACTIVE
+
+    def __post_init__(self) -> None:
+        if self.lease_id is None:
+            self.lease_id = next(_fallback_lease_ids)
 
     @property
     def expiry_ns(self) -> int:

@@ -1,0 +1,172 @@
+"""Executor placement policies (Sec. III-D round robin), pluggable.
+
+The resource manager's only placement decision is "which spot executor
+serves this lease?".  The paper's answer is round-robin first-fit over
+the executors with capacity; this module makes that policy a
+first-class object with two interchangeable implementations:
+
+* :class:`RoundRobinFirstFit` -- the scalar reference used by the RPC
+  manager (:class:`repro.core.resource_manager.ResourceManager`).  It
+  preserves the historical scan semantics *exactly* -- same iteration
+  order, same round-robin cursor arithmetic, dead records consume a
+  scan step but are skipped before any capacity math -- while caching
+  the sorted name list (the old code re-sorted every grant, which is
+  O(E log E) per lease at cluster scale).
+* :class:`SoACapacity` -- the struct-of-arrays twin used by the
+  control-plane scale kernel (:mod:`repro.experiments.control`): free
+  cores / free memory / liveness as parallel numpy arrays, placement by
+  a masked ``argmax`` over the eligibility vector split at the
+  round-robin cursor.  Pick order and cursor movement are contractually
+  identical to the scalar policy; ``tests/core/test_placement.py`` pins
+  the contract on randomized sequences.
+
+Both implementations answer the same question with the same cursor
+rule: scan ``sorted(names)`` cyclically starting at ``rr_index``; the
+first *alive* record satisfying ``(allow_oversubscription or
+free_cores >= cores) and free_memory >= memory_bytes`` wins, and the
+cursor moves to the winner's successor.  A full fruitless cycle leaves
+the cursor untouched.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.resource_manager import ExecutorRecord
+
+
+class RoundRobinFirstFit:
+    """Scalar round-robin first-fit over a name-keyed record dict."""
+
+    __slots__ = ("rr_index", "_names")
+
+    def __init__(self) -> None:
+        self.rr_index = 0
+        self._names: Optional[list[str]] = None
+
+    def invalidate(self) -> None:
+        """Drop the cached name order (membership changed)."""
+        self._names = None
+
+    def _sorted_names(self, executors: dict) -> list[str]:
+        names = self._names
+        if names is None or len(names) != len(executors):
+            names = self._names = sorted(executors)
+        return names
+
+    def pick(
+        self,
+        executors: dict,
+        cores: int,
+        memory_bytes: int,
+        allow_oversubscription: bool = False,
+    ) -> Optional["ExecutorRecord"]:
+        """First record with capacity at or after the cursor, else None."""
+        names = self._sorted_names(executors)
+        if not names:
+            return None
+        size = len(names)
+        rr = self.rr_index
+        for step in range(size):
+            record = executors[names[(rr + step) % size]]
+            # Dead records consume a scan step (the cursor arithmetic
+            # counts them) but are skipped before any capacity math.
+            if not record.alive:
+                continue
+            fits_cores = allow_oversubscription or record.free_cores >= cores
+            if fits_cores and record.free_memory >= memory_bytes:
+                self.rr_index = (rr + step + 1) % size
+                return record
+        return None
+
+
+class SoACapacity:
+    """Struct-of-arrays executor capacity with vectorized placement.
+
+    Index ``i`` is the rank of the executor's name in sorted order, so
+    the masked-argmax scan below visits candidates in exactly the order
+    :class:`RoundRobinFirstFit` iterates its sorted name list.
+    """
+
+    __slots__ = ("size", "cores", "memory", "free_cores", "free_memory", "alive", "rr_index")
+
+    def __init__(self, cores_per_executor: np.ndarray, memory_per_executor: np.ndarray) -> None:
+        self.cores = np.asarray(cores_per_executor, dtype=np.int64)
+        self.memory = np.asarray(memory_per_executor, dtype=np.int64)
+        if self.cores.shape != self.memory.shape or self.cores.ndim != 1:
+            raise ValueError("cores and memory must be equal-length 1-D arrays")
+        self.size = int(self.cores.size)
+        self.free_cores = self.cores.copy()
+        self.free_memory = self.memory.copy()
+        self.alive = np.ones(self.size, dtype=bool)
+        self.rr_index = 0
+
+    @classmethod
+    def uniform(cls, executors: int, cores: int, memory_bytes: int) -> "SoACapacity":
+        return cls(
+            np.full(executors, cores, dtype=np.int64),
+            np.full(executors, memory_bytes, dtype=np.int64),
+        )
+
+    def pick(
+        self, cores: int, memory_bytes: int, allow_oversubscription: bool = False
+    ) -> int:
+        """Index of the first fitting alive executor from the cursor, or -1.
+
+        Fast path: the record *at* the cursor usually fits (round robin
+        on an unsaturated pool), three scalar loads decide.  General
+        path: one boolean eligibility vector, then ``argmax`` on the
+        ``[rr:]`` and ``[:rr]`` halves -- numpy's argmax on bools stops
+        at the first True, so this is the vectorized first-fit.
+        """
+        rr = self.rr_index
+        free_cores = self.free_cores
+        free_memory = self.free_memory
+        alive = self.alive
+        if (
+            alive[rr]
+            and free_memory[rr] >= memory_bytes
+            and (allow_oversubscription or free_cores[rr] >= cores)
+        ):
+            self.rr_index = (rr + 1) % self.size
+            return rr
+        ok = alive & (free_memory >= memory_bytes)
+        if not allow_oversubscription:
+            ok &= free_cores >= cores
+        tail = ok[rr:]
+        j = int(np.argmax(tail))
+        if tail[j]:
+            picked = rr + j
+        else:
+            head = ok[:rr]
+            j = int(np.argmax(head)) if rr else 0
+            if not (rr and head[j]):
+                return -1
+            picked = j
+        self.rr_index = (picked + 1) % self.size
+        return picked
+
+    # -- state transitions mirrored from the RPC manager ------------------
+
+    def grant(self, index: int, cores: int, memory_bytes: int) -> None:
+        self.free_cores[index] -= cores
+        self.free_memory[index] -= memory_bytes
+
+    def reclaim(self, index: int, cores: int, memory_bytes: int) -> None:
+        self.free_cores[index] += cores
+        self.free_memory[index] += memory_bytes
+
+    def kill(self, index: int) -> None:
+        """Mark dead.  Capacity stays decremented, exactly like
+        ``ResourceManager._declare_dead`` (which clears the lease list
+        without returning capacity -- the node is gone)."""
+        self.alive[index] = False
+
+    def revive(self, index: int) -> None:
+        """Node back with full capacity (its leases all terminated)."""
+        self.alive[index] = True
+        self.free_cores[index] = self.cores[index]
+        self.free_memory[index] = self.memory[index]

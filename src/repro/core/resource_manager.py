@@ -12,13 +12,20 @@ the client library round-robins across them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.core.billing import BillingDatabase
 from repro.core.config import RFaaSConfig
 from repro.core.leases import Lease, LeaseState
+from repro.core.placement import RoundRobinFirstFit
 from repro.core.rpc import RpcConnection, rpc_connect, rpc_listen
 from repro.sim.events import AnyOf
+
+#: Lease-id namespaces of replicated managers are spaced this far
+#: apart, so ids stay unique across a deployment without any shared
+#: counter (managers are independent by design, Sec. III-D).
+LEASE_NAMESPACE_STRIDE = 1 << 40
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rdma.device import NIC
@@ -53,6 +60,7 @@ class ResourceManager:
         config: Optional[RFaaSConfig] = None,
         port: int = MANAGER_PORT,
         name: Optional[str] = None,
+        lease_namespace: int = 0,
     ) -> None:
         self.nic = nic
         self.env: "Environment" = nic.env
@@ -61,8 +69,16 @@ class ResourceManager:
         self.name = name or f"manager-{nic.name}"
         self.billing = BillingDatabase(nic)
         self.executors: dict[str, ExecutorRecord] = {}
-        self._rr_index = 0
+        self.placement = RoundRobinFirstFit()
+        #: Manager-local lease ids: deterministic across repeated runs
+        #: in one process (the module-global counter they replace made
+        #: back-to-back runs fingerprint differently), unique across
+        #: replicated managers via disjoint namespaces.
+        self._lease_ids = count(lease_namespace * LEASE_NAMESPACE_STRIDE + 1)
         self.leases: dict[int, Lease] = {}
+        #: lease id -> hosting record, so release is O(1) instead of a
+        #: scan over every executor's lease list.
+        self._lease_records: dict[int, ExecutorRecord] = {}
         #: client name -> RpcConnection, for termination announcements.
         self._client_conns: dict[str, RpcConnection] = {}
         self.alive = True
@@ -95,20 +111,63 @@ class ResourceManager:
 
     # -- executor registration & heartbeats ------------------------------------
 
+    @property
+    def _rr_index(self) -> int:
+        return self.placement.rr_index
+
+    @_rr_index.setter
+    def _rr_index(self, value: int) -> None:
+        self.placement.rr_index = value
+
     def _do_register(self, message: Any, connection: RpcConnection):
-        record = ExecutorRecord(
+        record = self.register_record(
             name=message["name"],
             host=message["host"],
             port=message["port"],
             cores=message["cores"],
             memory_bytes=message["memory_bytes"],
-            free_cores=message["cores"],
-            free_memory=message["memory_bytes"],
         )
-        self.executors[record.name] = record
         # Connect back for heartbeats (manager -> executor pings).
         yield from self._connect_executor(record)
         return {"type": "registered", "manager": self.name}
+
+    def register_record(
+        self, name: str, host: str, port: int, cores: int, memory_bytes: int
+    ) -> ExecutorRecord:
+        """Adopt an executor without the RPC handshake.
+
+        Scale harnesses (``repro.experiments.control``) register
+        thousands of executors this way; ``conn`` stays ``None`` so the
+        heartbeat loop skips them and churn is driven explicitly.
+        """
+        record = ExecutorRecord(
+            name=name,
+            host=host,
+            port=port,
+            cores=cores,
+            memory_bytes=memory_bytes,
+            free_cores=cores,
+            free_memory=memory_bytes,
+        )
+        self.executors[name] = record
+        self.placement.invalidate()
+        return record
+
+    def revive_executor(self, name: str) -> ExecutorRecord:
+        """A previously dead executor is back, at full capacity.
+
+        Its leases were all terminated at death (``_declare_dead``
+        cleared them without returning capacity), so the free counters
+        reset to the full envelope.
+        """
+        record = self.executors[name]
+        if record.alive:
+            raise ValueError(f"executor {name} is already alive")
+        record.alive = True
+        record.missed_heartbeats = 0
+        record.free_cores = record.cores
+        record.free_memory = record.memory_bytes
+        return record
 
     def _connect_executor(self, record: ExecutorRecord):
         record.conn = yield from rpc_connect(self.nic, record.host, record.port)
@@ -157,6 +216,7 @@ class ResourceManager:
             if lease.state is LeaseState.ACTIVE:
                 lease.terminate()
                 self.leases.pop(lease.lease_id, None)
+                self._lease_records.pop(lease.lease_id, None)
                 client_conn = self._client_conns.get(lease.client)
                 if client_conn is not None and client_conn.alive:
                     client_conn.notify(
@@ -172,9 +232,18 @@ class ResourceManager:
 
     def _do_lease(self, message: Any, connection: RpcConnection):
         """Grant a lease: the only centralized step in rFaaS."""
+        yield self.env.timeout(self.config.timings.manager_decision_ns)
+        return self.grant_lease(message, connection)
+
+    def grant_lease(self, message: Any, connection: RpcConnection):
+        """The decision itself, after the manager's processing delay.
+
+        Synchronous so harnesses that model the decision delay
+        themselves (the control-plane reference driver) can call the
+        real placement/billing/lease path directly.
+        """
         env = self.env
         cfg = self.config
-        yield env.timeout(cfg.timings.manager_decision_ns)
         client = message["client"]
         self._client_conns[client] = connection
         cores = int(message["cores"])
@@ -187,6 +256,7 @@ class ResourceManager:
 
         billing_addr, billing_rkey = self.billing.open_account(client)
         lease = Lease(
+            lease_id=next(self._lease_ids),
             client=client,
             executor_host=record.host,
             executor_port=record.port,
@@ -202,6 +272,7 @@ class ResourceManager:
         record.free_memory -= memory_bytes
         record.leases.append(lease)
         self.leases[lease.lease_id] = lease
+        self._lease_records[lease.lease_id] = record
         env.process(self._expire_later(lease, record), name=f"lease{lease.lease_id}-expiry")
         from repro.core.leases import sign_lease
 
@@ -222,19 +293,15 @@ class ResourceManager:
         }
 
     def _pick_executor(self, cores: int, memory_bytes: int) -> Optional[ExecutorRecord]:
-        """Round-robin over executors with capacity (Sec. III-D)."""
-        names = sorted(self.executors)
-        if not names:
-            return None
-        for step in range(len(names)):
-            record = self.executors[names[(self._rr_index + step) % len(names)]]
-            if not record.alive:
-                continue
-            fits_cores = self.config.allow_oversubscription or record.free_cores >= cores
-            if fits_cores and record.free_memory >= memory_bytes:
-                self._rr_index = (self._rr_index + step + 1) % len(names)
-                return record
-        return None
+        """Round-robin over executors with capacity (Sec. III-D).
+
+        Delegates to the pluggable policy; pick order and cursor
+        movement are pinned by ``tests/core/test_placement.py`` so the
+        vectorized control-plane kernel has an exact contract to match.
+        """
+        return self.placement.pick(
+            self.executors, cores, memory_bytes, self.config.allow_oversubscription
+        )
 
     def _expire_later(self, lease: Lease, record: ExecutorRecord):
         # Renewals push expiry_ns forward; keep sleeping until a check
@@ -276,15 +343,15 @@ class ResourceManager:
         if lease is None:
             return {"error": "unknown lease"}
         lease.release()
-        for record in self.executors.values():
-            if lease in record.leases:
-                self._return_capacity(record, lease)
-                break
+        record = self._lease_records.get(lease.lease_id)
+        if record is not None:
+            self._return_capacity(record, lease)
         return {"type": "lease_released", "lease_id": lease.lease_id}
 
     def _return_capacity(self, record: ExecutorRecord, lease: Lease) -> None:
         if lease in record.leases:
             record.leases.remove(lease)
+            self._lease_records.pop(lease.lease_id, None)
             record.free_cores += lease.cores
             record.free_memory += lease.memory_bytes
 

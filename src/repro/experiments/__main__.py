@@ -16,6 +16,8 @@ Usage::
     python -m repro.experiments scale --arrival-shape diurnal --quick
     python -m repro.experiments scale --granularity-bits 16 --admission per-event
     python -m repro.experiments bench --ten-million --json BENCH_PR6.json --label pr6
+    python -m repro.experiments control --quick --verify
+    python -m repro.experiments control --driver reference --no-churn
 
 ``--parallel N`` fans independent work out across N worker processes
 via :mod:`repro.parallel` (``auto`` or ``0`` = one per usable CPU,
@@ -63,13 +65,18 @@ from repro.parallel import FailedPoint, RunSpec, run_specs
 
 
 def _batch_specs(
-    targets: list[str], quick: bool, scale_overrides: dict | None = None
+    targets: list[str],
+    quick: bool,
+    scale_overrides: dict | None = None,
+    control_overrides: dict | None = None,
 ) -> list[RunSpec]:
     specs = []
     for index, target in enumerate(targets):
         kwargs: dict = {"experiment_id": target, "quick": quick}
         if target == "scale" and scale_overrides:
             kwargs.update(scale_overrides)
+        if target == "control" and control_overrides:
+            kwargs.update(control_overrides)
         specs.append(
             RunSpec(
                 factory="repro.experiments.registry:run_experiment_timed",
@@ -243,6 +250,27 @@ def main(argv: list[str] | None = None) -> int:
         "poisson path only)",
     )
     parser.add_argument(
+        "--driver",
+        choices=("kernel", "reference"),
+        default="kernel",
+        help="for 'control': lease-brokering driver -- 'kernel' (default) "
+        "is the vectorized struct-of-arrays fast path, 'reference' the "
+        "per-event ResourceManager RPC replay",
+    )
+    parser.add_argument(
+        "--churn",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="for 'control': executor churn (deaths/revivals) on "
+        "(default) or off (--no-churn)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="for 'control': also run the other driver and fail unless "
+        "the fingerprints agree (implied by --quick)",
+    )
+    parser.add_argument(
         "--ten-million",
         action="store_true",
         help="for 'bench': also run the 10^7-invocation single-shard "
@@ -375,6 +403,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.profile is not None:
         scale_overrides["profile"] = args.profile
 
+    control_overrides: dict = {}
+    if args.driver != "kernel":
+        control_overrides["driver"] = args.driver
+    if not args.churn:
+        control_overrides["churn"] = False
+    if args.verify:
+        control_overrides["verify"] = True
+
     cache = _open_cache(args) if args.cache else None
     outer_workers = args.parallel
     if scale_overrides and not batch:
@@ -388,7 +424,9 @@ def main(argv: list[str] | None = None) -> int:
         outer_workers = 1
     batch_started = time.perf_counter()
     outcomes = run_specs(
-        _batch_specs(targets, args.quick, scale_overrides), outer_workers, cache=cache
+        _batch_specs(targets, args.quick, scale_overrides, control_overrides),
+        outer_workers,
+        cache=cache,
     )
     batch_wall = time.perf_counter() - batch_started
 

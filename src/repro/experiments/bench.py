@@ -189,6 +189,92 @@ def _scale_once(
     }
 
 
+def _control_once(driver: str, quick: bool = False, overrides: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+    """One control-plane run (see :mod:`repro.experiments.control`).
+
+    Module-level so ``run_specs`` can fork it: each driver runs in a
+    fresh process, making ``peak_rss_bytes`` attributable to that
+    driver.  The manager gauges (grants, renewals, steals, dead nodes,
+    peak active leases) ride along via :mod:`repro.perf` so every
+    control BENCH entry records them.
+    """
+    from repro.experiments.control import QUICK_KWARGS, run_control
+
+    kwargs: dict[str, Any] = {}
+    if quick:
+        kwargs.update(QUICK_KWARGS)
+        kwargs.pop("verify", None)  # bit-identity is asserted by the bench itself
+    if overrides:
+        kwargs.update(overrides)
+    perf.reset()
+    perf.enable()
+    try:
+        result = run_control(driver=driver, **kwargs)
+    finally:
+        perf.disable()
+    counters = perf.snapshot()
+    return {
+        "wall_s": result.wall_s,
+        "executors": result.executors,
+        "requests": result.requests,
+        "lease_events": result.lease_events,
+        "lease_events_per_sec": round(result.lease_events_per_sec),
+        "grants_per_sec": round(result.grants_per_sec),
+        "events_processed": result.events_processed,
+        "peak_rss_bytes": result.peak_rss_bytes,
+        "gauges": {
+            "leases_active_peak": counters["leases_active_peak"],
+            "grants": counters["lease_grants"],
+            "renewals": counters["lease_renewals"],
+            "steals": counters["lease_steals"],
+            "dead_nodes": counters["dead_nodes"],
+        },
+        "fingerprint": result.fingerprint(),
+    }
+
+
+def bench_control(
+    quick: bool = False, overrides: Optional[dict[str, Any]] = None
+) -> dict[str, Any]:
+    """Both control-plane drivers on the same calendar, forked apart.
+
+    The per-event ResourceManager replay is the referee; the
+    struct-of-arrays kernel is the engine under test.  Fingerprints
+    must agree (``bit_identical``, churn included unless overridden
+    off); the headline is ``speedup`` (reference wall / kernel wall)
+    and ``grants_per_sec``, with ``rss_ok`` guarding that the kernel's
+    footprint stays at or below the referee's.
+    """
+    runs: dict[str, dict[str, Any]] = {}
+    for driver in ("reference", "kernel"):
+        spec = RunSpec(
+            factory="repro.experiments.bench:_control_once",
+            kwargs={"driver": driver, "quick": quick, "overrides": dict(overrides or {})},
+            label=f"control[{driver}]",
+        )
+        (outcome,) = run_specs([spec], 2)
+        if isinstance(outcome, FailedPoint):
+            raise RuntimeError(f"control bench failed: {outcome.summary()}")
+        runs[driver] = outcome
+    reference, kernel = runs["reference"], runs["kernel"]
+    return {
+        "reference": reference,
+        "kernel": kernel,
+        "executors": kernel["executors"],
+        "requests": kernel["requests"],
+        "lease_events": kernel["lease_events"],
+        "lease_events_per_sec": kernel["lease_events_per_sec"],
+        "grants_per_sec": kernel["grants_per_sec"],
+        "peak_rss_bytes": max(r["peak_rss_bytes"] for r in runs.values()),
+        "gauges": kernel["gauges"],
+        "speedup": (
+            reference["wall_s"] / kernel["wall_s"] if kernel["wall_s"] else 0.0
+        ),
+        "rss_ok": kernel["peak_rss_bytes"] <= reference["peak_rss_bytes"],
+        "bit_identical": reference["fingerprint"] == kernel["fingerprint"],
+    }
+
+
 def _occupancy_gauges(occupancy: dict[str, Any]) -> dict[str, int]:
     """The occupancy facts every scale BENCH entry must record."""
     return {
@@ -586,6 +672,7 @@ def run_bench(
         results["parallel_batch"] = bench_parallel_batch(parallel)
     results["cache_batch"] = bench_cache_batch()
     results["scale_openloop"] = bench_scale(quick)
+    results["control_plane"] = bench_control(quick)
     if shards > 1:
         results["scale_sharded"] = bench_scale_sharded(
             quick, shards=shards, parallel=parallel,
@@ -717,6 +804,29 @@ def check_regression(
             "baseline, beyond the allowed "
             f"{1.0 + float(current_10m.get('max_rss_growth', 0.0)):.2f}x"
         )
+    # The control-plane kernel's whole claim is brokering leases faster
+    # than the per-event referee: guard its grant throughput like the
+    # DES kernel's events/sec, and fail outright if the drivers stopped
+    # agreeing (a wrong fast answer is not a perf win).  Baselines
+    # recorded before the control bench existed lack the key and skip.
+    base_control = entry.get("control_plane")
+    current_control = results.get("control_plane")
+    if isinstance(current_control, dict) and current_control.get("bit_identical") is False:
+        problems.append(
+            "control_plane: kernel and reference driver fingerprints diverged"
+        )
+    if isinstance(base_control, dict) and isinstance(current_control, dict):
+        try:
+            base_rate = float(base_control["grants_per_sec"])
+            current_rate = float(current_control["grants_per_sec"])
+        except (KeyError, TypeError, ValueError):
+            base_rate = current_rate = 0.0
+        if base_rate and current_rate < base_rate * (1.0 - max_regression):
+            problems.append(
+                f"control_plane.grants_per_sec {current_rate:,.0f} is "
+                f"{1 - current_rate / base_rate:.1%} below baseline {label!r} "
+                f"({base_rate:,.0f}; allowed drop {max_regression:.0%})"
+            )
     # Sharded throughput is only comparable between identical
     # decompositions: a 2-shard and a 4-shard run simulate different
     # per-environment workloads, so mismatched shard counts (or a
@@ -836,6 +946,24 @@ def show(results: dict[str, Any]) -> None:
                 rss_ratio=stress["rss_ratio_vs_heap"],
                 guard="ok" if stress["within_rss_guard"] else "BREACHED",
                 bit_identical=stress["bit_identical"],
+            )
+        )
+    control = results.get("control_plane")
+    if control:
+        print(
+            "control_plane: {lease_events:,} lease events / {executors:,} executors  "
+            "reference {ref_s:.1f}s -> kernel {kernel_s:.1f}s  ({speedup:.2f}x, "
+            "{grants_per_sec:,} grants/s, peak {peak:,} active leases, "
+            "bit_identical={bit_identical}, rss_ok={rss_ok})".format(
+                lease_events=control["lease_events"],
+                executors=control["executors"],
+                ref_s=control["reference"]["wall_s"],
+                kernel_s=control["kernel"]["wall_s"],
+                speedup=control["speedup"],
+                grants_per_sec=control["grants_per_sec"],
+                peak=control["gauges"]["leases_active_peak"],
+                bit_identical=control["bit_identical"],
+                rss_ok=control["rss_ok"],
             )
         )
     sharded = results.get("scale_sharded")

@@ -12,6 +12,8 @@ from typing import Any, Callable
 
 from repro.experiments.billing import run_billing
 from repro.experiments.concurrency import run_concurrency
+from repro.experiments.control import QUICK_KWARGS as CONTROL_QUICK_KWARGS
+from repro.experiments.control import run_control
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig8 import run_fig8
@@ -127,6 +129,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "(shardable across cores: --shards K)",
             run_scale,
             dict(SCALE_QUICK_KWARGS),
+        ),
+        Experiment(
+            "control",
+            "Cluster-scale lease brokering under executor churn "
+            "(--driver kernel|reference)",
+            run_control,
+            dict(CONTROL_QUICK_KWARGS),
         ),
     )
 }

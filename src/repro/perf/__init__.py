@@ -46,6 +46,11 @@ class Counters:
         "lane_entries",
         "lane_slabs",
         "lane_rearm_batches",
+        "lease_grants",
+        "lease_renewals",
+        "lease_steals",
+        "dead_nodes",
+        "leases_active_peak",
     )
 
     def __init__(self) -> None:
@@ -85,11 +90,28 @@ class Counters:
         self.lane_slabs = 0
         #: Vectorized lease re-arm passes (one per masked slab).
         self.lane_rearm_batches = 0
+        #: Control-plane leases granted (primary + post-steal re-acquisitions).
+        self.lease_grants = 0
+        #: Control-plane lease renewals processed.
+        self.lease_renewals = 0
+        #: Leases terminated by executor death (steals).
+        self.lease_steals = 0
+        #: Executor deaths applied (churn no-ops excluded).
+        self.dead_nodes = 0
+        #: Peak concurrently active leases -- a gauge, not a total.
+        self.leases_active_peak = 0
 
 
 #: Counters that are sampled gauges (peaks): merged with max, not sum.
 _GAUGES = frozenset(
-    {"wheel_entries", "heap_entries", "lane_entries", "lane_slabs", "lane_rearm_batches"}
+    {
+        "wheel_entries",
+        "heap_entries",
+        "lane_entries",
+        "lane_slabs",
+        "lane_rearm_batches",
+        "leases_active_peak",
+    }
 )
 
 

@@ -1,0 +1,85 @@
+"""FIFO replay post-pass (repro.analysis.latency) vs a naive loop."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency import replay_fifo, sojourn_by_kind
+
+
+def naive_fifo(times, kinds, keys, service_ns):
+    rows = sorted(zip(times, kinds, keys))
+    done, free_at = [], 0
+    for t, kind, _key in rows:
+        start = max(t, free_at)
+        free_at = start + service_ns[kind]
+        done.append(free_at)
+    return rows, done
+
+
+def random_log(rng, n=500, kind_count=4):
+    times = np.sort(rng.integers(0, 10_000, size=n)).astype(np.int64)
+    kinds = rng.integers(0, kind_count, size=n).astype(np.int64)
+    # Unique (time, kind, key) triples via distinct keys.
+    keys = rng.permutation(n).astype(np.int64)
+    return times, kinds, keys
+
+
+def test_matches_naive_loop():
+    rng = np.random.default_rng(11)
+    service = np.array([100, 5, 70, 2000], dtype=np.int64)
+    times, kinds, keys = random_log(rng)
+    order, done = replay_fifo(times, kinds, keys, service)
+    _rows, naive_done = naive_fifo(times.tolist(), kinds.tolist(), keys.tolist(), service)
+    assert done.tolist() == naive_done
+    # Canonical order is (time, kind, key) lexicographic.
+    triples = list(zip(times[order], kinds[order], keys[order]))
+    assert triples == sorted(triples)
+
+
+def test_idle_server_serves_at_arrival():
+    times = np.array([0, 1_000_000], dtype=np.int64)
+    kinds = np.array([0, 0], dtype=np.int64)
+    keys = np.array([0, 1], dtype=np.int64)
+    service = np.array([10], dtype=np.int64)
+    _order, done = replay_fifo(times, kinds, keys, service)
+    assert done.tolist() == [10, 1_000_010]
+
+
+def test_burst_queues_behind_in_flight():
+    times = np.zeros(5, dtype=np.int64)
+    kinds = np.zeros(5, dtype=np.int64)
+    keys = np.arange(5, dtype=np.int64)
+    service = np.array([7], dtype=np.int64)
+    _order, done = replay_fifo(times, kinds, keys, service)
+    assert done.tolist() == [7, 14, 21, 28, 35]
+
+
+def test_sojourn_by_kind_partitions_all_rows():
+    rng = np.random.default_rng(5)
+    service = np.array([100, 5, 70, 2000], dtype=np.int64)
+    times, kinds, keys = random_log(rng, n=300)
+    per_kind = sojourn_by_kind(times, kinds, keys, service, 4)
+    assert sum(len(p) for p in per_kind) == 300
+    for kind, part in enumerate(per_kind):
+        assert len(part) == int(np.count_nonzero(kinds == kind))
+        # Sojourn is at least the service time.
+        if part.size:
+            assert part.min() >= service[kind]
+
+
+def test_empty_log():
+    empty = np.empty(0, dtype=np.int64)
+    order, done = replay_fifo(empty, empty, empty, np.array([1], dtype=np.int64))
+    assert order.size == 0 and done.size == 0
+    parts = sojourn_by_kind(empty, empty, empty, np.array([1], dtype=np.int64), 3)
+    assert [p.size for p in parts] == [0, 0, 0]
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        replay_fifo(
+            np.array([1, 2], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+        )

@@ -1,0 +1,55 @@
+"""Churn-stream calendar properties (repro.cluster.churn)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.churn import ChurnStream, churn_stream
+
+
+def stream(deaths=50, seed=3, **kwargs):
+    rng = np.random.default_rng(seed)
+    defaults = dict(executors=64, horizon_ns=10_000_000, downtime_ns=50_004)
+    defaults.update(kwargs)
+    return churn_stream(rng, deaths, **defaults)
+
+
+def test_deterministic_for_same_seed():
+    a, b = stream(), stream()
+    assert np.array_equal(a.death_times_ns, b.death_times_ns)
+    assert np.array_equal(a.victims, b.victims)
+
+
+def test_death_times_on_residue_and_strictly_increasing():
+    s = stream(deaths=200)
+    assert np.all(s.death_times_ns % 16 == 4)
+    gaps = np.diff(s.death_times_ns)
+    assert np.all(gaps >= 16)
+
+
+def test_custom_residue_grid():
+    s = stream(deaths=40, quantum=8, death_residue=3)
+    assert np.all(s.death_times_ns % 8 == 3)
+    assert np.all(np.diff(s.death_times_ns) >= 8)
+
+
+def test_victims_in_range_and_len():
+    s = stream(deaths=100, executors=7)
+    assert len(s) == 100
+    assert s.victims.min() >= 0 and s.victims.max() < 7
+
+
+def test_zero_deaths_is_empty():
+    s = stream(deaths=0)
+    assert len(s) == 0
+    assert s.death_times_ns.size == 0 and s.victims.size == 0
+    assert isinstance(s, ChurnStream)
+
+
+def test_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        churn_stream(rng, -1, 4, 1000, 16)
+    with pytest.raises(ValueError):
+        churn_stream(rng, 1, 0, 1000, 16)
+    with pytest.raises(ValueError):
+        churn_stream(rng, 1, 4, 1000, 16, quantum=16, death_residue=16)

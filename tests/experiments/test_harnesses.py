@@ -26,6 +26,7 @@ def test_registry_complete():
         "warmpool",
         "suite",
         "scale",
+        "control",
     }
     assert set(EXPERIMENTS) == expected
     for experiment in EXPERIMENTS.values():
