@@ -85,6 +85,24 @@ MICROVM = SandboxProfile(
     teardown_ns=ms(20),
 )
 
+#: A MITOSIS-style RDMA remote fork ("No Provisioned Concurrency"):
+#: the parent's address space is mapped over one-sided RDMA reads, so
+#: a new executor materializes in ~1 ms with a small per-worker cost
+#: (queue-pair setup + page-table registration), collapsing the
+#: warm-vs-cold tradeoff the heavier profiles above embody.
+REMOTE_FORK = SandboxProfile(
+    name="remote-fork",
+    spawn_base_ns=us(900),
+    spawn_per_worker_ns=us(100),
+    hot_penalty_ns=0,
+    warm_penalty_ns=100,
+    teardown_ns=us(200),
+    # Pool path: re-attaching to an already-forked generic executor is
+    # cheaper still -- a lease grant plus QP re-registration.
+    pool_attach_ns=us(500),
+    pool_per_worker_ns=us(50),
+)
+
 SANDBOX_PROFILES: dict[str, SandboxProfile] = {
-    profile.name: profile for profile in (BARE_METAL, DOCKER, MICROVM)
+    profile.name: profile for profile in (BARE_METAL, DOCKER, MICROVM, REMOTE_FORK)
 }

@@ -60,6 +60,7 @@ import sys
 import time
 
 from repro.analysis.reporting import Table
+from repro.core.sandbox import SANDBOX_PROFILES
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment_timed
 from repro.parallel import FailedPoint, RunSpec, run_specs
 
@@ -69,6 +70,7 @@ def _batch_specs(
     quick: bool,
     scale_overrides: dict | None = None,
     control_overrides: dict | None = None,
+    coldstart_overrides: dict | None = None,
 ) -> list[RunSpec]:
     specs = []
     for index, target in enumerate(targets):
@@ -77,6 +79,8 @@ def _batch_specs(
             kwargs.update(scale_overrides)
         if target == "control" and control_overrides:
             kwargs.update(control_overrides)
+        if target == "coldstart" and coldstart_overrides:
+            kwargs.update(coldstart_overrides)
         specs.append(
             RunSpec(
                 factory="repro.experiments.registry:run_experiment_timed",
@@ -244,10 +248,44 @@ def main(argv: list[str] | None = None) -> int:
         const=True,
         default=None,
         metavar="FILE",
-        help="for 'scale': wrap the drive loop in cProfile and print "
-        "the top-25 cumulative entries; with FILE, also dump pstats "
-        "to FILE and the text report to FILE.txt (single-shard "
-        "poisson path only)",
+        help="for 'scale' (any --pool-policy): wrap the drive loop in "
+        "cProfile and print the top-25 cumulative entries; with FILE, "
+        "also dump pstats to FILE and the text report to FILE.txt "
+        "(single-shard poisson path only; other paths refuse with a "
+        "pointer instead of silently ignoring the flag)",
+    )
+    parser.add_argument(
+        "--pool-policy",
+        choices=("queue", "cold", "hybrid"),
+        default=None,
+        help="for 'scale'/'coldstart': what a dry-pool arrival does -- "
+        "'queue' waits FIFO (scale default), 'cold' spins a sandbox up, "
+        "'hybrid' queues until the backlog hits --hybrid-threshold "
+        "(coldstart default: cold)",
+    )
+    parser.add_argument(
+        "--start-model",
+        choices=tuple(sorted(SANDBOX_PROFILES)),
+        default=None,
+        help="for 'scale'/'coldstart': sandbox profile priced for cold "
+        "spin-ups (remote-fork ~1 ms, microvm ~125 ms, bare-metal "
+        "~20 ms, docker ~2.7 s)",
+    )
+    parser.add_argument(
+        "--keepalive-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="for 'scale'/'coldstart': idle-reclaim keepalive for "
+        "cold-started executors in milliseconds (0 = keep forever)",
+    )
+    parser.add_argument(
+        "--hybrid-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="for 'scale'/'coldstart': backlog depth at which the "
+        "'hybrid' policy stops queueing and goes cold (default 64)",
     )
     parser.add_argument(
         "--driver",
@@ -402,6 +440,30 @@ def main(argv: list[str] | None = None) -> int:
         scale_overrides["lease_lane"] = args.lease_lane
     if args.profile is not None:
         scale_overrides["profile"] = args.profile
+    if args.pool_policy is not None:
+        scale_overrides["pool_policy"] = args.pool_policy
+    if args.start_model is not None:
+        scale_overrides["start_model"] = args.start_model
+    if args.keepalive_ms is not None:
+        scale_overrides["keepalive_ns"] = args.keepalive_ms * 1_000_000
+    if args.hybrid_threshold is not None:
+        scale_overrides["hybrid_threshold"] = args.hybrid_threshold
+
+    coldstart_overrides: dict = {}
+    if args.pool_policy is not None:
+        coldstart_overrides["pool_policy"] = args.pool_policy
+    if args.start_model is not None:
+        coldstart_overrides["start_models"] = (args.start_model,)
+    if args.keepalive_ms is not None:
+        coldstart_overrides["keepalive_ns"] = args.keepalive_ms * 1_000_000
+    if args.hybrid_threshold is not None:
+        coldstart_overrides["hybrid_threshold"] = args.hybrid_threshold
+    if args.arrival_shape != "poisson":
+        coldstart_overrides["arrival_shapes"] = (args.arrival_shape,)
+    if args.profile is not None:
+        # run_coldstart refuses the flag with a pointer at the
+        # single-run path rather than silently ignoring it.
+        coldstart_overrides["profile"] = args.profile
 
     control_overrides: dict = {}
     if args.driver != "kernel":
@@ -424,7 +486,7 @@ def main(argv: list[str] | None = None) -> int:
         outer_workers = 1
     batch_started = time.perf_counter()
     outcomes = run_specs(
-        _batch_specs(targets, args.quick, scale_overrides, control_overrides),
+        _batch_specs(targets, args.quick, scale_overrides, control_overrides, coldstart_overrides),
         outer_workers,
         cache=cache,
     )

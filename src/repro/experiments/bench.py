@@ -177,6 +177,7 @@ def _scale_once(
     return {
         "wall_s": result.wall_s,
         "invocations": result.invocations,
+        "workers": result.workers,
         "events_processed": result.events_processed,
         "events_per_sec": round(result.events_per_sec),
         "peak_rss_bytes": result.peak_rss_bytes,
@@ -426,6 +427,236 @@ def bench_scale(quick: bool = False) -> dict[str, Any]:
     return record
 
 
+#: The policies the coldstart bench compares on one saturated scenario.
+#: "queue" proves the default path stayed byte-identical with the cold
+#: machinery compiled in; "cold" and "hybrid" exercise the dry-pool
+#: spin-up path (and, with keepalive on, the idle-reclaim path).
+_COLD_POLICIES = ("queue", "cold", "hybrid")
+
+#: Shared cold scenario knobs: the MITOSIS-style remote-fork start
+#: model (~1 ms spawn), idle-reclaim off -- the commuting regime where
+#: the cold lane runs its whole-backlog slab kernel (the headline
+#: speedup).  The reclaim path is covered by a secondary record at a
+#: short keepalive (see ``bench_coldstart``).
+_COLD_SCENARIO = {
+    "start_model": "remote-fork",
+    "keepalive_ns": 0,
+    "hybrid_threshold": 64,
+}
+
+#: Secondary scenario: a short keepalive so reclaim expiries both
+#: succeed and lose races -- exercises the strict-interleave kernel.
+_COLD_RECLAIM_KEEPALIVE_NS = 5_000_000
+
+
+def bench_coldstart(
+    quick: bool = False,
+    overrides: Optional[dict[str, Any]] = None,
+    spectrum: bool = True,
+) -> dict[str, Any]:
+    """The cold-start engine: three engines x three pool policies.
+
+    Per policy this is the same forked three-way as :func:`bench_scale`
+    (per-event heap referee, batch lane-off, cold-lane wheel) with the
+    dry-pool cold-start path enabled; fingerprints must agree across
+    all nine runs (``bit_identical``).  The headline ``speedup`` is the
+    heap referee over the cold-lane wheel *under the cold policy* --
+    the engine the tentpole adds -- and ``rss_ratio_vs_heap`` guards
+    that the cold lane does not buy speed with footprint.
+
+    ``spectrum`` additionally folds in the :mod:`coldstart` experiment
+    sweep (pool size x start model x arrival shape) so the trajectory
+    file records cold fraction, p99 sojourn and executor-seconds per
+    spectrum point, not just engine wall clocks.
+
+    The headline scenario runs with keepalive 0 (the commuting slab
+    kernel); a secondary ``reclaim`` record re-runs the cold policy at
+    a short keepalive to cover the strict-interleave kernel -- its
+    guard is bit-identity plus live reclaim traffic, not the 3x bound
+    (reclaims force scalar interleaving by construction).
+    """
+    from repro.experiments.coldstart import QUICK_KWARGS as COLD_QUICK
+    from repro.experiments.coldstart import executor_seconds, run_coldstart
+
+    policies: dict[str, dict[str, Any]] = {}
+    for policy in _COLD_POLICIES:
+        scenario = dict(_COLD_SCENARIO)
+        scenario["pool_policy"] = policy
+        if not quick:
+            # The paper-scale default pool (2^20 slots) exceeds the
+            # 10^6 total arrivals, so it can never run dry; the cold
+            # bench needs a pool that saturates (the mid spectrum
+            # point), or all nine runs measure the queue path.
+            scenario["workers"] = 1 << 14
+        if overrides:
+            scenario.update(overrides)
+        runs = _scale_three_way(f"coldstart[{policy}]", quick=quick, overrides=scenario)
+        heap, nolane, wheel = runs["heap"], runs["wheel_nolane"], runs["wheel"]
+        fp = wheel["fingerprint"]
+        policies[policy] = {
+            "heap": heap,
+            "wheel_nolane": nolane,
+            "wheel": wheel,
+            "speedup": heap["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
+            "lane_speedup": (
+                nolane["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0
+            ),
+            "rss_ratio_vs_heap": (
+                wheel["peak_rss_bytes"] / heap["peak_rss_bytes"]
+                if heap["peak_rss_bytes"]
+                else 0.0
+            ),
+            "bit_identical": (
+                heap["fingerprint"] == wheel["fingerprint"]
+                and nolane["fingerprint"] == wheel["fingerprint"]
+            ),
+            "cold_starts": fp["cold_starts"],
+            "cold_fraction": fp["cold_starts"] / max(1, fp["completed"]),
+            "cold_reclaimed": fp["cold_reclaimed"],
+            "cold_retained": fp["cold_retained"],
+            "p99_ns": fp["latency_p99_ns"],
+            "executor_seconds": executor_seconds(
+                wheel["workers"],
+                fp["final_now_ns"],
+                fp["cold_busy_ns"],
+                fp["cold_reclaimed"],
+                scenario["keepalive_ns"],
+            ),
+        }
+    cold = policies["cold"]
+    record: dict[str, Any] = {
+        "policies": policies,
+        "start_model": _COLD_SCENARIO["start_model"],
+        "keepalive_ns": _COLD_SCENARIO["keepalive_ns"],
+        "invocations": cold["wheel"]["invocations"],
+        "speedup": cold["speedup"],
+        "lane_speedup": cold["lane_speedup"],
+        "rss_ratio_vs_heap": cold["rss_ratio_vs_heap"],
+        "cold_fraction": cold["cold_fraction"],
+        "p99_ns": cold["p99_ns"],
+        "executor_seconds": cold["executor_seconds"],
+        "bit_identical": all(p["bit_identical"] for p in policies.values()),
+        "peak_rss_bytes": max(
+            r["peak_rss_bytes"]
+            for p in policies.values()
+            for r in (p["heap"], p["wheel_nolane"], p["wheel"])
+        ),
+    }
+    occupancy = cold["wheel"]["occupancy"]
+    record.update(
+        {
+            "cold_entries_peak": int(occupancy.get("cold_entries_peak", 0)),
+            "cold_slabs": int(occupancy.get("cold_slabs", 0)),
+            "cold_max_slab": int(occupancy.get("cold_max_slab", 0)),
+            "cold_scalar_fires": int(occupancy.get("cold_scalar_fires", 0)),
+            "cold_spinups": int(occupancy.get("cold_spinups", 0)),
+            "cold_reclaim_fires": int(occupancy.get("cold_reclaim_fires", 0)),
+        }
+    )
+    # Secondary record: idle-reclaim on (strict-interleave kernel).
+    reclaim_scenario = dict(_COLD_SCENARIO)
+    reclaim_scenario["pool_policy"] = "cold"
+    reclaim_scenario["keepalive_ns"] = _COLD_RECLAIM_KEEPALIVE_NS
+    if not quick:
+        reclaim_scenario["workers"] = 1 << 14
+    if overrides:
+        reclaim_scenario.update(overrides)
+        reclaim_scenario["keepalive_ns"] = _COLD_RECLAIM_KEEPALIVE_NS
+    reruns = _scale_three_way(
+        "coldstart[reclaim]", quick=quick, overrides=reclaim_scenario
+    )
+    rheap, rwheel = reruns["heap"], reruns["wheel"]
+    rfp = rwheel["fingerprint"]
+    record["reclaim"] = {
+        "keepalive_ns": _COLD_RECLAIM_KEEPALIVE_NS,
+        "speedup": rheap["wall_s"] / rwheel["wall_s"] if rwheel["wall_s"] else 0.0,
+        "bit_identical": (
+            rheap["fingerprint"] == rfp
+            and reruns["wheel_nolane"]["fingerprint"] == rfp
+        ),
+        "cold_starts": rfp["cold_starts"],
+        "cold_reclaimed": rfp["cold_reclaimed"],
+        "cold_retained": rfp["cold_retained"],
+        "wall_s": rwheel["wall_s"],
+    }
+    if spectrum:
+        sweep = run_coldstart(**(dict(COLD_QUICK) if quick else {}))
+        record["spectrum"] = [
+            {
+                "pool_size": p.pool_size,
+                "start_model": p.start_model,
+                "arrival_shape": p.arrival_shape,
+                "cold_starts": p.cold_starts,
+                "cold_fraction": p.cold_fraction,
+                "p95_ns": p.p95_ns,
+                "p99_ns": p.p99_ns,
+                "executor_seconds": p.executor_seconds,
+                "bit_identical": p.bit_identical,
+            }
+            for p in sweep.points
+        ]
+        record["spectrum_wall_s"] = sweep.wall_s
+    return record
+
+
+#: The 10^7-invocation cold-start stress scenario: the saturated pool
+#: depth (not the unsaturated 10^7 scale stress -- a pool that never
+#: runs dry exercises no cold path), so every dry arrival spins up a
+#: remote-fork executor.
+COLD_TEN_MILLION_KWARGS = {
+    "invocations": 10_000_000,
+    "workers": 1 << 16,
+    "mean_arrival_gap_ns": 500,
+}
+
+
+def bench_coldstart_ten_million(max_rss_growth: float = 0.20) -> dict[str, Any]:
+    """10^7 cold-start invocations, cold policy only: the stress run.
+
+    Same three-way shape as :func:`bench_coldstart` for the cold
+    policy; ``within_rss_guard`` asserts the cold-lane engine's peak
+    RSS stays within *max_rss_growth* of the per-event heap referee on
+    the same scenario.
+    """
+    from repro.experiments.coldstart import executor_seconds
+
+    scenario = dict(_COLD_SCENARIO)
+    scenario["pool_policy"] = "cold"
+    scenario.update(COLD_TEN_MILLION_KWARGS)
+    runs = _scale_three_way("coldstart10m", overrides=scenario)
+    heap, nolane, wheel = runs["heap"], runs["wheel_nolane"], runs["wheel"]
+    fp = wheel["fingerprint"]
+    rss_ratio = (
+        wheel["peak_rss_bytes"] / heap["peak_rss_bytes"] if heap["peak_rss_bytes"] else 0.0
+    )
+    return {
+        "heap": heap,
+        "wheel_nolane": nolane,
+        "wheel": wheel,
+        "invocations": wheel["invocations"],
+        "speedup": heap["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
+        "lane_speedup": nolane["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
+        "cold_starts": fp["cold_starts"],
+        "cold_fraction": fp["cold_starts"] / max(1, fp["completed"]),
+        "p99_ns": fp["latency_p99_ns"],
+        "executor_seconds": executor_seconds(
+            wheel["workers"],
+            fp["final_now_ns"],
+            fp["cold_busy_ns"],
+            fp["cold_reclaimed"],
+            scenario["keepalive_ns"],
+        ),
+        "peak_rss_bytes": max(r["peak_rss_bytes"] for r in runs.values()),
+        "bit_identical": (
+            heap["fingerprint"] == wheel["fingerprint"]
+            and nolane["fingerprint"] == wheel["fingerprint"]
+        ),
+        "rss_ratio_vs_heap": rss_ratio,
+        "max_rss_growth": max_rss_growth,
+        "within_rss_guard": bool(rss_ratio <= 1.0 + max_rss_growth),
+    }
+
+
 #: The 10^7-invocation single-shard stress scenario: arrivals come 2x
 #: faster than the paper-scale default but the pool is twice as deep,
 #: so the run stays *unsaturated* (~10^6 in-flight leases at peak, the
@@ -673,6 +904,7 @@ def run_bench(
     results["cache_batch"] = bench_cache_batch()
     results["scale_openloop"] = bench_scale(quick)
     results["control_plane"] = bench_control(quick)
+    results["coldstart"] = bench_coldstart(quick)
     if shards > 1:
         results["scale_sharded"] = bench_scale_sharded(
             quick, shards=shards, parallel=parallel,
@@ -680,6 +912,7 @@ def run_bench(
         )
     if ten_million:
         results["scale_10m"] = bench_scale_ten_million()
+        results["coldstart_10m"] = bench_coldstart_ten_million()
     results["shards"] = shards
     results["workers"] = resolve_workers(parallel)
     results["cpus_available"] = available_workers()
@@ -827,6 +1060,50 @@ def check_regression(
                 f"{1 - current_rate / base_rate:.1%} below baseline {label!r} "
                 f"({base_rate:,.0f}; allowed drop {max_regression:.0%})"
             )
+    # The cold-start engine's correctness guard: a wrong fast answer is
+    # not a perf win, so fingerprint divergence between the cold lane
+    # and the per-event referee fails outright.  The cold-start
+    # *fraction* is guarded too: on the pinned quick scenario it is a
+    # deterministic output, so a fraction ballooning past 4x the
+    # baseline means the warm-pool accounting broke (slots leaking,
+    # reclaim tearing down busy executors) even if every engine still
+    # agrees with every other.  Baselines recorded before the cold
+    # bench existed lack the key and skip both checks.
+    base_cold = entry.get("coldstart")
+    current_cold = results.get("coldstart")
+    if isinstance(current_cold, dict) and current_cold.get("bit_identical") is False:
+        problems.append(
+            "coldstart: cold-lane and per-event referee fingerprints diverged"
+        )
+    if isinstance(current_cold, dict):
+        reclaim = current_cold.get("reclaim")
+        if isinstance(reclaim, dict) and reclaim.get("bit_identical") is False:
+            problems.append(
+                "coldstart.reclaim: strict-interleave kernel diverged from "
+                "the per-event referee under keepalive"
+            )
+    if isinstance(base_cold, dict) and isinstance(current_cold, dict):
+        base_cf = base_cold.get("cold_fraction")
+        current_cf = current_cold.get("cold_fraction")
+        if base_cf and current_cf is not None and float(current_cf) > 4.0 * float(base_cf):
+            problems.append(
+                f"coldstart.cold_fraction {float(current_cf):.4f} is more than 4x "
+                f"baseline {label!r} ({float(base_cf):.4f}) -- warm-pool "
+                "accounting regressed (slots leaking or reclaim misfiring)"
+            )
+    current_cold_10m = results.get("coldstart_10m")
+    if isinstance(current_cold_10m, dict):
+        if current_cold_10m.get("bit_identical") is False:
+            problems.append(
+                "coldstart_10m: cold-lane and per-event referee fingerprints diverged"
+            )
+        if current_cold_10m.get("within_rss_guard") is False:
+            problems.append(
+                "coldstart_10m: cold-lane peak RSS is "
+                f"{current_cold_10m.get('rss_ratio_vs_heap', 0.0):.2f}x the per-event "
+                "heap referee, beyond the allowed "
+                f"{1.0 + float(current_cold_10m.get('max_rss_growth', 0.0)):.2f}x"
+            )
     # Sharded throughput is only comparable between identical
     # decompositions: a 2-shard and a 4-shard run simulate different
     # per-environment workloads, so mismatched shard counts (or a
@@ -964,6 +1241,66 @@ def show(results: dict[str, Any]) -> None:
                 peak=control["gauges"]["leases_active_peak"],
                 bit_identical=control["bit_identical"],
                 rss_ok=control["rss_ok"],
+            )
+        )
+    coldstart = results.get("coldstart")
+    if coldstart:
+        cold = coldstart["policies"]["cold"]
+        print(
+            "coldstart: {invocations:,} invocations (cold policy, {model})  "
+            "heap {heap_s:.1f}s -> cold lane {wheel_s:.1f}s  ({speedup:.2f}x, "
+            "lane {lane_speedup:.2f}x, cold fraction {cold_fraction:.1%}, "
+            "RSS {rss_ratio:.2f}x heap, bit_identical={bit_identical})".format(
+                invocations=coldstart["invocations"],
+                model=coldstart["start_model"],
+                heap_s=cold["heap"]["wall_s"],
+                wheel_s=cold["wheel"]["wall_s"],
+                speedup=coldstart["speedup"],
+                lane_speedup=coldstart["lane_speedup"],
+                cold_fraction=coldstart["cold_fraction"],
+                rss_ratio=coldstart["rss_ratio_vs_heap"],
+                bit_identical=coldstart["bit_identical"],
+            )
+        )
+        reclaim = coldstart.get("reclaim")
+        if reclaim:
+            print(
+                "  reclaim (keepalive {ka_ms:.0f} ms): {speedup:.2f}x vs heap, "
+                "{reclaimed:,} reclaimed / {retained:,} retained, "
+                "bit_identical={bit_identical}".format(
+                    ka_ms=reclaim["keepalive_ns"] / 1e6,
+                    speedup=reclaim["speedup"],
+                    reclaimed=reclaim["cold_reclaimed"],
+                    retained=reclaim["cold_retained"],
+                    bit_identical=reclaim["bit_identical"],
+                )
+            )
+        spectrum = coldstart.get("spectrum")
+        if spectrum:
+            verified = sum(1 for p in spectrum if p.get("bit_identical"))
+            print(
+                "  spectrum: {n} points (pool x start model x arrival shape), "
+                "{verified} heap-verified, {wall:.1f}s wall".format(
+                    n=len(spectrum),
+                    verified=verified,
+                    wall=coldstart.get("spectrum_wall_s", 0.0),
+                )
+            )
+    cold_stress = results.get("coldstart_10m")
+    if cold_stress:
+        print(
+            "coldstart_10m: {invocations:,} invocations  heap {heap_s:.1f}s -> "
+            "cold lane {wheel_s:.1f}s  ({speedup:.2f}x, cold fraction "
+            "{cold_fraction:.1%}, RSS {rss_ratio:.2f}x heap [guard {guard}], "
+            "bit_identical={bit_identical})".format(
+                invocations=cold_stress["invocations"],
+                heap_s=cold_stress["heap"]["wall_s"],
+                wheel_s=cold_stress["wheel"]["wall_s"],
+                speedup=cold_stress["speedup"],
+                cold_fraction=cold_stress["cold_fraction"],
+                rss_ratio=cold_stress["rss_ratio_vs_heap"],
+                guard="ok" if cold_stress["within_rss_guard"] else "BREACHED",
+                bit_identical=cold_stress["bit_identical"],
             )
         )
     sharded = results.get("scale_sharded")

@@ -11,6 +11,8 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.experiments.billing import run_billing
+from repro.experiments.coldstart import QUICK_KWARGS as COLDSTART_QUICK_KWARGS
+from repro.experiments.coldstart import run_coldstart
 from repro.experiments.concurrency import run_concurrency
 from repro.experiments.control import QUICK_KWARGS as CONTROL_QUICK_KWARGS
 from repro.experiments.control import run_control
@@ -136,6 +138,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "(--driver kernel|reference)",
             run_control,
             dict(CONTROL_QUICK_KWARGS),
+        ),
+        Experiment(
+            "coldstart",
+            "Cold-start spectrum: pool size x start model x arrival shape "
+            "(--pool-policy cold|hybrid, --start-model remote-fork|...)",
+            run_coldstart,
+            dict(COLDSTART_QUICK_KWARGS),
         ),
     )
 }

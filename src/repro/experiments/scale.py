@@ -85,8 +85,8 @@ import gc
 import resource
 import time
 from collections import deque
-from heapq import heappop
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Union
 
 import numpy as np
@@ -94,6 +94,7 @@ import numpy as np
 from repro.analysis.reporting import Table, format_bytes, format_ns
 from repro.analysis.stats import SummaryStats
 from repro.analysis.streams import StreamingSummary
+from repro.core.sandbox import SANDBOX_PROFILES
 from repro.sim.arrivals import DIURNAL_DAY, arrival_times
 from repro.sim.events import BatchEvent
 from repro.sim.clock import ms, us
@@ -106,6 +107,16 @@ from repro.sim.wheel import WheelEnvironment, new_environment, validate_granular
 _FLUSH_BATCH = 1 << 16
 #: Pre-drawn RNG chunk size (amortizes numpy call overhead).
 _RNG_CHUNK = 1 << 16
+#: Priority for chunk-admitted arrival events.  The per-event referee
+#: assigns each arrival's eid one arrival gap before it fires, so at a
+#: shared timestamp the arrival is always the youngest entry and fires
+#: after every kernel event; chunk admission draws arrival eids up to a
+#: whole chunk (~2^16 arrivals) early, which would let young kernel
+#: events -- cold spin-ups scheduled spawn_ns (~1 ms) out, reclaims
+#: scheduled keepalive_ns out -- overtake a coincident arrival.  Riding
+#: arrivals one priority below NORMAL restores the referee's tie order
+#: without per-arrival eid bookkeeping.
+_ARRIVAL_PRIO = 2
 
 
 @dataclass(frozen=True)
@@ -170,6 +181,23 @@ class ScaleConfig:
     diurnal_period_ns: int = 0
     #: Piecewise-constant rate multipliers across one period.
     diurnal_multipliers: tuple = DIURNAL_DAY
+    #: Dry-pool arrival policy: "queue" (FIFO backlog -- the PR 4..8
+    #: behavior), "cold" (every dry arrival spins a sandbox up), or
+    #: "hybrid" (queue until the backlog reaches ``hybrid_threshold``,
+    #: then start spinning up).
+    pool_policy: str = "queue"
+    #: :data:`~repro.core.sandbox.SANDBOX_PROFILES` entry drawn for
+    #: cold spin-ups (Fig. 9 spectrum: bare-metal / docker / microvm /
+    #: the MITOSIS-style remote-fork).
+    start_model: str = "remote-fork"
+    #: Idle-reclaim window for a cold-started executor, measured from
+    #: its spin-up (a lease-style fixed lifetime, which is what keeps
+    #: the reclaim calendar append-sorted).  0 = never reclaim: the
+    #: executor joins the warm pool for good.
+    keepalive_ns: int = 0
+    #: Backlog depth that flips a dry arrival from queueing to a cold
+    #: start ("hybrid" only).
+    hybrid_threshold: int = 64
 
 
 @dataclass
@@ -194,6 +222,16 @@ class ScaleResult:
     #: Peak scheduler occupancy ({"wheel": ..., "heap": ...} and friends);
     #: empty for the plain heap environment.
     occupancy: dict[str, int] = field(default_factory=dict)
+    #: Dry-pool arrivals that took the cold-start path (0 under the
+    #: "queue" policy).
+    cold_starts: int = 0
+    #: Simulated busy nanoseconds bought by cold starts (spawn +
+    #: service per cold invocation) -- the executor-seconds numerator.
+    cold_busy_ns: int = 0
+    #: Cold executors torn down by an idle-reclaim expiry.
+    cold_reclaimed: int = 0
+    #: Reclaim expiries that found no idle cold executor (retained).
+    cold_retained: int = 0
 
     def fingerprint(self) -> dict[str, Any]:
         """The simulated-domain outputs -- identical across schedulers.
@@ -209,6 +247,10 @@ class ScaleResult:
             "final_now_ns": self.final_now_ns,
             "max_backlog": self.max_backlog,
             "queued": self.queued,
+            "cold_starts": self.cold_starts,
+            "cold_busy_ns": self.cold_busy_ns,
+            "cold_reclaimed": self.cold_reclaimed,
+            "cold_retained": self.cold_retained,
             "latency_median_ns": self.latency.median,
             "latency_p95_ns": self.latency.p95,
             "latency_p99_ns": self.latency.p99,
@@ -234,6 +276,16 @@ class ScaleResult:
         table.add_row("sojourn p95", format_ns(self.latency.p95))
         table.add_row("sojourn p99", format_ns(self.latency.p99))
         table.add_row("stream buckets (O(1) memory)", f"{self.stream_buckets:,}")
+        if self.cold_starts:
+            table.add_row("cold starts", f"{self.cold_starts:,}")
+            table.add_row(
+                "cold fraction", f"{self.cold_starts / max(1, self.completed):.4f}"
+            )
+            table.add_row("cold busy", format_ns(self.cold_busy_ns))
+            table.add_row(
+                "cold reclaimed / retained",
+                f"{self.cold_reclaimed:,} / {self.cold_retained:,}",
+            )
         if self.occupancy:
             table.add_row(
                 "peak wheel/heap residency",
@@ -262,6 +314,7 @@ class _OpenLoopDriver:
         "_rng_arrivals",
         "_rng_service",
         "_buffer",
+        "sojourn_total",
         "_on_arrival",
         "_on_lease",
         "_is_wheel",
@@ -285,6 +338,7 @@ class _OpenLoopDriver:
         self._gaps = iter(())
         self._services = iter(())
         self._buffer: list[int] = []
+        self.sojourn_total = 0
         # Bind the callbacks once; appending a fresh bound method per
         # event would allocate on the hottest path.
         self._on_arrival = self._handle_arrival
@@ -384,6 +438,11 @@ class _OpenLoopDriver:
 
     def _flush(self) -> None:
         if self._buffer:
+            # Exact integer total alongside the float stream: the
+            # fingerprint mean is total/count, a single division of
+            # exact ints, so it is independent of flush batching and
+            # of the order sojourns were recorded in.
+            self.sojourn_total += sum(self._buffer)
             self.stream.observe_many(np.asarray(self._buffer, dtype=np.float64))
             self._buffer.clear()
         if self._is_wheel:
@@ -411,6 +470,13 @@ class _OpenLoopDriver:
             "lane_max_slab",
             "lane_rearm_batches",
             "lane_scalar_fires",
+            "cold_entries",
+            "cold_entries_peak",
+            "cold_slabs",
+            "cold_max_slab",
+            "cold_scalar_fires",
+            "cold_spinups",
+            "cold_reclaim_fires",
         ):
             value = sample.get(key, 0)
             if value > peaks.get(key, -1):
@@ -435,6 +501,24 @@ def _validate_lease_lane(lease_lane: str) -> None:
     """Reject unknown lease-lane modes before any environment is built."""
     if lease_lane not in ("on", "off"):
         raise ValueError(f"lease_lane must be 'on' or 'off', got {lease_lane!r}")
+
+
+def _validate_pool_policy(
+    pool_policy: str, start_model: str, keepalive_ns: int, hybrid_threshold: int
+) -> None:
+    """Reject unknown cold-start knobs before any environment is built."""
+    if pool_policy not in ("queue", "cold", "hybrid"):
+        raise ValueError(
+            f"pool_policy must be 'queue', 'cold' or 'hybrid', got {pool_policy!r}"
+        )
+    if start_model not in SANDBOX_PROFILES:
+        raise ValueError(
+            f"start_model must be one of {sorted(SANDBOX_PROFILES)}, got {start_model!r}"
+        )
+    if keepalive_ns < 0:
+        raise ValueError(f"keepalive_ns must be >= 0, got {keepalive_ns}")
+    if hybrid_threshold < 1:
+        raise ValueError(f"hybrid_threshold must be >= 1, got {hybrid_threshold}")
 
 
 def _report_profile(profiler, destination: Union[bool, str]) -> None:
@@ -475,6 +559,10 @@ def run_scale(
     burst_intra_gap_ns: int = 1,
     diurnal_period_ns: int = 0,
     diurnal_multipliers: tuple = DIURNAL_DAY,
+    pool_policy: str = "queue",
+    start_model: str = "remote-fork",
+    keepalive_ns: int = 0,
+    hybrid_threshold: int = 64,
     cache_dir: Optional[str] = None,
     profile: Union[bool, str, None] = None,
 ):
@@ -493,6 +581,7 @@ def run_scale(
     validate_granularity_bits(granularity_bits)
     _validate_admission(admission)
     _validate_lease_lane(lease_lane)
+    _validate_pool_policy(pool_policy, start_model, keepalive_ns, hybrid_threshold)
     if shards != 1 or arrival_shape != "poisson":
         if profile:
             raise ValueError("--profile supports the single-shard poisson path only")
@@ -516,6 +605,10 @@ def run_scale(
             burst_intra_gap_ns=burst_intra_gap_ns,
             diurnal_period_ns=diurnal_period_ns,
             diurnal_multipliers=diurnal_multipliers,
+            pool_policy=pool_policy,
+            start_model=start_model,
+            keepalive_ns=keepalive_ns,
+            hybrid_threshold=hybrid_threshold,
             parallel=parallel,
             cache_dir=cache_dir,
         )
@@ -532,13 +625,20 @@ def run_scale(
         admission=admission,
         lease_lane=lease_lane,
         subbits=subbits,
+        pool_policy=pool_policy,
+        start_model=start_model,
+        keepalive_ns=keepalive_ns,
+        hybrid_threshold=hybrid_threshold,
     )
     env_kwargs = {"granularity_bits": granularity_bits} if scheduler == "wheel" else {}
     env = new_environment(config.scheduler, **env_kwargs)
-    if admission == "batch":
+    if admission == "batch" or pool_policy != "queue":
         # Batch admission consumes the pre-generated arrival stream, so
         # the 1-shard ShardDriver *is* the unsharded engine; the
         # chained-gap _OpenLoopDriver stays as the per-event baseline.
+        # Cold-start policies also route here: _OpenLoopDriver draws
+        # services at dispatch time, which is invalid once the cold
+        # decision depends on arrival-order service draws.
         driver: Any = _ShardDriver(env, config, 0, 1)
     else:
         driver = _OpenLoopDriver(env, config)
@@ -579,6 +679,7 @@ def run_scale(
             f"open-loop run lost invocations: {driver.completed} of {config.invocations}"
         )
     summary = driver.stream.summarize()
+    summary = replace(summary, mean=driver.sojourn_total / summary.count)
     return ScaleResult(
         scheduler=config.scheduler or "heap",
         invocations=config.invocations,
@@ -595,6 +696,10 @@ def run_scale(
         latency=summary,
         stream_buckets=len(driver.stream.histogram),
         occupancy=dict(driver.occupancy_peaks),
+        cold_starts=getattr(driver, "cold_starts", 0),
+        cold_busy_ns=getattr(driver, "cold_busy_ns", 0),
+        cold_reclaimed=getattr(driver, "cold_reclaimed", 0),
+        cold_retained=getattr(driver, "cold_retained", 0),
     )
 
 
@@ -719,6 +824,7 @@ class _ShardDriver:
         "_next_time",
         "_next_service",
         "_buffer",
+        "sojourn_total",
         "_batch",
         "_lane_mode",
         "_lease_cbs",
@@ -728,6 +834,19 @@ class _ShardDriver:
         "_on_arrival",
         "_on_lease",
         "_is_wheel",
+        "_cold_mode",
+        "_threshold",
+        "_spawn",
+        "_keepalive",
+        "cold_starts",
+        "cold_busy_ns",
+        "cold_reclaimed",
+        "cold_retained",
+        "cold_alive",
+        "_cold_cbs",
+        "_reclaim_cbs",
+        "_on_cold",
+        "_on_reclaim",
     )
 
     def __init__(self, env, config: ScaleConfig, shard: int, shards: int) -> None:
@@ -751,6 +870,7 @@ class _ShardDriver:
         self._next_time = 0
         self._next_service = 0
         self._buffer: list[int] = []
+        self.sojourn_total = 0
         # Batch mode installs a closure kernel in start(); the method
         # FSM below serves per-event mode.
         self._on_arrival = self._handle_arrival
@@ -771,6 +891,28 @@ class _ShardDriver:
         self._lane_mode = (
             config.lease_lane == "on" and self._batch and self._is_wheel
         )
+        # -- cold-start path (pool_policy != "queue") ------------------
+        policy = config.pool_policy
+        self._cold_mode = policy != "queue"
+        #: Backlog depth at which a dry-pool arrival goes cold instead
+        #: of queueing: 0 = always ("cold"), huge = never ("queue").
+        if policy == "cold":
+            self._threshold = 0
+        elif policy == "hybrid":
+            self._threshold = config.hybrid_threshold
+        else:
+            self._threshold = 1 << 62
+        self._spawn = SANDBOX_PROFILES[config.start_model].spawn_ns(1)
+        self._keepalive = config.keepalive_ns
+        self.cold_starts = 0
+        self.cold_busy_ns = 0
+        self.cold_reclaimed = 0
+        self.cold_retained = 0
+        self.cold_alive = 0
+        self._on_cold = self._handle_cold
+        self._on_reclaim = self._handle_reclaim
+        self._cold_cbs = (self._on_cold,)
+        self._reclaim_cbs = (self._on_reclaim,)
 
     def _advance(self) -> None:
         """Prefetch the next (arrival time, service) pair."""
@@ -788,7 +930,9 @@ class _ShardDriver:
         if self.free_slots < 1:
             raise ValueError("shard needs at least one warm slot")
         if self._batch:
-            if self._lane_mode:
+            if self._cold_mode and self._lane_mode:
+                self._install_cold_kernel()
+            elif self._lane_mode:
                 self._install_lane_kernel()
             else:
                 self._install_batch_kernel()
@@ -859,16 +1003,29 @@ class _ShardDriver:
         nservices = 0
         pos = 0
         lease_cbs: tuple = ()
+        # Cold-start knobs (threshold is 1 << 62 under "queue", so the
+        # saturated-arrival path costs one extra int compare).
+        spawn = self._spawn
+        keepalive = self._keepalive
+        threshold = self._threshold
+        cold_starts = 0
+        cold_busy_ns = 0
+        cold_reclaimed = 0
+        cold_retained = 0
+        cold_alive = 0
+        cold_cbs: tuple = ()
+        reclaim_cbs: tuple = ()
 
         def admit_chunk() -> None:
             nonlocal services, nservices, pos
             times, services = next(chunks)
             nservices = len(services)
             pos = 0
-            schedule_batch(times, on_arrival)
+            schedule_batch(times, on_arrival, _ARRIVAL_PRIO)
 
         def on_arrival(event) -> None:
             nonlocal pos, arrived, free_slots, queued, max_backlog
+            nonlocal cold_starts, cold_busy_ns
             now = env._now
             service = services[pos]
             pos += 1
@@ -896,6 +1053,10 @@ class _ShardDriver:
                         env._l0_count += 1
                         return
                 schedule(event, delay)
+            elif len(backlog) >= threshold:
+                cold_starts += 1
+                cold_busy_ns += spawn + service
+                schedule(BatchEvent(env, cold_cbs, service), spawn)
             else:
                 backlog.append((now, service))
                 queued += 1
@@ -942,6 +1103,38 @@ class _ShardDriver:
             else:
                 free_slots += 1
 
+        def on_cold(event) -> None:
+            """Sandbox ready: record the cold sojourn and start the
+            invocation on the new executor, reusing the spin-up event as
+            its lease timer (lease eid first, reclaim eid second -- the
+            interleave the vectorized cold lane's bulk reservations
+            replicate).  Dispatched through the generic/foreign path:
+            cold events are rare by construction, so they never earn a
+            fused branch."""
+            nonlocal cold_alive
+            now = env._now
+            service = event._value
+            buffer.append(spawn + service)
+            if len(buffer) >= flush_batch:
+                flush()
+            cold_alive += 1
+            event._value = now + service
+            event.callbacks = lease_cbs
+            schedule(event, service if service <= interval else interval)
+            if keepalive:
+                schedule(BatchEvent(env, reclaim_cbs, 0), keepalive)
+
+        def on_reclaim_ev(_event) -> None:
+            """Idle-reclaim expiry: tear one cold executor down iff the
+            pool has an idle slot to give back."""
+            nonlocal free_slots, cold_alive, cold_reclaimed, cold_retained
+            if free_slots and cold_alive:
+                free_slots -= 1
+                cold_alive -= 1
+                cold_reclaimed += 1
+            else:
+                cold_retained += 1
+
         def drive() -> None:
             """Fused event loop: the wheel's pop fast path with both
             kernel handlers inlined.
@@ -970,6 +1163,7 @@ class _ShardDriver:
             the active bucket (``0 < d0`` excludes the cursor slot).
             """
             nonlocal pos, arrived, completed, free_slots, queued, max_backlog
+            nonlocal cold_starts, cold_busy_ns
             pop = env._pop
             spill = env._spill
             overflow = env._queue
@@ -1147,6 +1341,18 @@ class _ShardDriver:
                                 gbits = env._gbits
                                 cursor = env._cursor
                                 clear = not spill and not overflow
+                        elif len(backlog) >= threshold:
+                            cold_starts += 1
+                            cold_busy_ns += spawn + service
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            schedule(BatchEvent(env, cold_cbs, service), spawn)
+                            gbits = env._gbits
+                            cursor = env._cursor
+                            clear = not spill and not overflow
                         else:
                             backlog.append((now, service))
                             queued += 1
@@ -1187,11 +1393,22 @@ class _ShardDriver:
             self.queued = queued
             self.max_backlog = max_backlog
             self.free_slots = free_slots
+            self.cold_starts = cold_starts
+            self.cold_busy_ns = cold_busy_ns
+            self.cold_reclaimed = cold_reclaimed
+            self.cold_retained = cold_retained
+            self.cold_alive = cold_alive
 
         lease_cbs = (on_lease,)
+        cold_cbs = (on_cold,)
+        reclaim_cbs = (on_reclaim_ev,)
         self._on_arrival = on_arrival
         self._on_lease = on_lease
         self._lease_cbs = lease_cbs
+        self._on_cold = on_cold
+        self._on_reclaim = on_reclaim_ev
+        self._cold_cbs = cold_cbs
+        self._reclaim_cbs = reclaim_cbs
         self._kernel_sync = sync
         # The fused loop leans on wheel internals; heap-batch runs keep
         # the generic Environment.run dispatch over the same closures.
@@ -1290,7 +1507,7 @@ class _ShardDriver:
             times, services = next(chunks)
             nservices = len(services)
             pos = 0
-            schedule_batch(times, on_arrival)
+            schedule_batch(times, on_arrival, _ARRIVAL_PRIO)
 
         def on_arrival(event) -> None:
             """Generic-dispatch arrival body (used if anything other
@@ -1456,14 +1673,17 @@ class _ShardDriver:
                         if pos == nservices and arrived < total:
                             if lane_dl >= 0 and (
                                 lane_dl < now
-                                or (lane_dl == now and lane_eid < entry[2])
+                                or (
+                                    lane_dl == now
+                                    and (prio > 1 or lane_eid < entry[2])
+                                )
                             ):
                                 # Catch up deferred lane fires before the
                                 # chunk draws its eid block.
                                 env._ai = ai
                                 before = completed
                                 fired, bulk, _last = drain(
-                                    now, 1, entry[2], backlog or None, False
+                                    now, prio, entry[2], backlog or None, False
                                 )
                                 processed += fired
                                 if bulk:
@@ -1483,14 +1703,17 @@ class _ShardDriver:
                             clear = not spill and not overflow
                         if not free_slots and lane_dl >= 0 and (
                             lane_dl < now
-                            or (lane_dl == now and lane_eid < entry[2])
+                            or (
+                                lane_dl == now
+                                and (prio > 1 or lane_eid < entry[2])
+                            )
                         ):
                             # Saturation check: deferred completions may
                             # have freed a slot; catch up, then re-test.
                             env._ai = ai
                             before = completed
                             fired, bulk, _last = drain(
-                                now, 1, entry[2], backlog or None, False
+                                now, prio, entry[2], backlog or None, False
                             )
                             processed += fired
                             if bulk:
@@ -1564,6 +1787,958 @@ class _ShardDriver:
         self._kernel_drive = drive
         admit_chunk()
 
+    def _install_cold_kernel(self) -> None:
+        """Install the cold-start kernel variant for this run's knobs.
+
+        ``keepalive == 0`` (the default): the batch-wheel kernel
+        extended with the vectorized ColdLane -- see
+        :meth:`_install_cold_fast_kernel` for the commutation argument
+        that makes whole-backlog spin-up slabs exact.  ``keepalive >
+        0``: idle-reclaims force a strict per-head interleave, handled
+        by :meth:`_install_cold_strict_kernel`.
+        """
+        if self._keepalive:
+            self._install_cold_strict_kernel()
+        else:
+            self._install_cold_fast_kernel()
+
+    def _install_cold_fast_kernel(self) -> None:
+        """Batch-wheel kernel + vectorized ColdLane (keepalive = 0).
+
+        Leases live in the wheel exactly as in the lane-off batch
+        kernel: the reused-event / inline-L0 recipe absorbs the cold
+        re-arm storm (every concurrent cold lease re-arms each
+        ``interval``, and a saturated pool holds ~``service / gap``
+        of them at once) at one list append per re-arm.  Routing those
+        leases through the LeaseLane instead would pay a windowed
+        ``searchsorted`` scan over its side blocks for every merge
+        step -- measured at 10^6 invocations that is ~9M scans and
+        dominates the whole run -- because cold slabs admit blocks of
+        non-monotone deadlines behind the lane floor faster than the
+        lane can retire them.
+
+        What the ColdLane vectorizes is the *cold stream*: a dry-pool
+        arrival that goes cold becomes three int64 cells in its
+        spin-up calendar instead of a scheduled event, and the entire
+        pending backlog fires as one slab
+        (:meth:`~repro.sim.wheel.ColdLane.drain_spinups_all`) the
+        moment the merge reaches the oldest ready time.  Under a
+        saturated pool that is one ``spawn / gap``-sized slab (~4k
+        spin-ups at the default 250 ns gap) per ``spawn`` of virtual
+        time instead of one scalar fire wedged between every pair of
+        arrivals.
+
+        Exactness of the early slab: with idle-reclaim off nothing
+        ever reads ``cold_alive``, and a spin-up fire's effects are
+        functions of its own stored times -- the sojourn is ``spawn +
+        service`` and its lease lands at ``ready + min(service,
+        interval)``, strictly ahead of every already-dispatched event.
+        Spin-up fires therefore commute with arrivals and completions.
+        The slab admits its leases through ``schedule_batch`` sorted
+        by deadline, so their eids are drawn in deadline order where
+        the referee draws them in ready order; a tie at equal ``(when,
+        priority)`` between two lease events is the only place that
+        renumbering can flip a fire order, and lease fires commute
+        among themselves (a re-arm touches only its own stored finish;
+        completions are interchangeable -- the backlog pops FIFO and
+        ``free_slots`` increments commute).  Every fingerprint
+        aggregate (counter totals, the sojourn multiset into histogram
+        buckets, exact min/max, the exact-integer mean) is order-free,
+        so the fingerprint is the per-event referee's, bit for bit.
+        """
+        env = self.env
+        schedule = env.schedule_timeout
+        schedule_batch = env.schedule_batch
+        insert = env._insert
+        interval = self._interval
+        flush_batch = _FLUSH_BATCH
+        flush = self._flush
+        sample = self._sample_wheel
+        buffer = self._buffer
+        backlog = self.backlog
+        chunks = self._chunks
+        total = self.count
+        spawn = self._spawn
+        threshold = self._threshold
+        slots0 = env._slots0
+        mask0 = env._mask0
+        eid = env._eid
+        # Bound once: _eid is never rebound on this path (reserve_eids
+        # is never called with keepalive off).
+        eidn = eid.__next__
+        free_slots = self.free_slots
+        arrived = 0
+        completed = 0
+        queued = 0
+        max_backlog = 0
+        cold_starts = 0
+        cold_busy_ns = 0
+        cold_alive = 0
+        services: list[int] = []
+        nservices = 0
+        pos = 0
+        lease_cbs: tuple = ()
+        # Cached cold-lane head ready time; -1 means "empty".  Ready
+        # times are monotone in admission order (now + spawn), so only
+        # the first admission after a drain sets it.
+        cold_w = -1
+
+        def admit_chunk() -> None:
+            nonlocal services, nservices, pos
+            times, services = next(chunks)
+            nservices = len(services)
+            pos = 0
+            schedule_batch(times, on_arrival, _ARRIVAL_PRIO)
+
+        def on_arrival(event) -> None:
+            """Generic-dispatch arrival body (the fused loop inlines it)."""
+            nonlocal pos, arrived, free_slots, queued, max_backlog
+            nonlocal cold_starts, cold_busy_ns, cold_w
+            now = env._now
+            service = services[pos]
+            pos += 1
+            arrived += 1
+            if pos == nservices and arrived < total:
+                admit_chunk()
+            if free_slots:
+                free_slots -= 1
+                buffer.append(service)
+                if len(buffer) >= flush_batch:
+                    flush()
+                event._value = now + service
+                event.callbacks = lease_cbs
+                delay = service if service <= interval else interval
+                when = now + delay
+                s0 = when >> env._gbits
+                d0 = s0 - env._cursor
+                if 0 < d0 <= mask0:
+                    slots0[s0 & mask0].append((when, 1, eidn(), event))
+                    env._l0_count += 1
+                    return
+                schedule(event, delay)
+            elif len(backlog) >= threshold:
+                cold_starts += 1
+                cold_busy_ns += spawn + service
+                ready = now + spawn
+                cold_admit(ready, now, service)
+                if cold_w < 0:
+                    cold_w = ready
+            else:
+                backlog.append((now, service))
+                queued += 1
+                if len(backlog) > max_backlog:
+                    max_backlog = len(backlog)
+
+        def on_lease(event) -> None:
+            nonlocal completed, free_slots
+            now = env._now
+            remaining = event._value - now
+            if remaining > 0:
+                delay = interval if remaining > interval else remaining
+                when = now + delay
+                s0 = when >> env._gbits
+                d0 = s0 - env._cursor
+                if 0 < d0 <= mask0:
+                    slots0[s0 & mask0].append((when, 1, eidn(), event))
+                    env._l0_count += 1
+                    return
+                schedule(event, delay)
+                return
+            completed += 1
+            if not completed & 0x3FF:
+                sample()
+            if backlog:
+                arrival_ns, service = backlog.popleft()
+                buffer.append(now - arrival_ns + service)
+                if len(buffer) >= flush_batch:
+                    flush()
+                event._value = now + service
+                delay = service if service <= interval else interval
+                when = now + delay
+                s0 = when >> env._gbits
+                d0 = s0 - env._cursor
+                if 0 < d0 <= mask0:
+                    slots0[s0 & mask0].append((when, 1, eidn(), event))
+                    env._l0_count += 1
+                    return
+                schedule(event, delay)
+            else:
+                free_slots += 1
+
+        def on_ready(when: int, arrival: int, service: int) -> None:
+            """Scalar spin-up fire (sub-slab runs): sandbox ready, the
+            executor joins the pool by starting its invocation under a
+            wheel-resident lease."""
+            nonlocal cold_alive
+            buffer.append(spawn + service)
+            if len(buffer) >= flush_batch:
+                flush()
+            cold_alive += 1
+            dl = when + (service if service <= interval else interval)
+            insert((dl, 1, eidn(), BatchEvent(env, lease_cbs, when + service)))
+
+        def on_ready_slab(when_a, arrival_a, service_a) -> None:
+            """Vectorized spin-up run: bulk sojourns, leases admitted
+            into the wheel via one deadline-sorted ``schedule_batch``
+            (passing ``lease_cbs`` itself so the fused loop keeps
+            recognizing the events by descriptor identity)."""
+            nonlocal cold_alive
+            n = when_a.shape[0]
+            buffer.extend((service_a + spawn).tolist())
+            if len(buffer) >= flush_batch:
+                flush()
+            cold_alive += n
+            finishes = when_a + service_a
+            deadlines = when_a + np.minimum(service_a, interval)
+            order = np.argsort(deadlines, kind="stable")
+            events = schedule_batch(deadlines[order], lease_cbs)
+            for ev, fin in zip(events, finishes[order].tolist()):
+                ev._value = fin
+
+        gap = interval
+        if self.config.min_service_ns < gap:
+            gap = self.config.min_service_ns
+        cold = env.attach_cold_lane(gap, on_ready, on_ready_slab, None)
+        cold_admit = cold.admit
+        drain_all = cold.drain_spinups_all
+
+        def drive() -> None:
+            """Fused loop: the batch kernel's pop fast path plus the
+            cold gate.
+
+            Before an entry at ``when`` dispatches, a pending spin-up
+            backlog whose oldest ready time is <= ``when`` fires as one
+            slab; the entry is pushed back through the spill heap (the
+            slab's lease admissions may precede it) and the pop
+            retried.  Shadow-state rules are the batch kernel's, with
+            one addition: the gate and the dry-wheel slab flush
+            ``l0_add`` and re-read ``_gbits``/``_cursor`` around
+            ``drain_all`` (slab admissions can re-anchor a dry wheel).
+            ``cold_admit`` touches only lane arrays and the eid
+            counter, so the arrival fast path needs no sync around it.
+            """
+            nonlocal pos, arrived, completed, free_slots, queued, max_backlog
+            nonlocal cold_starts, cold_busy_ns, cold_w
+            pop = env._pop
+            spill = env._spill
+            overflow = env._queue
+            active = env._active
+            ai = env._ai
+            alen = len(active)
+            processed = 0
+            now = env._now
+            gbits = env._gbits
+            cursor = env._cursor
+            l0_add = 0
+            clear = not spill and not overflow
+            try:
+                while True:
+                    if ai < alen:
+                        if clear:
+                            entry = active[ai]
+                            active[ai] = None
+                            ai += 1
+                        else:
+                            entry = active[ai]
+                            if spill and spill[0] < entry:
+                                head = spill[0]
+                                if overflow and overflow[0] < head:
+                                    entry = heappop(overflow)
+                                else:
+                                    entry = heappop(spill)
+                                clear = not spill and not overflow
+                            elif overflow and overflow[0] < entry:
+                                entry = heappop(overflow)
+                                clear = not spill and not overflow
+                            else:
+                                active[ai] = None
+                                ai += 1
+                    else:
+                        env._ai = ai
+                        env._now = now
+                        if l0_add:
+                            env._l0_count += l0_add
+                            l0_add = 0
+                        try:
+                            entry = pop()
+                        except IndexError:
+                            if cold_w < 0:
+                                return
+                            # Wheel dry with spin-ups pending: slab
+                            # them out (their leases land back in the
+                            # wheel) and resume popping.
+                            processed += drain_all()
+                            cold_w = -1
+                            active = env._active
+                            ai = env._ai
+                            alen = len(active)
+                            gbits = env._gbits
+                            cursor = env._cursor
+                            clear = not spill and not overflow
+                            continue
+                        active = env._active
+                        ai = env._ai
+                        alen = len(active)
+                        gbits = env._gbits
+                        cursor = env._cursor
+                        clear = not spill and not overflow
+                    if 0 <= cold_w <= entry[0]:
+                        # Cold gate: the whole pending spin-up backlog
+                        # commutes and its oldest ready precedes this
+                        # entry -- fire it as one slab, push the entry
+                        # back and re-pop.
+                        env._ai = ai
+                        env._now = now
+                        if l0_add:
+                            env._l0_count += l0_add
+                            l0_add = 0
+                        processed += drain_all()
+                        cold_w = -1
+                        heappush(spill, entry)
+                        gbits = env._gbits
+                        cursor = env._cursor
+                        clear = False
+                        continue
+                    now = entry[0]
+                    event = entry[3]
+                    processed += 1
+                    cbs = event.callbacks
+                    if cbs is lease_cbs:
+                        deadline = event._value
+                        if deadline > now:
+                            when = now + interval
+                            if when > deadline:
+                                when = deadline
+                            s0 = when >> gbits
+                            d0 = s0 - cursor
+                            if 0 < d0 <= mask0:
+                                slots0[s0 & mask0].append((when, 1, eidn(), event))
+                                l0_add += 1
+                            else:
+                                env._now = now
+                                env._ai = ai
+                                if l0_add:
+                                    env._l0_count += l0_add
+                                    l0_add = 0
+                                schedule(event, when - now)
+                                gbits = env._gbits
+                                cursor = env._cursor
+                                clear = not spill and not overflow
+                            continue
+                        completed += 1
+                        if not completed & 0x3FF:
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            sample()
+                        if backlog:
+                            arrival_ns, service = backlog.popleft()
+                            buffer.append(now - arrival_ns + service)
+                            if len(buffer) >= flush_batch:
+                                # flush() force-samples occupancy: give
+                                # it the true wheel state first.
+                                env._now = now
+                                env._ai = ai
+                                if l0_add:
+                                    env._l0_count += l0_add
+                                    l0_add = 0
+                                flush()
+                            deadline = now + service
+                            event._value = deadline
+                            when = now + interval
+                            if when > deadline:
+                                when = deadline
+                            s0 = when >> gbits
+                            d0 = s0 - cursor
+                            if 0 < d0 <= mask0:
+                                slots0[s0 & mask0].append((when, 1, eidn(), event))
+                                l0_add += 1
+                            else:
+                                env._now = now
+                                env._ai = ai
+                                if l0_add:
+                                    env._l0_count += l0_add
+                                    l0_add = 0
+                                schedule(event, when - now)
+                                gbits = env._gbits
+                                cursor = env._cursor
+                                clear = not spill and not overflow
+                        else:
+                            free_slots += 1
+                        continue
+                    if cbs.__class__ is tuple and cbs[0] is on_arrival:
+                        service = services[pos]
+                        pos += 1
+                        arrived += 1
+                        if pos == nservices and arrived < total:
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            admit_chunk()
+                            gbits = env._gbits
+                            cursor = env._cursor
+                            clear = not spill and not overflow
+                        if free_slots:
+                            free_slots -= 1
+                            buffer.append(service)
+                            if len(buffer) >= flush_batch:
+                                # flush() force-samples occupancy: give
+                                # it the true wheel state first.
+                                env._now = now
+                                env._ai = ai
+                                if l0_add:
+                                    env._l0_count += l0_add
+                                    l0_add = 0
+                                flush()
+                            deadline = now + service
+                            event._value = deadline
+                            event.callbacks = lease_cbs
+                            when = now + interval
+                            if when > deadline:
+                                when = deadline
+                            s0 = when >> gbits
+                            d0 = s0 - cursor
+                            if 0 < d0 <= mask0:
+                                slots0[s0 & mask0].append((when, 1, eidn(), event))
+                                l0_add += 1
+                            else:
+                                env._now = now
+                                env._ai = ai
+                                if l0_add:
+                                    env._l0_count += l0_add
+                                    l0_add = 0
+                                schedule(event, when - now)
+                                gbits = env._gbits
+                                cursor = env._cursor
+                                clear = not spill and not overflow
+                        elif len(backlog) >= threshold:
+                            cold_starts += 1
+                            cold_busy_ns += spawn + service
+                            ready = now + spawn
+                            cold_admit(ready, now, service)
+                            if cold_w < 0:
+                                cold_w = ready
+                        else:
+                            backlog.append((now, service))
+                            queued += 1
+                            blen = len(backlog)
+                            if blen > max_backlog:
+                                max_backlog = blen
+                        continue
+                    # Foreign event: full generic run-loop semantics.
+                    env._now = now
+                    env._ai = ai
+                    if l0_add:
+                        env._l0_count += l0_add
+                        l0_add = 0
+                    if cbs.__class__ is tuple:
+                        cbs[0](event)
+                    else:
+                        event.callbacks = None
+                        for callback in cbs:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise exc
+                        raise RuntimeError(f"event failed with non-exception {exc!r}")
+                    gbits = env._gbits
+                    cursor = env._cursor
+                    clear = not spill and not overflow
+            finally:
+                env._ai = ai
+                env._now = now
+                if l0_add:
+                    env._l0_count += l0_add
+                env.events_processed += processed
+
+        def sync() -> None:
+            self.arrived = arrived
+            self.completed = completed
+            self.queued = queued
+            self.max_backlog = max_backlog
+            self.free_slots = free_slots
+            self.cold_starts = cold_starts
+            self.cold_busy_ns = cold_busy_ns
+            self.cold_alive = cold_alive
+
+        lease_cbs = (on_lease,)
+        self._on_arrival = on_arrival
+        self._on_lease = on_lease
+        self._lease_cbs = lease_cbs
+        self._kernel_sync = sync
+        self._kernel_drive = drive
+        admit_chunk()
+
+    def _install_cold_strict_kernel(self) -> None:
+        """Lane kernel variant with the cold-start calendar (ColdLane).
+
+        Leases live in the LeaseLane as in the lane kernel; dry-pool
+        arrivals that go cold become three int64 cells in the
+        ColdLane's spin-up calendar (ready/arrival/service) instead of
+        a wheel event, and idle-reclaim expiries become two cells in
+        its reclaim calendar.  The wheel carries arrivals only; due
+        runs of spin-ups fire as vectorized slabs (bulk sojourn append
+        + one interleaved ``reserve_eids`` block for the lease/reclaim
+        admissions) and due runs of reclaims fold into a single
+        counted hook call.
+
+        Unlike the lease lane there is **no deferral**: an arrival's
+        cold-vs-queue decision observes ``free_slots`` and a reclaim
+        both reads and writes it, so pending fires are never
+        postponable.  The loop instead runs a strict three-way merge --
+        before dispatching each wheel entry both lanes are drained up
+        to the entry's ``(when, priority, eid)`` key, each drain call
+        bounded by the *other* lane's head so no fire can overtake a
+        pending earlier one.  Entries admitted mid-drain are handled by
+        the ColdLane's admission-window cap (a call never fires past
+        ``first fire + admit_gap``, and everything a fire admits lands
+        at least ``admit_gap`` later), with every head re-read between
+        calls.  Effects of a fire are applied at its exact sequence
+        point, so the fingerprint -- including every tie at equal
+        nanoseconds -- is the per-event referee's, bit for bit.
+
+        Only ``keepalive > 0`` runs land here (reclaims are what force
+        the strict interleave); with idle-reclaim off the dispatching
+        :meth:`_install_cold_kernel` installs the commuting fast
+        kernel instead.
+        """
+        env = self.env
+        config = self.config
+        schedule_batch = env.schedule_batch
+        interval = self._interval
+        flush_batch = _FLUSH_BATCH
+        flush = self._flush
+        sample = self._sample_wheel
+        buffer = self._buffer
+        backlog = self.backlog
+        chunks = self._chunks
+        total = self.count
+        spawn = self._spawn
+        keepalive = self._keepalive
+        threshold = self._threshold
+        reserve = env.reserve_eids
+        lane = env.attach_lease_lane(interval)
+        admit = lane.admit
+        admit_block = lane.admit_block
+        lane_drain = lane.drain
+        lane_head = lane.head_key
+        free_slots = self.free_slots
+        arrived = 0
+        completed = 0
+        queued = 0
+        max_backlog = 0
+        cold_starts = 0
+        cold_busy_ns = 0
+        cold_reclaimed = 0
+        cold_retained = 0
+        cold_alive = 0
+        services: list[int] = []
+        nservices = 0
+        pos = 0
+        # Cached lane heads; -1 means "empty".  Kept current by updating
+        # after every admit and re-reading after every drain/foreign
+        # call, so the per-entry merge check is a few int compares.
+        lane_dl = -1
+        lane_eid = 0
+        cold_w = -1
+        cold_e = 0
+
+        def on_complete(when: int) -> None:
+            """Scalar-exact lease completion (see the lane kernel)."""
+            nonlocal completed, free_slots
+            completed += 1
+            if not completed & 0x3FF:
+                sample()
+            if backlog:
+                arrival_ns, service = backlog.popleft()
+                buffer.append(when - arrival_ns + service)
+                if len(buffer) >= flush_batch:
+                    flush()
+                admit(
+                    when + (service if service <= interval else interval),
+                    when + service,
+                )
+            else:
+                free_slots += 1
+
+        lane.on_complete = on_complete
+
+        def on_ready(when: int, arrival: int, service: int) -> None:
+            """Scalar spin-up fire: sandbox ready, executor joins the
+            pool by starting its invocation under a normal lease (lease
+            eid first, reclaim eid second -- the per-event order)."""
+            nonlocal cold_alive, lane_dl, lane_eid
+            buffer.append(spawn + service)
+            if len(buffer) >= flush_batch:
+                flush()
+            cold_alive += 1
+            dl = when + (service if service <= interval else interval)
+            eid = admit(dl, when + service)
+            if lane_dl < 0 or dl < lane_dl or (dl == lane_dl and eid < lane_eid):
+                lane_dl = dl
+                lane_eid = eid
+            if keepalive:
+                cold.admit_reclaim(when + keepalive)
+
+        def on_ready_slab(when_a, arrival_a, service_a) -> None:
+            """Vectorized spin-up run: bulk sojourns, one interleaved
+            eid block (evens lease, odds reclaim -- exactly the ids the
+            scalar path would draw fire by fire)."""
+            nonlocal cold_alive, lane_dl, lane_eid
+            n = when_a.shape[0]
+            buffer.extend((service_a + spawn).tolist())
+            if len(buffer) >= flush_batch:
+                flush()
+            cold_alive += n
+            deadlines = when_a + np.minimum(service_a, interval)
+            finishes = when_a + service_a
+            if keepalive:
+                base = reserve(2 * n)
+                eids = np.arange(base, base + 2 * n, dtype=np.int64)
+                admit_block(deadlines, finishes, eids[0::2])
+                cold.admit_reclaim_block(when_a + keepalive, eids[1::2])
+            else:
+                base = reserve(n)
+                admit_block(
+                    deadlines, finishes, np.arange(base, base + n, dtype=np.int64)
+                )
+            head = lane_head()
+            if head is not None:
+                lane_dl, lane_eid = head
+
+        def on_reclaim_hook(n: int) -> None:
+            """A run of *n* consecutive reclaim expiries: successes are
+            ``min(n, free_slots, cold_alive)`` -- exactly what n scalar
+            fires of the referee's handler would conclude."""
+            nonlocal free_slots, cold_alive, cold_reclaimed, cold_retained
+            succ = n
+            if free_slots < succ:
+                succ = free_slots
+            if cold_alive < succ:
+                succ = cold_alive
+            free_slots -= succ
+            cold_alive -= succ
+            cold_reclaimed += succ
+            cold_retained += n - succ
+
+        gap = interval
+        if config.min_service_ns < gap:
+            gap = config.min_service_ns
+        if keepalive and keepalive < gap:
+            gap = keepalive
+        cold = env.attach_cold_lane(gap, on_ready, on_ready_slab, on_reclaim_hook)
+        cold_admit = cold.admit
+        cold_drain = cold.drain
+        cold_head = cold.head_key
+
+        def admit_chunk() -> None:
+            nonlocal services, nservices, pos
+            times, services = next(chunks)
+            nservices = len(services)
+            pos = 0
+            schedule_batch(times, on_arrival, _ARRIVAL_PRIO)
+
+        def on_arrival(event) -> None:
+            """Generic-dispatch arrival body (the fused loop inlines it)."""
+            nonlocal pos, arrived, free_slots, queued, max_backlog
+            nonlocal lane_dl, lane_eid, cold_w, cold_e
+            nonlocal cold_starts, cold_busy_ns
+            now = env._now
+            service = services[pos]
+            pos += 1
+            arrived += 1
+            if pos == nservices and arrived < total:
+                admit_chunk()
+            if free_slots:
+                free_slots -= 1
+                buffer.append(service)
+                if len(buffer) >= flush_batch:
+                    flush()
+                when = now + (service if service <= interval else interval)
+                eid = admit(when, now + service)
+                if lane_dl < 0 or when < lane_dl or (when == lane_dl and eid < lane_eid):
+                    lane_dl = when
+                    lane_eid = eid
+            elif len(backlog) >= threshold:
+                cold_starts += 1
+                cold_busy_ns += spawn + service
+                ready = now + spawn
+                ceid = cold_admit(ready, now, service)
+                if cold_w < 0 or ready < cold_w or (ready == cold_w and ceid < cold_e):
+                    cold_w = ready
+                    cold_e = ceid
+            else:
+                backlog.append((now, service))
+                queued += 1
+                if len(backlog) > max_backlog:
+                    max_backlog = len(backlog)
+
+        def drive() -> None:
+            """Fused loop: wheel pop fast path + strict three-way merge
+            (see the method docstring for why nothing is deferred)."""
+            nonlocal pos, arrived, completed, free_slots, queued, max_backlog
+            nonlocal lane_dl, lane_eid, cold_w, cold_e
+            nonlocal cold_starts, cold_busy_ns
+            pop = env._pop
+            spill = env._spill
+            overflow = env._queue
+            active = env._active
+            ai = env._ai
+            alen = len(active)
+            processed = 0
+            now = env._now
+            clear = not spill and not overflow
+            try:
+                while True:
+                    if ai < alen:
+                        if clear:
+                            entry = active[ai]
+                            active[ai] = None
+                            ai += 1
+                        else:
+                            entry = active[ai]
+                            if spill and spill[0] < entry:
+                                head = spill[0]
+                                if overflow and overflow[0] < head:
+                                    entry = heappop(overflow)
+                                else:
+                                    entry = heappop(spill)
+                                clear = not spill and not overflow
+                            elif overflow and overflow[0] < entry:
+                                entry = heappop(overflow)
+                                clear = not spill and not overflow
+                            else:
+                                active[ai] = None
+                                ai += 1
+                    else:
+                        env._ai = ai
+                        env._now = now
+                        try:
+                            entry = pop()
+                        except IndexError:
+                            # Wheel dry, arrivals exhausted: drain both
+                            # lanes interleaved by head order until empty
+                            # (each call still bounded by the other's
+                            # head and the admission window).
+                            while lane_dl >= 0 or cold_w >= 0:
+                                env._now = now
+                                if cold_w >= 0 and (
+                                    lane_dl < 0
+                                    or cold_w < lane_dl
+                                    or (cold_w == lane_dl and cold_e < lane_eid)
+                                ):
+                                    if lane_dl >= 0:
+                                        fired, last = cold_drain(lane_dl, 1, lane_eid)
+                                    else:
+                                        fired, last = cold_drain(None, 0, 0)
+                                    processed += fired
+                                    if last > now:
+                                        now = last
+                                else:
+                                    before = completed
+                                    if cold_w >= 0:
+                                        fired, bulk, last = lane_drain(
+                                            cold_w, 1, cold_e, backlog or None, False
+                                        )
+                                    else:
+                                        fired, bulk, last = lane_drain(
+                                            None, 0, 0, backlog or None, False
+                                        )
+                                    processed += fired
+                                    if bulk:
+                                        completed += bulk
+                                        free_slots += bulk
+                                    if last > now:
+                                        now = last
+                                    if (before >> 10) != (completed >> 10):
+                                        env._now = now
+                                        sample()
+                                head = lane_head()
+                                if head is None:
+                                    lane_dl = -1
+                                else:
+                                    lane_dl, lane_eid = head
+                                head = cold_head()
+                                if head is None:
+                                    cold_w = -1
+                                else:
+                                    cold_w, cold_e = head
+                            env._now = now
+                            return
+                        active = env._active
+                        ai = env._ai
+                        alen = len(active)
+                        clear = not spill and not overflow
+                    when = entry[0]
+                    prio = entry[1]
+                    # Strict merge: both lanes drained up to this wheel
+                    # entry's key before it dispatches.
+                    while lane_dl >= 0 or cold_w >= 0:
+                        if cold_w >= 0 and (
+                            lane_dl < 0
+                            or cold_w < lane_dl
+                            or (cold_w == lane_dl and cold_e < lane_eid)
+                        ):
+                            hw = cold_w
+                            he = cold_e
+                            use_cold = True
+                        else:
+                            hw = lane_dl
+                            he = lane_eid
+                            use_cold = False
+                        if hw > when or (
+                            hw == when and (prio < 1 or (prio == 1 and he >= entry[2]))
+                        ):
+                            break
+                        env._ai = ai
+                        env._now = now
+                        if use_cold:
+                            if lane_dl >= 0 and (
+                                lane_dl < when
+                                or (
+                                    lane_dl == when
+                                    and (prio > 1 or (prio == 1 and lane_eid < entry[2]))
+                                )
+                            ):
+                                fired, last = cold_drain(lane_dl, 1, lane_eid)
+                            else:
+                                fired, last = cold_drain(when, prio, entry[2])
+                            processed += fired
+                            if last > now:
+                                now = last
+                        else:
+                            before = completed
+                            if cold_w >= 0 and (
+                                cold_w < when
+                                or (
+                                    cold_w == when
+                                    and (prio > 1 or (prio == 1 and cold_e < entry[2]))
+                                )
+                            ):
+                                fired, bulk, last = lane_drain(
+                                    cold_w, 1, cold_e, backlog or None, False
+                                )
+                            else:
+                                fired, bulk, last = lane_drain(
+                                    when, prio, entry[2], backlog or None, False
+                                )
+                            processed += fired
+                            if bulk:
+                                completed += bulk
+                                free_slots += bulk
+                            if last > now:
+                                now = last
+                            if (before >> 10) != (completed >> 10):
+                                env._now = now
+                                sample()
+                        head = lane_head()
+                        if head is None:
+                            lane_dl = -1
+                        else:
+                            lane_dl, lane_eid = head
+                        head = cold_head()
+                        if head is None:
+                            cold_w = -1
+                        else:
+                            cold_w, cold_e = head
+                    event = entry[3]
+                    now = when
+                    processed += 1
+                    cbs = event.callbacks
+                    if cbs.__class__ is tuple and cbs[0] is on_arrival:
+                        service = services[pos]
+                        pos += 1
+                        arrived += 1
+                        if pos == nservices and arrived < total:
+                            env._now = now
+                            env._ai = ai
+                            admit_chunk()
+                            clear = not spill and not overflow
+                        if free_slots:
+                            free_slots -= 1
+                            buffer.append(service)
+                            if len(buffer) >= flush_batch:
+                                env._now = now
+                                env._ai = ai
+                                flush()
+                            lease_when = now + (
+                                service if service <= interval else interval
+                            )
+                            eid = admit(lease_when, now + service)
+                            if lane_dl < 0 or lease_when < lane_dl or (
+                                lease_when == lane_dl and eid < lane_eid
+                            ):
+                                lane_dl = lease_when
+                                lane_eid = eid
+                        elif len(backlog) >= threshold:
+                            cold_starts += 1
+                            cold_busy_ns += spawn + service
+                            ready = now + spawn
+                            ceid = cold_admit(ready, now, service)
+                            if cold_w < 0 or ready < cold_w or (
+                                ready == cold_w and ceid < cold_e
+                            ):
+                                cold_w = ready
+                                cold_e = ceid
+                        else:
+                            backlog.append((now, service))
+                            queued += 1
+                            blen = len(backlog)
+                            if blen > max_backlog:
+                                max_backlog = blen
+                        continue
+                    # Foreign event: full generic run-loop semantics.
+                    env._now = now
+                    env._ai = ai
+                    if cbs.__class__ is tuple:
+                        cbs[0](event)
+                    else:
+                        event.callbacks = None
+                        for callback in cbs:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise exc
+                        raise RuntimeError(f"event failed with non-exception {exc!r}")
+                    clear = not spill and not overflow
+                    head = lane_head()
+                    if head is None:
+                        lane_dl = -1
+                    else:
+                        lane_dl, lane_eid = head
+                    head = cold_head()
+                    if head is None:
+                        cold_w = -1
+                    else:
+                        cold_w, cold_e = head
+            finally:
+                env._ai = ai
+                env._now = now
+                env.events_processed += processed
+
+        def sync() -> None:
+            self.arrived = arrived
+            self.completed = completed
+            self.queued = queued
+            self.max_backlog = max_backlog
+            self.free_slots = free_slots
+            self.cold_starts = cold_starts
+            self.cold_busy_ns = cold_busy_ns
+            self.cold_reclaimed = cold_reclaimed
+            self.cold_retained = cold_retained
+            self.cold_alive = cold_alive
+
+        self._on_arrival = on_arrival
+        self._kernel_sync = sync
+        self._kernel_drive = drive
+        admit_chunk()
+
     def _handle_arrival(self, _event) -> None:
         env = self.env
         now = env._now
@@ -1576,12 +2751,55 @@ class _ShardDriver:
         if self.free_slots:
             self.free_slots -= 1
             self._begin(now, service)
+        elif self._cold_mode and len(self.backlog) >= self._threshold:
+            self._cold_start(now, service)
         else:
             backlog = self.backlog
             backlog.append((now, service))
             self.queued += 1
             if len(backlog) > self.max_backlog:
                 self.max_backlog = len(backlog)
+
+    def _cold_start(self, now: int, service: int) -> None:
+        """Dry-pool arrival goes cold: spin a sandbox up instead of
+        queueing.  The spin-up timer carries the service draw; the
+        sojourn (spawn + service) is recorded when the sandbox is ready
+        and the executor joins the pool via a normal lease."""
+        self.cold_starts += 1
+        self.cold_busy_ns += self._spawn + service
+        event = BatchEvent(self.env, self._cold_cbs, service)
+        self._schedule(event, self._spawn)
+
+    def _handle_cold(self, event) -> None:
+        """Sandbox ready: record the cold sojourn, start the invocation
+        on the new executor (reusing the spin-up event as its lease
+        timer), and arm the optional idle-reclaim expiry."""
+        now = self.env._now
+        service = event._value
+        buffer = self._buffer
+        buffer.append(self._spawn + service)
+        if len(buffer) >= _FLUSH_BATCH:
+            self._flush()
+        self.cold_alive += 1
+        interval = self._interval
+        # Lease eid first, reclaim eid second: the vectorized cold lane
+        # interleaves its bulk reservations the same way.
+        event._value = now + service
+        event.callbacks = self._lease_cbs
+        self._schedule(event, service if service <= interval else interval)
+        if self._keepalive:
+            self._schedule(BatchEvent(self.env, self._reclaim_cbs, 0), self._keepalive)
+
+    def _handle_reclaim(self, _event) -> None:
+        """Idle-reclaim expiry: tear one cold executor down iff the pool
+        has an idle slot to give back (outcomes depend only on the two
+        gauges, which is what lets bulk expiry runs fold exactly)."""
+        if self.free_slots and self.cold_alive:
+            self.free_slots -= 1
+            self.cold_alive -= 1
+            self.cold_reclaimed += 1
+        else:
+            self.cold_retained += 1
 
     def _begin(self, arrival_ns: int, service: int) -> None:
         now = self.env._now
@@ -1621,6 +2839,12 @@ class _ShardDriver:
         if self._kernel_sync is not None:
             self._kernel_sync()
         self._flush()
+        if self.cold_starts:
+            from repro import perf
+
+            if perf.enabled:
+                perf.counters.cold_spinups += self.cold_starts
+                perf.counters.cold_reclaims += self.cold_reclaimed
 
 
 @dataclass
@@ -1643,6 +2867,12 @@ class ShardResult:
     timeout_pool_hits: int
     stream: StreamingSummary
     occupancy: dict[str, int] = field(default_factory=dict)
+    cold_starts: int = 0
+    cold_busy_ns: int = 0
+    cold_reclaimed: int = 0
+    cold_retained: int = 0
+    #: Exact integer sum of recorded sojourns (see ``_flush``).
+    sojourn_total: int = 0
 
 
 def _run_shard(
@@ -1666,6 +2896,10 @@ def _run_shard(
     burst_intra_gap_ns: int = 1,
     diurnal_period_ns: int = 0,
     diurnal_multipliers: tuple = DIURNAL_DAY,
+    pool_policy: str = "queue",
+    start_model: str = "remote-fork",
+    keepalive_ns: int = 0,
+    hybrid_threshold: int = 64,
 ) -> ShardResult:
     """Run one shard of the decomposed scenario (picklable factory).
 
@@ -1695,10 +2929,15 @@ def _run_shard(
         burst_intra_gap_ns=burst_intra_gap_ns,
         diurnal_period_ns=diurnal_period_ns,
         diurnal_multipliers=tuple(diurnal_multipliers),
+        pool_policy=pool_policy,
+        start_model=start_model,
+        keepalive_ns=keepalive_ns,
+        hybrid_threshold=hybrid_threshold,
     )
     validate_granularity_bits(granularity_bits)
     _validate_admission(admission)
     _validate_lease_lane(lease_lane)
+    _validate_pool_policy(pool_policy, start_model, keepalive_ns, hybrid_threshold)
     if not 0 <= shard < shards:
         raise ValueError(f"shard {shard} outside [0, {shards})")
     env_kwargs = {"granularity_bits": granularity_bits} if scheduler == "wheel" else {}
@@ -1741,6 +2980,11 @@ def _run_shard(
         timeout_pool_hits=env.timeout_pool_hits,
         stream=driver.stream,
         occupancy=dict(driver.occupancy_peaks),
+        cold_starts=driver.cold_starts,
+        cold_busy_ns=driver.cold_busy_ns,
+        cold_reclaimed=driver.cold_reclaimed,
+        cold_retained=driver.cold_retained,
+        sojourn_total=driver.sojourn_total,
     )
 
 
@@ -1777,6 +3021,10 @@ class ShardedScaleResult:
     stream_buckets: int
     occupancy: dict[str, int] = field(default_factory=dict)
     shard_seeds: list[int] = field(default_factory=list)
+    cold_starts: int = 0
+    cold_busy_ns: int = 0
+    cold_reclaimed: int = 0
+    cold_retained: int = 0
 
     def fingerprint(self) -> dict[str, Any]:
         """Simulated-domain outputs -- the same keys as
@@ -1789,6 +3037,10 @@ class ShardedScaleResult:
             "final_now_ns": self.final_now_ns,
             "max_backlog": self.max_backlog,
             "queued": self.queued,
+            "cold_starts": self.cold_starts,
+            "cold_busy_ns": self.cold_busy_ns,
+            "cold_reclaimed": self.cold_reclaimed,
+            "cold_retained": self.cold_retained,
             "latency_median_ns": self.latency.median,
             "latency_p95_ns": self.latency.p95,
             "latency_p99_ns": self.latency.p99,
@@ -1873,10 +3125,17 @@ def merge_shard_results(
         max_backlog=max(r.max_backlog for r in results),
         queued=sum(r.queued for r in results),
         timeout_pool_hits=sum(r.timeout_pool_hits for r in results),
-        latency=stream.summarize(),
+        latency=replace(
+            stream.summarize(),
+            mean=sum(r.sojourn_total for r in results) / stream.count,
+        ),
         stream_buckets=len(stream.histogram),
         occupancy=occupancy,
         shard_seeds=[r.shard_seed for r in results],
+        cold_starts=sum(r.cold_starts for r in results),
+        cold_busy_ns=sum(r.cold_busy_ns for r in results),
+        cold_reclaimed=sum(r.cold_reclaimed for r in results),
+        cold_retained=sum(r.cold_retained for r in results),
     )
 
 
@@ -1900,6 +3159,10 @@ def run_scale_sharded(
     burst_intra_gap_ns: int = 1,
     diurnal_period_ns: int = 0,
     diurnal_multipliers: tuple = DIURNAL_DAY,
+    pool_policy: str = "queue",
+    start_model: str = "remote-fork",
+    keepalive_ns: int = 0,
+    hybrid_threshold: int = 64,
     parallel: int = 0,
     cache_dir: Optional[str] = None,
 ) -> ShardedScaleResult:
@@ -1916,6 +3179,7 @@ def run_scale_sharded(
     validate_granularity_bits(granularity_bits)
     _validate_admission(admission)
     _validate_lease_lane(lease_lane)
+    _validate_pool_policy(pool_policy, start_model, keepalive_ns, hybrid_threshold)
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if shards > invocations:
@@ -1942,6 +3206,10 @@ def run_scale_sharded(
         burst_intra_gap_ns=burst_intra_gap_ns,
         diurnal_period_ns=diurnal_period_ns,
         diurnal_multipliers=tuple(diurnal_multipliers),
+        pool_policy=pool_policy,
+        start_model=start_model,
+        keepalive_ns=keepalive_ns,
+        hybrid_threshold=hybrid_threshold,
     )
     specs = [
         RunSpec(

@@ -46,6 +46,10 @@ class Counters:
         "lane_entries",
         "lane_slabs",
         "lane_rearm_batches",
+        "cold_lane_entries",
+        "cold_lane_slabs",
+        "cold_spinups",
+        "cold_reclaims",
         "lease_grants",
         "lease_renewals",
         "lease_steals",
@@ -90,6 +94,14 @@ class Counters:
         self.lane_slabs = 0
         #: Vectorized lease re-arm passes (one per masked slab).
         self.lane_rearm_batches = 0
+        #: Peak sampled cold-lane residency (pending spin-ups + reclaims).
+        self.cold_lane_entries = 0
+        #: Cold-lane drain calls that fired at least one entry.
+        self.cold_lane_slabs = 0
+        #: Sandbox spin-ups fired (cold starts that reached ready).
+        self.cold_spinups = 0
+        #: Idle-reclaim expiries fired (successful teardowns only).
+        self.cold_reclaims = 0
         #: Control-plane leases granted (primary + post-steal re-acquisitions).
         self.lease_grants = 0
         #: Control-plane lease renewals processed.
@@ -110,6 +122,8 @@ _GAUGES = frozenset(
         "lane_entries",
         "lane_slabs",
         "lane_rearm_batches",
+        "cold_lane_entries",
+        "cold_lane_slabs",
         "leases_active_peak",
     }
 )

@@ -141,8 +141,10 @@ class Environment:
             self._eid = count(base + n)
         return base
 
-    def schedule_batch(self, times: Any, callback: Any) -> list[Event]:
-        """Admit a whole chunk of NORMAL-priority events in one call.
+    def schedule_batch(
+        self, times: Any, callback: Any, priority: int = NORMAL
+    ) -> list[Event]:
+        """Admit a whole chunk of events at *priority* in one call.
 
         *times* is a non-decreasing sequence of absolute deadlines (a
         ``numpy.int64`` array straight from :mod:`repro.sim.arrivals`,
@@ -151,6 +153,11 @@ class Environment:
         tuple, and entry ids are allocated in sequence order -- so the
         resulting pop order is exactly what per-event
         ``schedule_timeout`` calls in the same order would produce.
+
+        *callback* may also be a pre-built one-callback dispatch
+        descriptor (a tuple): it is then shared as-is across the whole
+        chunk, letting a fused kernel recognize the admitted events by
+        descriptor identity.
 
         This heap implementation exists as the correctness baseline;
         the timer wheel overrides it with a vectorized bucket sort.
@@ -166,19 +173,19 @@ class Environment:
             raise ValueError(f"batch deadline {whens[0]} is in the past (now={now})")
         if any(b < a for a, b in zip(whens, whens[1:])):
             raise ValueError("batch deadlines must be non-decreasing")
-        shared = (callback,)
+        shared = callback if callback.__class__ is tuple else (callback,)
         events = [BatchEvent(self, shared) for _ in whens]
         eids = islice(self._eid, len(whens))
         queue = self._queue
         if queue:
             push = heappush
-            for entry in zip(whens, repeat(NORMAL), eids, events):
+            for entry in zip(whens, repeat(priority), eids, events):
                 push(queue, entry)
         else:
             # A list sorted ascending satisfies the heap invariant
             # directly (parent index < child index), so an empty queue
             # takes the whole chunk as one extend.
-            queue.extend(zip(whens, repeat(NORMAL), eids, events))
+            queue.extend(zip(whens, repeat(priority), eids, events))
         return events
 
     def peek(self) -> Optional[int]:

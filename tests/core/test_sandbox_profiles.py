@@ -1,0 +1,53 @@
+"""Pinned spawn costs for every sandbox profile.
+
+The cold-start spectrum (``coldstart`` experiment, Fig. 9) prices a
+dry-pool spin-up at ``spawn_ns(1)`` of the selected profile, so these
+numbers are simulated-domain outputs: a drifted constant silently
+reshapes every cold-start fraction and sojourn tail in the benches.
+Paper anchors -- bare-metal ~25 ms and Docker ~2.7 s (Fig. 9a/9b),
+microVM 125 ms boots [30], MITOSIS-style remote fork ~1 ms.
+"""
+
+import pytest
+
+from repro.core.sandbox import SANDBOX_PROFILES
+
+MS = 1_000_000
+US = 1_000
+
+#: (profile, spawn_ns(1), pool_spawn_ns(1)) -- single-worker executors,
+#: the configuration every cold spin-up in the scale engine prices.
+PINNED = [
+    ("bare-metal", 20 * MS, 5 * MS),
+    ("docker", 2_700 * MS, 108 * MS),
+    ("microvm", 125 * MS, 5 * MS),
+    ("remote-fork", 1 * MS, 550 * US),
+]
+
+
+def test_profile_registry_complete():
+    assert set(SANDBOX_PROFILES) == {name for name, _, _ in PINNED}
+
+
+@pytest.mark.parametrize("name,spawn,pool_spawn", PINNED)
+def test_single_worker_spawn_pinned(name, spawn, pool_spawn):
+    profile = SANDBOX_PROFILES[name]
+    assert profile.spawn_ns(1) == spawn
+    assert profile.pool_spawn_ns(1) == pool_spawn
+
+
+@pytest.mark.parametrize("name,spawn,pool_spawn", PINNED)
+def test_spawn_scales_linearly_in_workers(name, spawn, pool_spawn):
+    profile = SANDBOX_PROFILES[name]
+    assert profile.spawn_ns(4) == spawn + 3 * profile.spawn_per_worker_ns
+    assert profile.pool_spawn_ns(4) == pool_spawn + 3 * profile.pool_per_worker_ns
+
+
+def test_remote_fork_collapses_the_tradeoff():
+    # The MITOSIS argument: a remote fork must be orders of magnitude
+    # below the container paths, and cheaper than any pool attach save
+    # its own.
+    fork = SANDBOX_PROFILES["remote-fork"].spawn_ns(1)
+    assert fork * 100 <= SANDBOX_PROFILES["microvm"].spawn_ns(1)
+    assert fork * 2000 <= SANDBOX_PROFILES["docker"].spawn_ns(1)
+    assert fork <= SANDBOX_PROFILES["bare-metal"].pool_spawn_ns(1)

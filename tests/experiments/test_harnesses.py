@@ -27,6 +27,7 @@ def test_registry_complete():
         "suite",
         "scale",
         "control",
+        "coldstart",
     }
     assert set(EXPERIMENTS) == expected
     for experiment in EXPERIMENTS.values():
