@@ -25,6 +25,11 @@ produces >=10^6 latencies.  This module computes the same summary shape
   min/max, bridged to ``SummaryStats`` (median, p95, p99, mean, CI)
   through the same binomial CI ranks the exact path uses
   (:func:`repro.analysis.stats.median_ci_ranks`).
+* :class:`KeyedStreamingSummary` -- a keyed map of the above (one
+  accumulator per tenant/class), with the same exact keyed merge
+  across shards: keys union, per-key accumulators fold with the exact
+  histogram/min/max paths, so any grouping of shards produces the same
+  per-key histograms whatever order keys first appeared in.
 
 Memory is O(number of occupied buckets), bounded by
 ``subbits``-per-octave times the dynamic range of the data and
@@ -35,7 +40,7 @@ touch at most ~37 octaves, i.e. <10k buckets at the default resolution.
 from __future__ import annotations
 
 from math import frexp, ldexp, sqrt
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from repro.analysis.stats import SummaryStats, median_ci_ranks
 
@@ -391,3 +396,94 @@ class StreamingSummary:
             confidence=confidence,
             p95=hist.quantile(0.95),
         )
+
+
+class KeyedStreamingSummary:
+    """A map of :class:`StreamingSummary` accumulators, one per key.
+
+    The multi-tenant scale engine records every tenant's sojourns into
+    its own accumulator and folds per-shard maps back together.  The
+    keyed merge keeps the component guarantees: histogram counts,
+    min/max and sample counts fold exactly under any grouping of
+    shards (keys union; a key absent from a shard contributes
+    nothing), so per-key quantiles are bit-stable however the scenario
+    was decomposed.  Only the Welford moments reassociate within float
+    rounding -- callers that need bit-stable means divide exact integer
+    totals instead, exactly like the unkeyed scale path.
+    """
+
+    __slots__ = ("subbits", "parts")
+
+    def __init__(self, subbits: int = 8) -> None:
+        self.subbits = subbits
+        #: key -> accumulator; insertion order is first-observation
+        #: order, but nothing below depends on it (``keys()`` sorts).
+        self.parts: dict[Any, StreamingSummary] = {}
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.parts
+
+    def keys(self) -> list:
+        """All keys observed so far, sorted for deterministic iteration."""
+        return sorted(self.parts)
+
+    def part(self, key: Any) -> StreamingSummary:
+        """The accumulator for *key*, created empty on first use."""
+        summary = self.parts.get(key)
+        if summary is None:
+            summary = self.parts[key] = StreamingSummary(self.subbits)
+        return summary
+
+    def observe(self, key: Any, value: float) -> None:
+        self.part(key).observe(value)
+
+    def observe_many(self, key: Any, values: Iterable[float]) -> None:
+        self.part(key).observe_many(values)
+
+    def count(self, key: Any) -> int:
+        summary = self.parts.get(key)
+        return 0 if summary is None else summary.count
+
+    def total_count(self) -> int:
+        return sum(summary.count for summary in self.parts.values())
+
+    def buckets(self) -> int:
+        """Total occupied histogram buckets across keys (memory gauge)."""
+        return sum(len(summary.histogram) for summary in self.parts.values())
+
+    def merge(self, other: "KeyedStreamingSummary") -> None:
+        """Exact keyed fold of a shard's map (keys union)."""
+        if other.subbits != self.subbits:
+            raise ValueError("cannot merge keyed summaries with different subbits")
+        for key, summary in other.parts.items():
+            mine = self.parts.get(key)
+            if mine is None:
+                # Fold into a fresh accumulator rather than aliasing the
+                # shard's: merges must never mutate their inputs.
+                mine = self.parts[key] = StreamingSummary(self.subbits)
+            mine.merge(summary)
+
+    @classmethod
+    def merged(cls, parts: Iterable["KeyedStreamingSummary"]) -> "KeyedStreamingSummary":
+        """Fold shard maps, in the given order, into a fresh keyed map.
+
+        Consuming *parts* sequentially pins the Welford fold order the
+        same way :meth:`StreamingSummary.merged` does; every other
+        component is order-independent.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merged() needs at least one keyed summary")
+        out = cls(parts[0].subbits)
+        for part in parts:
+            out.merge(part)
+        return out
+
+    def summarize(self, key: Any, confidence: float = 0.99) -> SummaryStats:
+        summary = self.parts.get(key)
+        if summary is None:
+            raise KeyError(f"no samples recorded under key {key!r}")
+        return summary.summarize(confidence)

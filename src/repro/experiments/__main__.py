@@ -18,6 +18,8 @@ Usage::
     python -m repro.experiments bench --ten-million --json BENCH_PR6.json --label pr6
     python -m repro.experiments control --quick --verify
     python -m repro.experiments control --driver reference --no-churn
+    python -m repro.experiments multitenant --quick --partitioning shared
+    python -m repro.experiments multitenant --shards 4 --parallel auto
 
 ``--parallel N`` fans independent work out across N worker processes
 via :mod:`repro.parallel` (``auto`` or ``0`` = one per usable CPU,
@@ -71,6 +73,7 @@ def _batch_specs(
     scale_overrides: dict | None = None,
     control_overrides: dict | None = None,
     coldstart_overrides: dict | None = None,
+    multitenant_overrides: dict | None = None,
 ) -> list[RunSpec]:
     specs = []
     for index, target in enumerate(targets):
@@ -81,6 +84,8 @@ def _batch_specs(
             kwargs.update(control_overrides)
         if target == "coldstart" and coldstart_overrides:
             kwargs.update(coldstart_overrides)
+        if target == "multitenant" and multitenant_overrides:
+            kwargs.update(multitenant_overrides)
         specs.append(
             RunSpec(
                 factory="repro.experiments.registry:run_experiment_timed",
@@ -258,10 +263,19 @@ def main(argv: list[str] | None = None) -> int:
         "--pool-policy",
         choices=("queue", "cold", "hybrid"),
         default=None,
-        help="for 'scale'/'coldstart': what a dry-pool arrival does -- "
-        "'queue' waits FIFO (scale default), 'cold' spins a sandbox up, "
-        "'hybrid' queues until the backlog hits --hybrid-threshold "
-        "(coldstart default: cold)",
+        help="for 'scale'/'coldstart'/'multitenant': what a dry-pool "
+        "arrival does -- 'queue' waits FIFO (scale default), 'cold' "
+        "spins a sandbox up, 'hybrid' queues until the backlog hits "
+        "--hybrid-threshold (coldstart default: cold)",
+    )
+    parser.add_argument(
+        "--partitioning",
+        choices=("pinned", "shared", "overflow"),
+        default=None,
+        help="for 'multitenant': warm-pool partition plan -- 'pinned' "
+        "gives every tenant a private weighted partition (strong "
+        "isolation, default), 'shared' one oversubscribed tier, "
+        "'overflow' half pinned + half shared",
     )
     parser.add_argument(
         "--start-model",
@@ -473,6 +487,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.verify:
         control_overrides["verify"] = True
 
+    multitenant_overrides: dict = {}
+    if args.partitioning is not None:
+        multitenant_overrides["partitioning"] = args.partitioning
+    if args.shards is not None:
+        multitenant_overrides["shards"] = args.shards
+    if args.admission != "batch":
+        multitenant_overrides["admission"] = args.admission
+    if args.granularity_bits != "auto":
+        multitenant_overrides["granularity_bits"] = args.granularity_bits
+    if args.pool_policy is not None:
+        multitenant_overrides["pool_policy"] = args.pool_policy
+    if args.start_model is not None:
+        multitenant_overrides["start_model"] = args.start_model
+    if args.hybrid_threshold is not None:
+        multitenant_overrides["hybrid_threshold"] = args.hybrid_threshold
+
     cache = _open_cache(args) if args.cache else None
     outer_workers = args.parallel
     if scale_overrides and not batch:
@@ -484,9 +514,22 @@ def main(argv: list[str] | None = None) -> int:
         if cache is not None:
             scale_overrides["cache_dir"] = str(cache.root)
         outer_workers = 1
+    if multitenant_overrides and not batch and targets == ["multitenant"]:
+        # Same inline-fan-out rule for a sharded multitenant run.
+        multitenant_overrides["parallel"] = args.parallel
+        if cache is not None:
+            multitenant_overrides["cache_dir"] = str(cache.root)
+        outer_workers = 1
     batch_started = time.perf_counter()
     outcomes = run_specs(
-        _batch_specs(targets, args.quick, scale_overrides, control_overrides, coldstart_overrides),
+        _batch_specs(
+            targets,
+            args.quick,
+            scale_overrides,
+            control_overrides,
+            coldstart_overrides,
+            multitenant_overrides,
+        ),
         outer_workers,
         cache=cache,
     )

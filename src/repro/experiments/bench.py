@@ -657,6 +657,195 @@ def bench_coldstart_ten_million(max_rss_growth: float = 0.20) -> dict[str, Any]:
     }
 
 
+def _multitenant_once(
+    scheduler: str,
+    admission: str,
+    quick: bool = False,
+    shards: int = 1,
+    parallel: int = 1,
+    partitioning: str = "pinned",
+    overrides: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """One multi-tenant scale run (see :func:`repro.experiments.scale.
+    run_tenant_scale`).  Module-level so ``run_specs`` can fork it:
+    per-engine peak RSS must be attributable to that engine."""
+    from repro.experiments.multitenant import QUICK_KWARGS, run_multitenant_scale
+
+    kwargs = dict(QUICK_KWARGS) if quick else {}
+    if overrides:
+        kwargs.update(overrides)
+    result = run_multitenant_scale(
+        scheduler=scheduler,
+        admission=admission,
+        shards=shards,
+        parallel=parallel,
+        partitioning=partitioning,
+        **kwargs,
+    )
+    return {
+        "wall_s": result.wall_s,
+        "invocations": result.invocations,
+        "workers": result.workers,
+        "events_processed": result.events_processed,
+        "events_per_sec": round(result.events_per_sec),
+        "peak_rss_bytes": result.peak_rss_bytes,
+        "stream_buckets": result.stream_buckets,
+        "occupancy": result.occupancy,
+        "partitioning": partitioning,
+        "admission": admission,
+        "shards": shards,
+        "miss_rates": {name: t.miss_rate for name, t in result.tenants.items()},
+        "congestion_rates": {
+            name: t.congestion_rate for name, t in result.tenants.items()
+        },
+        "fingerprint": result.fingerprint(),
+    }
+
+
+#: The isolation-spectrum scenario: a pool sized so the calm mix runs
+#: healthily (~2% deadline misses from the log-normal tail alone) but a
+#: 6x-boosted bursty tenant floods any capacity it is allowed to touch.
+#: Under "pinned" partitioning the victim's numbers must stay EXACTLY
+#: flat (its partition is private and per-tenant streams are seeded
+#: independently); under "shared" the aggressor inflates the victim's
+#: p99 and deadline-miss rate by an order of magnitude.
+_ISOLATION_SCENARIO = {
+    "rate_scale": 400.0,
+    "compute_scale": 40.0,
+    "workers": 1_536,
+    "aggressor_boost": 6.0,
+    "victim": "latency-critical",
+    "aggressor": "bursty-service",
+}
+
+
+def _multitenant_isolation(quick: bool = False) -> dict[str, Any]:
+    """The 2x2 isolation matrix: {pinned, shared} x {calm, aggressor}."""
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.scale import run_tenant_scale
+    from repro.workloads.tenants import standard_mix
+
+    scenario = _ISOLATION_SCENARIO
+    invocations = 8_000 if quick else 60_000
+
+    def mix(aggressor: bool):
+        specs = standard_mix(
+            invocations=invocations,
+            rate_scale=scenario["rate_scale"],
+            compute_scale=scenario["compute_scale"],
+        )
+        if aggressor:
+            specs = [
+                dc_replace(spec, rate_per_s=spec.rate_per_s * scenario["aggressor_boost"])
+                if spec.name == scenario["aggressor"]
+                else spec
+                for spec in specs
+            ]
+        return specs
+
+    cells: dict[str, dict[str, Any]] = {}
+    for partitioning in ("pinned", "shared"):
+        cells[partitioning] = {}
+        for label, aggressor in (("calm", False), ("aggressor", True)):
+            result = run_tenant_scale(
+                specs=mix(aggressor),
+                workers=scenario["workers"],
+                partitioning=partitioning,
+                seed=17,
+            )
+            victim = result.tenants[scenario["victim"]]
+            cells[partitioning][label] = {
+                "victim_p99_ns": victim.latency.p99,
+                "victim_miss_rate": victim.miss_rate,
+                "victim_sojourn_total": victim.sojourn_total,
+                "victim_dispatched": victim.dispatched,
+            }
+    pinned, shared = cells["pinned"], cells["shared"]
+    # Pinned isolation is exact: the victim's private partition never
+    # sees the aggressor, and its arrival/service streams are its own.
+    pinned_flat = (
+        pinned["calm"]["victim_sojourn_total"] == pinned["aggressor"]["victim_sojourn_total"]
+        and pinned["calm"]["victim_dispatched"] == pinned["aggressor"]["victim_dispatched"]
+    )
+    shared_p99_ratio = (
+        shared["aggressor"]["victim_p99_ns"] / shared["calm"]["victim_p99_ns"]
+        if shared["calm"]["victim_p99_ns"]
+        else 0.0
+    )
+    return {
+        "invocations_per_cell": invocations,
+        **{k: v for k, v in scenario.items()},
+        "pinned": pinned,
+        "shared": shared,
+        "pinned_victim_flat": pinned_flat,
+        "shared_victim_p99_ratio": shared_p99_ratio,
+        "shared_victim_miss_rates": [
+            shared["calm"]["victim_miss_rate"],
+            shared["aggressor"]["victim_miss_rate"],
+        ],
+        # The demonstrated spectrum: strong isolation pinned, noisy
+        # neighbours shared.
+        "isolated": bool(pinned_flat and shared_p99_ratio > 2.0),
+    }
+
+
+def bench_multitenant(quick: bool = False) -> dict[str, Any]:
+    """The multi-tenant scale engine vs its per-event referee.
+
+    The headline comparison forks the per-event heap referee and the
+    vectorized wheel-batch engine on the same 10^6-invocation
+    three-tenant scenario (pinned partitioning): ``speedup`` is the
+    wall-clock ratio and ``bit_identical`` demands every per-tenant
+    outcome count and sojourn fingerprint agree.  ``shard_identical``
+    re-runs the wheel engine split 2 ways and demands the merged
+    fingerprint match the 1-shard run exactly (the scenario is
+    unsaturated by construction).  ``isolation`` carries the 2x2
+    {pinned, shared} x {calm, aggressor} matrix demonstrating the
+    isolation spectrum.
+    """
+    runs: dict[str, dict[str, Any]] = {}
+    for key, scheduler, admission in (
+        ("heap", "heap", "per-event"),
+        ("wheel", "wheel", "batch"),
+    ):
+        spec = RunSpec(
+            factory="repro.experiments.bench:_multitenant_once",
+            kwargs={"scheduler": scheduler, "admission": admission, "quick": quick},
+            label=f"multitenant[{key}]",
+        )
+        (outcome,) = run_specs([spec], 2)
+        if isinstance(outcome, FailedPoint):
+            raise RuntimeError(f"multitenant bench failed: {outcome.summary()}")
+        runs[key] = outcome
+    heap, wheel = runs["heap"], runs["wheel"]
+    sharded = _multitenant_once("wheel", "batch", quick=quick, shards=2, parallel=2)
+    record = {
+        "heap": heap,
+        "wheel": wheel,
+        "sharded": sharded,
+        "invocations": wheel["invocations"],
+        "workers": wheel["workers"],
+        "events_processed": wheel["events_processed"],
+        "events_per_sec": wheel["events_per_sec"],
+        "peak_rss_bytes": max(heap["peak_rss_bytes"], wheel["peak_rss_bytes"]),
+        "partitioning": wheel["partitioning"],
+        "miss_rates": wheel["miss_rates"],
+        "congestion_rates": wheel["congestion_rates"],
+        "speedup": heap["wall_s"] / wheel["wall_s"] if wheel["wall_s"] else 0.0,
+        "rss_ratio_vs_heap": (
+            wheel["peak_rss_bytes"] / heap["peak_rss_bytes"]
+            if heap["peak_rss_bytes"]
+            else 0.0
+        ),
+        "bit_identical": heap["fingerprint"] == wheel["fingerprint"],
+        "shard_identical": sharded["fingerprint"] == wheel["fingerprint"],
+        "isolation": _multitenant_isolation(quick),
+    }
+    record.update(_occupancy_gauges(wheel["occupancy"]))
+    return record
+
+
 #: The 10^7-invocation single-shard stress scenario: arrivals come 2x
 #: faster than the paper-scale default but the pool is twice as deep,
 #: so the run stays *unsaturated* (~10^6 in-flight leases at peak, the
@@ -905,6 +1094,7 @@ def run_bench(
     results["scale_openloop"] = bench_scale(quick)
     results["control_plane"] = bench_control(quick)
     results["coldstart"] = bench_coldstart(quick)
+    results["multitenant"] = bench_multitenant(quick)
     if shards > 1:
         results["scale_sharded"] = bench_scale_sharded(
             quick, shards=shards, parallel=parallel,
@@ -1103,6 +1293,64 @@ def check_regression(
                 f"{current_cold_10m.get('rss_ratio_vs_heap', 0.0):.2f}x the per-event "
                 "heap referee, beyond the allowed "
                 f"{1.0 + float(current_cold_10m.get('max_rss_growth', 0.0)):.2f}x"
+            )
+    # Multi-tenant scale engine guards.  Correctness first: the batch
+    # wheel kernel, the per-event heap referee, and the K=2 shard split
+    # must agree on every per-tenant outcome count and sojourn
+    # fingerprint -- a divergence is a wrong answer, not a slow one,
+    # and fails outright with no baseline needed.  Isolation is a
+    # structural property of `pinned` partitioning (private partition +
+    # independent per-tenant streams), so its collapse also fails
+    # outright.  The per-tenant deadline-miss rates on the pinned quick
+    # scenario are deterministic outputs: any tenant's rate ballooning
+    # past 4x the baseline means admission or pool accounting broke
+    # even if every engine still agrees with every other.  Baselines
+    # recorded before this bench existed lack the key and skip; tenants
+    # absent from the baseline mix are skipped too.
+    base_mt = entry.get("multitenant")
+    current_mt = results.get("multitenant")
+    if isinstance(current_mt, dict):
+        if current_mt.get("bit_identical") is False:
+            problems.append(
+                "multitenant: batch-wheel kernel and per-event heap referee "
+                "per-tenant fingerprints diverged"
+            )
+        if current_mt.get("shard_identical") is False:
+            problems.append(
+                "multitenant: K=2 shard split no longer merges bit-identical "
+                "to the single-shard run"
+            )
+        isolation = current_mt.get("isolation")
+        if isinstance(isolation, dict) and isolation.get("isolated") is False:
+            problems.append(
+                "multitenant.isolation: pinned partitioning no longer "
+                "insulates the victim tenant from a bursty co-tenant"
+            )
+    if isinstance(base_mt, dict) and isinstance(current_mt, dict):
+        base_rates = base_mt.get("miss_rates")
+        current_rates = current_mt.get("miss_rates")
+        if isinstance(base_rates, dict) and isinstance(current_rates, dict):
+            for tenant, base_rate in base_rates.items():
+                current_rate = current_rates.get(tenant)
+                if current_rate is None:
+                    continue  # tenant absent from this run's mix: skip
+                if float(base_rate) and float(current_rate) > 4.0 * float(base_rate):
+                    problems.append(
+                        f"multitenant.miss_rates[{tenant!r}] "
+                        f"{float(current_rate):.4f} is more than 4x baseline "
+                        f"{label!r} ({float(base_rate):.4f}) -- per-tenant "
+                        "admission or pool accounting regressed"
+                    )
+        try:
+            base_rate = float(base_mt["events_per_sec"])
+            current_rate = float(current_mt["events_per_sec"])
+        except (KeyError, TypeError, ValueError):
+            base_rate = current_rate = 0.0
+        if base_rate and current_rate < base_rate * (1.0 - max_regression):
+            problems.append(
+                f"multitenant.events_per_sec {current_rate:,.0f} is "
+                f"{1 - current_rate / base_rate:.1%} below baseline {label!r} "
+                f"({base_rate:,.0f}; allowed drop {max_regression:.0%})"
             )
     # Sharded throughput is only comparable between identical
     # decompositions: a 2-shard and a 4-shard run simulate different
@@ -1316,3 +1564,41 @@ def show(results: dict[str, Any]) -> None:
         if not sharded.get("speedup_representative", True):
             line += "  [NOT representative: 1 cpu]"
         print(line)
+    mt = results.get("multitenant")
+    if mt:
+        print(
+            "multitenant: {invocations:,} invocations / {tenants} tenants "
+            "({partitioning})  heap {heap_s:.1f}s -> wheel {wheel_s:.1f}s  "
+            "({speedup:.2f}x, {events_per_sec:,} events/s, RSS "
+            "{rss_ratio:.2f}x heap, bit_identical={bit_identical}, "
+            "shard_identical={shard_identical})".format(
+                invocations=mt["invocations"],
+                tenants=len(mt.get("miss_rates", {})),
+                partitioning=mt["partitioning"],
+                heap_s=mt["heap"]["wall_s"],
+                wheel_s=mt["wheel"]["wall_s"],
+                speedup=mt["speedup"],
+                events_per_sec=mt["events_per_sec"],
+                rss_ratio=mt["rss_ratio_vs_heap"],
+                bit_identical=mt["bit_identical"],
+                shard_identical=mt["shard_identical"],
+            )
+        )
+        for tenant, rate in mt.get("miss_rates", {}).items():
+            print(
+                "  {tenant:<18} miss {rate:.2%}  congestion {cong:.2%}".format(
+                    tenant=tenant,
+                    rate=rate,
+                    cong=mt.get("congestion_rates", {}).get(tenant, 0.0),
+                )
+            )
+        iso = mt.get("isolation")
+        if iso:
+            print(
+                "  isolation: pinned victim flat={flat}  shared victim p99 "
+                "x{ratio:.1f} under bursty co-tenant  (isolated={isolated})".format(
+                    flat=iso["pinned_victim_flat"],
+                    ratio=iso["shared_victim_p99_ratio"],
+                    isolated=iso["isolated"],
+                )
+            )

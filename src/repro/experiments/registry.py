@@ -25,7 +25,8 @@ from repro.experiments.fig11 import run_fig11
 from repro.experiments.fig12 import run_fig12
 from repro.experiments.fig13 import run_fig13
 from repro.experiments.leases import run_leases
-from repro.experiments.multitenant import run_multitenant
+from repro.experiments.multitenant import QUICK_KWARGS as MULTITENANT_QUICK_KWARGS
+from repro.experiments.multitenant import run_multitenant, run_multitenant_scale
 from repro.experiments.pipelining import run_pipelining
 from repro.experiments.scale import QUICK_KWARGS as SCALE_QUICK_KWARGS
 from repro.experiments.scale import run_scale
@@ -97,6 +98,13 @@ EXPERIMENTS: dict[str, Experiment] = {
         ),
         Experiment(
             "multitenant",
+            "Multi-tenant scale engine: per-tenant deadlines over the "
+            "isolation spectrum (--partitioning pinned|shared|overflow)",
+            run_multitenant_scale,
+            dict(MULTITENANT_QUICK_KWARGS),
+        ),
+        Experiment(
+            "multitenant-rpc",
             "Three tenant profiles sharing executors (Sec. III-D)",
             run_multitenant,
             {},

@@ -93,13 +93,14 @@ import numpy as np
 
 from repro.analysis.reporting import Table, format_bytes, format_ns
 from repro.analysis.stats import SummaryStats
-from repro.analysis.streams import StreamingSummary
+from repro.analysis.streams import KeyedStreamingSummary, StreamingSummary
 from repro.core.sandbox import SANDBOX_PROFILES
-from repro.sim.arrivals import DIURNAL_DAY, arrival_times
-from repro.sim.events import BatchEvent
+from repro.sim.arrivals import DIURNAL_DAY, arrival_times, merge_tenant_streams
+from repro.sim.events import BatchEvent, TenantEvent
 from repro.sim.clock import ms, us
 from repro.sim.rng import RngStreams, shard_seed
 from repro.sim.wheel import WheelEnvironment, new_environment, validate_granularity_bits
+from repro.workloads.tenants import TenantSpec, split_by_weights, standard_mix
 
 #: Latencies buffered before a vectorized flush into the streaming
 #: summary -- the only per-sample storage, bounded regardless of run
@@ -3256,3 +3257,1356 @@ QUICK_UNSATURATED_KWARGS = {
     "workers": 4_096,
     "mean_arrival_gap_ns": us(25),
 }
+
+
+# -- multi-tenant engine -----------------------------------------------
+#
+# Tenancy as a vectorized dimension of the same open-loop machine: the
+# per-tenant arrival streams of a declarative TenantSpec mix are merged
+# into ONE global non-decreasing calendar (np.lexsort, tenant-id column
+# carried through every slab), services are drawn per tenant in
+# within-tenant arrival order and scattered back to merged order, and
+# the batch kernels above gain a tenant column: ``tenants[pos]`` rides
+# next to ``services[pos]`` through chunk admission, and completed
+# lease timers are :class:`TenantEvent`s whose (tenant, pool) slots
+# drive pool-partitioned hand-off.  Admission outcomes follow the
+# rFaaS/compSpot taxonomy -- SUCCESS / CONGESTION / DEADLINE_MISSED --
+# with the deadline classification done purely at flush time against
+# per-tenant deadline masks (no per-event Python).  The per-event heap
+# FSM stays the bit-identity referee.
+
+#: Warm-pool partition plans over the tenant mix.
+PARTITIONINGS = ("pinned", "shared", "overflow")
+
+
+def _validate_partitioning(partitioning: str) -> None:
+    if partitioning not in PARTITIONINGS:
+        raise ValueError(
+            f"partitioning must be one of {PARTITIONINGS}, got {partitioning!r}"
+        )
+
+
+@dataclass(frozen=True)
+class MultiTenantConfig:
+    """Knobs of the multi-tenant open-loop scenario."""
+
+    #: The tenant mix (ordered; merged-calendar tenant ids are indices).
+    specs: tuple
+    #: Total warm executor slots, carved up by ``partitioning``.
+    workers: int = 1 << 21
+    #: "pinned" -- every slot belongs to one tenant's private partition
+    #: (weighted by ``spec.workers``, largest remainder); "shared" --
+    #: one oversubscribed tier, first come first served; "overflow" --
+    #: half pinned by weight, half shared.
+    partitioning: str = "pinned"
+    lease_check_interval_ns: int = ms(64)
+    seed: int = 0x7E7A77
+    scheduler: Optional[str] = "wheel"
+    granularity_bits: Union[int, str] = "auto"
+    #: "batch" (vectorized chunk admission) or "per-event" (the referee).
+    admission: str = "batch"
+    subbits: int = 8
+    shards: int = 1
+    #: Dry-pool arrival policy, per-tenant thresholds: "queue" (FIFO up
+    #: to ``spec.queue_cap``, then CONGESTION), "cold" (every dry
+    #: arrival spins a sandbox up; it joins the *shared* tier), or
+    #: "hybrid" (queue until ``hybrid_threshold``, then go cold).
+    pool_policy: str = "queue"
+    start_model: str = "remote-fork"
+    hybrid_threshold: int = 64
+
+
+def _tenant_pool_plan(
+    specs: tuple, workers: int, partitioning: str
+) -> tuple[list[int], int]:
+    """Split *workers* into per-tenant pinned partitions + a shared tier."""
+    _validate_partitioning(partitioning)
+    weights = [max(1, spec.workers) for spec in specs]
+    if partitioning == "shared":
+        return [0] * len(specs), workers
+    if partitioning == "pinned":
+        pinned, shared = split_by_weights(workers, weights), 0
+    else:  # overflow: half pinned by weight, half shared
+        half = workers // 2
+        pinned, shared = split_by_weights(half, weights), workers - half
+    if min(pinned) < 1:
+        raise ValueError(
+            f"{workers} workers spread too thin over {len(specs)} pinned partitions"
+        )
+    return pinned, shared
+
+
+def _draw_tenant_services(rng, size: int, spec: TenantSpec):
+    """*size* log-normal service times around the tenant's compute cost."""
+    draws = rng.lognormal(np.log(spec.compute_ns), spec.service_log_sigma, size=size)
+    return np.maximum(draws.astype(np.int64), 1)
+
+
+def _tenant_chunks(config: "MultiTenantConfig", shard: int, shards: int, lists: bool = True):
+    """Yield this shard's ``(times, tenants, services)`` merged chunks.
+
+    Every shard replays the **global** merged calendar (partition
+    decomposition, as in :func:`_shard_chunks`) and keeps arrivals
+    whose global merged index is ``shard (mod K)`` -- so the K-shard
+    union is exactly the 1-shard stream, triple for triple.  Services
+    are drawn from each tenant's own RNG stream in *within-tenant
+    arrival order* and scattered back to merged order through boolean
+    masks (masks preserve order), which keeps a tenant's service
+    sequence independent of what the co-tenants do.
+    """
+    specs = config.specs
+    streams = RngStreams(config.seed)
+    service_rngs = [streams.stream(f"service/{spec.name}") for spec in specs]
+    merged = merge_tenant_streams(
+        [
+            spec.arrival_stream(streams.stream(f"arrivals/{spec.name}"), chunk=_RNG_CHUNK)
+            for spec in specs
+        ],
+        chunk=_RNG_CHUNK,
+    )
+    index = 0
+    for times, tenants in merged:
+        services = np.empty(times.size, dtype=np.int64)
+        for t in range(len(specs)):
+            mask = tenants == t
+            count = int(mask.sum())
+            if count:
+                services[mask] = _draw_tenant_services(service_rngs[t], count, specs[t])
+        if shards != 1:
+            mine = (np.arange(index, index + times.size) % shards) == shard
+            index += times.size
+            if not mine.any():
+                continue
+            times, tenants, services = times[mine], tenants[mine], services[mine]
+        yield (
+            (times.tolist() if lists else times),
+            tenants.tolist(),
+            services.tolist(),
+        )
+
+
+class _TenantDriver:
+    """The open-loop FSM over a merged multi-tenant calendar.
+
+    Same two admission modes as :class:`_ShardDriver` -- a per-event
+    method FSM (the bit-identity referee) and a fused closure kernel
+    installed by ``start()`` for batch mode -- but dispatch is
+    pool-partitioned and every outcome is per-tenant:
+
+    * an arrival tries its tenant's **pinned** partition first, then
+      the **shared** tier; a dry pool queues in the tenant's own FIFO
+      up to ``spec.queue_cap`` (CONGESTION beyond it, the service draw
+      still consumed positionally) unless the cold-start policy says
+      to spin a sandbox up instead (the new executor joins the shared
+      tier);
+    * a completed **pinned** slot serves its own tenant's FIFO only; a
+      completed **shared** slot serves the globally-oldest waiter
+      across all tenant FIFOs (ties break on the lowest tenant id);
+    * sojourns are buffered *with a parallel tenant column* and
+      classified at flush time: per-tenant masks feed a
+      :class:`KeyedStreamingSummary`, exact integer totals, and the
+      vectorized ``sojourn > deadline_ns[t]`` DEADLINE_MISSED counts.
+
+    The per-event referee schedules its chained arrival event at
+    ``_ARRIVAL_PRIO`` -- the same priority batch admission uses -- so
+    lease-vs-arrival ties resolve identically in both engines by
+    construction, and eids within each priority class increase in
+    admission order in both.
+    """
+
+    __slots__ = (
+        "env",
+        "config",
+        "names",
+        "stream",
+        "keyed",
+        "backlogs",
+        "pinned",
+        "shared_free",
+        "waiting",
+        "count",
+        "arrived",
+        "completed",
+        "arrived_by",
+        "dispatched_by",
+        "missed_by",
+        "congested_by",
+        "queued_by",
+        "cold_by",
+        "max_backlog_by",
+        "sojourn_totals",
+        "sojourn_total",
+        "deadlines",
+        "queue_caps",
+        "occupancy_peaks",
+        "_interval",
+        "_chunks",
+        "_times",
+        "_tenants",
+        "_services",
+        "_pos",
+        "_next_time",
+        "_next_tenant",
+        "_next_service",
+        "_buf_tenant",
+        "_buf_sojourn",
+        "_batch",
+        "_lease_cbs",
+        "_arrival_cbs",
+        "_cold_cbs",
+        "_hop_cbs",
+        "_schedule",
+        "_kernel_sync",
+        "_kernel_drive",
+        "_on_arrival",
+        "_on_lease",
+        "_on_cold",
+        "_on_hop",
+        "_is_wheel",
+        "_threshold",
+        "_spawn",
+    )
+
+    def __init__(self, env, config: MultiTenantConfig, shard: int, shards: int) -> None:
+        self.env = env
+        self.config = config
+        specs = config.specs
+        n = len(specs)
+        self.names = [spec.name for spec in specs]
+        self.stream = StreamingSummary(config.subbits)
+        self.keyed = KeyedStreamingSummary(config.subbits)
+        self.backlogs = [deque() for _ in range(n)]
+        pinned_plan, shared_plan = _tenant_pool_plan(
+            specs, config.workers, config.partitioning
+        )
+        self.pinned = [_shard_slots(p, shards, shard) for p in pinned_plan]
+        self.shared_free = _shard_slots(shared_plan, shards, shard)
+        self.waiting = 0
+        total = sum(spec.invocations for spec in specs)
+        self.count = _shard_invocations(total, shards, shard)
+        self.arrived = 0
+        self.completed = 0
+        self.arrived_by = [0] * n
+        self.dispatched_by = [0] * n
+        self.missed_by = [0] * n
+        self.congested_by = [0] * n
+        self.queued_by = [0] * n
+        self.cold_by = [0] * n
+        self.max_backlog_by = [0] * n
+        self.sojourn_totals = [0] * n
+        self.sojourn_total = 0
+        self.deadlines = [spec.effective_deadline_ns() for spec in specs]
+        self.queue_caps = [spec.queue_cap for spec in specs]
+        self.occupancy_peaks: dict[str, int] = {}
+        self._interval = config.lease_check_interval_ns
+        self._batch = config.admission == "batch"
+        self._chunks = _tenant_chunks(config, shard, shards, lists=not self._batch)
+        self._times: list[int] = []
+        self._tenants: list[int] = []
+        self._services: list[int] = []
+        self._pos = 0
+        self._next_time = 0
+        self._next_tenant = 0
+        self._next_service = 0
+        self._buf_tenant: list[int] = []
+        self._buf_sojourn: list[int] = []
+        self._on_arrival = self._handle_arrival
+        self._on_lease = self._handle_lease
+        self._on_cold = self._handle_cold
+        self._on_hop = self._handle_hop
+        self._lease_cbs = (self._on_lease,)
+        self._arrival_cbs = (self._on_arrival,)
+        self._cold_cbs = (self._on_cold,)
+        self._hop_cbs = (self._on_hop,)
+        self._schedule = env.schedule_timeout
+        self._kernel_sync: Any = None
+        self._kernel_drive: Any = None
+        self._is_wheel = isinstance(env, WheelEnvironment)
+        policy = config.pool_policy
+        if policy == "cold":
+            self._threshold = 0
+        elif policy == "hybrid":
+            self._threshold = config.hybrid_threshold
+        else:
+            self._threshold = 1 << 62
+        self._spawn = SANDBOX_PROFILES[config.start_model].spawn_ns(1)
+
+    # -- per-event referee ---------------------------------------------
+
+    def _advance(self) -> None:
+        """Prefetch the next (arrival time, tenant, service) triple."""
+        pos = self._pos
+        while pos >= len(self._times):
+            self._times, self._tenants, self._services = next(self._chunks)
+            pos = 0
+        self._next_time = self._times[pos]
+        self._next_tenant = self._tenants[pos]
+        self._next_service = self._services[pos]
+        self._pos = pos + 1
+
+    def start(self) -> None:
+        if self.count < 1:
+            raise ValueError("tenant shard needs at least one invocation")
+        if self._batch:
+            self._install_tenant_kernel()
+            return
+        self._advance()
+        event = BatchEvent(self.env, self._arrival_cbs, 0)
+        self.env.schedule(event, self._next_time, _ARRIVAL_PRIO)
+
+    def drive(self) -> None:
+        kernel = self._kernel_drive
+        if kernel is not None:
+            kernel()
+        else:
+            self.env.run()
+
+    def _handle_arrival(self, event) -> None:
+        env = self.env
+        now = env._now
+        tenant = self._next_tenant
+        service = self._next_service
+        self.arrived += 1
+        self.arrived_by[tenant] += 1
+        if self.arrived < self.count:
+            self._advance()
+            # Reused chained arrival event, same priority as batch
+            # admission: tie order is engine-independent.
+            env.schedule(event, self._next_time - now, _ARRIVAL_PRIO)
+        if self.pinned[tenant]:
+            self.pinned[tenant] -= 1
+            self._begin(tenant, 0, now, service)
+        elif self.shared_free:
+            self.shared_free -= 1
+            self._begin(tenant, 1, now, service)
+        elif len(self.backlogs[tenant]) >= self._threshold:
+            self._cold_start(tenant, service)
+        elif len(self.backlogs[tenant]) >= self.queue_caps[tenant]:
+            self.congested_by[tenant] += 1
+        else:
+            backlog = self.backlogs[tenant]
+            backlog.append((now, service))
+            self.waiting += 1
+            self.queued_by[tenant] += 1
+            if len(backlog) > self.max_backlog_by[tenant]:
+                self.max_backlog_by[tenant] = len(backlog)
+
+    def _begin(self, tenant: int, pool: int, arrival_ns: int, service: int) -> None:
+        """Dispatch into a slot: one completion event at the finish time
+        (its eid drawn *here*, at the dispatch sequence point -- the
+        anchor of the cross-engine tie-break contract) plus, for leases
+        longer than one check interval, a renewal-check hop chain.  The
+        hops are pure bookkeeping (each re-arms only its own chain), so
+        their fire order -- and their eids -- are unobservable; the
+        batch-wheel kernel counts them arithmetically instead of
+        walking them."""
+        now = self.env._now
+        self._buf_tenant.append(tenant)
+        self._buf_sojourn.append(now - arrival_ns + service)
+        if len(self._buf_sojourn) >= _FLUSH_BATCH:
+            self._flush()
+        event = TenantEvent(self.env, self._lease_cbs, now + service, tenant, pool)
+        self._schedule(event, service)
+        if service > self._interval:
+            hop = BatchEvent(self.env, self._hop_cbs, now + service)
+            self._schedule(hop, self._interval)
+
+    def _redispatch(self, event, tenant: int, arrival_ns: int, service: int) -> None:
+        """Reuse a completed slot's event for the waiter it serves."""
+        now = self.env._now
+        self._buf_tenant.append(tenant)
+        self._buf_sojourn.append(now - arrival_ns + service)
+        if len(self._buf_sojourn) >= _FLUSH_BATCH:
+            self._flush()
+        event._value = now + service
+        self._schedule(event, service)
+        if service > self._interval:
+            hop = BatchEvent(self.env, self._hop_cbs, now + service)
+            self._schedule(hop, self._interval)
+
+    def _handle_hop(self, event) -> None:
+        """Per-interval lease-renewal check: re-arm while the next check
+        still lands strictly before the lease's finish, then vanish.
+        Fires exactly ``(service - 1) // interval`` times per lease."""
+        if self.env._now + self._interval < event._value:
+            self._schedule(event, self._interval)
+
+    def _handle_lease(self, event) -> None:
+        completed = self.completed + 1
+        self.completed = completed
+        if not completed & 0x3FF and self._is_wheel:
+            self._sample_wheel()
+        if event.pool:
+            if self.waiting:
+                backlogs = self.backlogs
+                best = -1
+                best_key = 0
+                for t in range(len(backlogs)):
+                    b = backlogs[t]
+                    if b and (best < 0 or b[0][0] < best_key):
+                        best_key = b[0][0]
+                        best = t
+                arrival_ns, service = backlogs[best].popleft()
+                self.waiting -= 1
+                event.tenant = best
+                self._redispatch(event, best, arrival_ns, service)
+            else:
+                self.shared_free += 1
+        else:
+            tenant = event.tenant
+            backlog = self.backlogs[tenant]
+            if backlog:
+                arrival_ns, service = backlog.popleft()
+                self.waiting -= 1
+                self._redispatch(event, tenant, arrival_ns, service)
+            else:
+                self.pinned[tenant] += 1
+
+    def _cold_start(self, tenant: int, service: int) -> None:
+        self.cold_by[tenant] += 1
+        event = TenantEvent(self.env, self._cold_cbs, service, tenant, 1)
+        self._schedule(event, self._spawn)
+
+    def _handle_cold(self, event) -> None:
+        """Sandbox ready: the cold executor joins the *shared* tier --
+        its spin-up event becomes the invocation's completion event, and
+        at completion it serves shared-tier hand-off like any other
+        slot."""
+        now = self.env._now
+        service = event._value
+        self._buf_tenant.append(event.tenant)
+        self._buf_sojourn.append(self._spawn + service)
+        if len(self._buf_sojourn) >= _FLUSH_BATCH:
+            self._flush()
+        event._value = now + service
+        event.callbacks = self._lease_cbs
+        self._schedule(event, service)
+        if service > self._interval:
+            hop = BatchEvent(self.env, self._hop_cbs, now + service)
+            self._schedule(hop, self._interval)
+
+    # -- vectorized flush: the admission-outcome classifier ------------
+
+    def _flush(self) -> None:
+        buf = self._buf_sojourn
+        if buf:
+            vals = np.asarray(buf, dtype=np.int64)
+            tens = np.asarray(self._buf_tenant, dtype=np.int64)
+            self.sojourn_total += int(vals.sum())
+            self.stream.observe_many(vals.astype(np.float64))
+            keyed = self.keyed
+            for t, name in enumerate(self.names):
+                mask = tens == t
+                count = int(mask.sum())
+                if not count:
+                    continue
+                slab = vals[mask]
+                self.dispatched_by[t] += count
+                self.sojourn_totals[t] += int(slab.sum())
+                # The deadline mask IS the outcome classifier: a
+                # dispatched invocation either makes its sojourn budget
+                # (SUCCESS) or misses it (DEADLINE_MISSED).
+                self.missed_by[t] += int((slab > self.deadlines[t]).sum())
+                keyed.observe_many(name, slab.astype(np.float64))
+            buf.clear()
+            self._buf_tenant.clear()
+        if self._is_wheel:
+            self._sample_wheel(force=True)
+
+    _sample_wheel = _OpenLoopDriver._sample_wheel
+
+    def finish(self) -> None:
+        if self._kernel_sync is not None:
+            self._kernel_sync()
+        self._flush()
+
+    # -- fused batch kernel --------------------------------------------
+
+    def _install_tenant_kernel(self) -> None:
+        """Build the tenant-aware batch FSM as closures and admit chunk 0.
+
+        Structurally :meth:`_ShardDriver._install_batch_kernel` with a
+        tenant column: chunk admission schedules :class:`TenantEvent`
+        slabs (``cls=TenantEvent`` through ``schedule_batch``), the
+        arrival handler reads ``tenants[pos]`` next to
+        ``services[pos]``, dispatch stamps ``(tenant, pool)`` into the
+        event it reuses as the completion event, and completion hands
+        the slot off by pool tier.  Per-tenant counters live in the
+        driver's own lists (shared mutable state, no sync needed);
+        scalar gauges are closure cells written back by ``sync()``.
+        The fused wheel loop replicates the run loop's pop order and
+        accounting exactly as the single-stream kernel does.
+
+        This kernel's lane-equivalent: lease renewal-check hops are
+        *virtualized*.  A dispatched lease's finish is fully determined
+        at dispatch, so the kernel schedules the completion event at
+        ``start + service`` directly and adds the per-event engines'
+        ``(service - 1) // interval`` renewal fires to
+        ``events_processed`` in closed form -- the hops it never walks.
+        Exactness: a hop re-arms only its own chain (no shared state),
+        so hop fire order and hop eids are unobservable; completion
+        eids are drawn at the dispatch sequence point in *every*
+        engine (see :meth:`_begin`), so completion eids ascend in
+        dispatch order everywhere and every tie-break class
+        (completion-vs-completion by eid, completion-vs-arrival by
+        priority) resolves identically.  Cold-start spin-ups keep real
+        hop chains on all engines (they are rare and foreign-dispatched
+        here), so their counts match by construction.
+        """
+        env = self.env
+        schedule = env.schedule_timeout
+        schedule_batch = env.schedule_batch
+        interval = self._interval
+        flush_batch = _FLUSH_BATCH
+        flush = self._flush
+        sample = self._sample_wheel
+        buf_tenant = self._buf_tenant
+        buf_sojourn = self._buf_sojourn
+        backlogs = self.backlogs
+        ntenants = len(backlogs)
+        pinned = self.pinned
+        arrived_by = self.arrived_by
+        congested_by = self.congested_by
+        queued_by = self.queued_by
+        cold_by = self.cold_by
+        max_backlog_by = self.max_backlog_by
+        queue_caps = self.queue_caps
+        chunks = self._chunks
+        total = self.count
+        is_wheel = self._is_wheel
+        if is_wheel:
+            slots0 = env._slots0
+            mask0 = env._mask0
+            eid = env._eid
+            # Bound once: _eid is never rebound (no lane reservations).
+            eidn = eid.__next__
+        else:
+            slots0 = mask0 = eid = eidn = None
+        shared_free = self.shared_free
+        waiting = 0
+        arrived = 0
+        completed = 0
+        tenants: list[int] = []
+        services: list[int] = []
+        nservices = 0
+        pos = 0
+        lease_cbs: tuple = ()
+        cold_cbs: tuple = ()
+        hop_cbs: tuple = ()
+        spawn = self._spawn
+        threshold = self._threshold
+
+        def admit_chunk() -> None:
+            nonlocal tenants, services, nservices, pos
+            times, tenants, services = next(chunks)
+            nservices = len(services)
+            pos = 0
+            schedule_batch(times, on_arrival, _ARRIVAL_PRIO, TenantEvent)
+
+        def on_arrival(event) -> None:
+            nonlocal pos, arrived, shared_free, waiting
+            now = env._now
+            tenant = tenants[pos]
+            service = services[pos]
+            pos += 1
+            arrived += 1
+            arrived_by[tenant] += 1
+            if pos == nservices and arrived < total:
+                admit_chunk()
+            if pinned[tenant]:
+                pinned[tenant] -= 1
+                pool = 0
+            elif shared_free:
+                shared_free -= 1
+                pool = 1
+            elif len(backlogs[tenant]) >= threshold:
+                cold_by[tenant] += 1
+                schedule(TenantEvent(env, cold_cbs, service, tenant, 1), spawn)
+                return
+            elif len(backlogs[tenant]) >= queue_caps[tenant]:
+                congested_by[tenant] += 1
+                return
+            else:
+                backlog = backlogs[tenant]
+                backlog.append((now, service))
+                waiting += 1
+                queued_by[tenant] += 1
+                if len(backlog) > max_backlog_by[tenant]:
+                    max_backlog_by[tenant] = len(backlog)
+                return
+            buf_tenant.append(tenant)
+            buf_sojourn.append(service)  # zero wait + service
+            if len(buf_sojourn) >= flush_batch:
+                flush()
+            when = now + service
+            event.tenant = tenant
+            event.pool = pool
+            event._value = when
+            event.callbacks = lease_cbs
+            if is_wheel:
+                s0 = when >> env._gbits
+                d0 = s0 - env._cursor
+                if 0 < d0 <= mask0:
+                    slots0[s0 & mask0].append((when, 1, next(eid), event))
+                    env._l0_count += 1
+                else:
+                    schedule(event, service)
+            else:
+                schedule(event, service)
+            if service > interval:
+                schedule(BatchEvent(env, hop_cbs, when), interval)
+
+        def on_hop(event) -> None:
+            """Lease-renewal check chain (real events on the per-event
+            engines; the fused wheel loop counts these arithmetically)."""
+            if env._now + interval < event._value:
+                schedule(event, interval)
+
+        def on_lease(event) -> None:
+            nonlocal completed, shared_free, waiting
+            now = env._now
+            completed += 1
+            if not completed & 0x3FF and is_wheel:
+                sample()
+            if event.pool:
+                if waiting:
+                    best = -1
+                    best_key = 0
+                    for t in range(ntenants):
+                        b = backlogs[t]
+                        if b and (best < 0 or b[0][0] < best_key):
+                            best_key = b[0][0]
+                            best = t
+                    arrival_ns, service = backlogs[best].popleft()
+                    waiting -= 1
+                    event.tenant = best
+                else:
+                    shared_free += 1
+                    return
+            else:
+                tenant = event.tenant
+                backlog = backlogs[tenant]
+                if backlog:
+                    arrival_ns, service = backlog.popleft()
+                    waiting -= 1
+                else:
+                    pinned[tenant] += 1
+                    return
+            buf_tenant.append(event.tenant)
+            buf_sojourn.append(now - arrival_ns + service)
+            if len(buf_sojourn) >= flush_batch:
+                flush()
+            when = now + service
+            event._value = when
+            if is_wheel:
+                s0 = when >> env._gbits
+                d0 = s0 - env._cursor
+                if 0 < d0 <= mask0:
+                    slots0[s0 & mask0].append((when, 1, next(eid), event))
+                    env._l0_count += 1
+                else:
+                    schedule(event, service)
+            else:
+                schedule(event, service)
+            if service > interval:
+                schedule(BatchEvent(env, hop_cbs, when), interval)
+
+        def on_cold(event) -> None:
+            """Sandbox ready: dispatched through the generic/foreign
+            path -- cold events are rare by construction."""
+            now = env._now
+            service = event._value
+            buf_tenant.append(event.tenant)
+            buf_sojourn.append(spawn + service)
+            if len(buf_sojourn) >= flush_batch:
+                flush()
+            when = now + service
+            event._value = when
+            event.callbacks = lease_cbs
+            schedule(event, service)
+            if service > interval:
+                schedule(BatchEvent(env, hop_cbs, when), interval)
+
+        def drive() -> None:
+            """Fused event loop: the wheel pop fast path with the tenant
+            arrival/lease handlers inlined (see
+            :meth:`_ShardDriver._install_batch_kernel` for the shadowing
+            and sync discipline this replicates verbatim)."""
+            nonlocal pos, arrived, completed, shared_free, waiting
+            pop = env._pop
+            spill = env._spill
+            overflow = env._queue
+            active = env._active
+            ai = env._ai
+            alen = len(active)
+            processed = 0
+            now = env._now
+            gbits = env._gbits
+            cursor = env._cursor
+            l0_add = 0
+            clear = not spill and not overflow
+            try:
+                while True:
+                    if ai < alen:
+                        if clear:
+                            entry = active[ai]
+                            active[ai] = None
+                            ai += 1
+                        else:
+                            entry = active[ai]
+                            if spill and spill[0] < entry:
+                                head = spill[0]
+                                if overflow and overflow[0] < head:
+                                    entry = heappop(overflow)
+                                else:
+                                    entry = heappop(spill)
+                                clear = not spill and not overflow
+                            elif overflow and overflow[0] < entry:
+                                entry = heappop(overflow)
+                                clear = not spill and not overflow
+                            else:
+                                active[ai] = None
+                                ai += 1
+                    else:
+                        env._ai = ai
+                        env._now = now
+                        if l0_add:
+                            env._l0_count += l0_add
+                            l0_add = 0
+                        try:
+                            entry = pop()
+                        except IndexError:
+                            return
+                        active = env._active
+                        ai = env._ai
+                        alen = len(active)
+                        gbits = env._gbits
+                        cursor = env._cursor
+                        clear = not spill and not overflow
+                    now = entry[0]
+                    event = entry[3]
+                    processed += 1
+                    cbs = event.callbacks
+                    if cbs is lease_cbs:
+                        # Completion events fire exactly at their stored
+                        # finish: the renewal-check hops the per-event
+                        # engines walk were already counted
+                        # arithmetically at dispatch, so there is no
+                        # re-arm branch on this path.
+                        completed += 1
+                        if not completed & 0x3FF:
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            sample()
+                        if event.pool:
+                            if waiting:
+                                best = -1
+                                best_key = 0
+                                for t in range(ntenants):
+                                    b = backlogs[t]
+                                    if b and (best < 0 or b[0][0] < best_key):
+                                        best_key = b[0][0]
+                                        best = t
+                                arrival_ns, service = backlogs[best].popleft()
+                                waiting -= 1
+                                event.tenant = best
+                                tenant = best
+                            else:
+                                shared_free += 1
+                                continue
+                        else:
+                            tenant = event.tenant
+                            backlog = backlogs[tenant]
+                            if backlog:
+                                arrival_ns, service = backlog.popleft()
+                                waiting -= 1
+                            else:
+                                pinned[tenant] += 1
+                                continue
+                        buf_tenant.append(tenant)
+                        buf_sojourn.append(now - arrival_ns + service)
+                        if len(buf_sojourn) >= flush_batch:
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            flush()
+                        when = now + service
+                        event._value = when
+                        processed += (service - 1) // interval
+                        s0 = when >> gbits
+                        d0 = s0 - cursor
+                        if 0 < d0 <= mask0:
+                            slots0[s0 & mask0].append((when, 1, eidn(), event))
+                            l0_add += 1
+                        else:
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            schedule(event, service)
+                            gbits = env._gbits
+                            cursor = env._cursor
+                            clear = not spill and not overflow
+                        continue
+                    if cbs.__class__ is tuple and cbs[0] is on_arrival:
+                        tenant = tenants[pos]
+                        service = services[pos]
+                        pos += 1
+                        arrived += 1
+                        arrived_by[tenant] += 1
+                        if pos == nservices and arrived < total:
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            admit_chunk()
+                            gbits = env._gbits
+                            cursor = env._cursor
+                            clear = not spill and not overflow
+                        if pinned[tenant]:
+                            pinned[tenant] -= 1
+                            pool = 0
+                        elif shared_free:
+                            shared_free -= 1
+                            pool = 1
+                        elif len(backlogs[tenant]) >= threshold:
+                            cold_by[tenant] += 1
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            schedule(TenantEvent(env, cold_cbs, service, tenant, 1), spawn)
+                            gbits = env._gbits
+                            cursor = env._cursor
+                            clear = not spill and not overflow
+                            continue
+                        elif len(backlogs[tenant]) >= queue_caps[tenant]:
+                            congested_by[tenant] += 1
+                            continue
+                        else:
+                            backlog = backlogs[tenant]
+                            backlog.append((now, service))
+                            waiting += 1
+                            queued_by[tenant] += 1
+                            blen = len(backlog)
+                            if blen > max_backlog_by[tenant]:
+                                max_backlog_by[tenant] = blen
+                            continue
+                        buf_tenant.append(tenant)
+                        buf_sojourn.append(service)
+                        if len(buf_sojourn) >= flush_batch:
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            flush()
+                        when = now + service
+                        event.tenant = tenant
+                        event.pool = pool
+                        event._value = when
+                        event.callbacks = lease_cbs
+                        processed += (service - 1) // interval
+                        s0 = when >> gbits
+                        d0 = s0 - cursor
+                        if 0 < d0 <= mask0:
+                            slots0[s0 & mask0].append((when, 1, eidn(), event))
+                            l0_add += 1
+                        else:
+                            env._now = now
+                            env._ai = ai
+                            if l0_add:
+                                env._l0_count += l0_add
+                                l0_add = 0
+                            schedule(event, service)
+                            gbits = env._gbits
+                            cursor = env._cursor
+                            clear = not spill and not overflow
+                        continue
+                    # Foreign event (cold spin-ups included): full
+                    # generic run-loop semantics.
+                    env._now = now
+                    env._ai = ai
+                    if l0_add:
+                        env._l0_count += l0_add
+                        l0_add = 0
+                    if cbs.__class__ is tuple:
+                        cbs[0](event)
+                    else:
+                        event.callbacks = None
+                        for callback in cbs:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise exc
+                        raise RuntimeError(f"event failed with non-exception {exc!r}")
+                    gbits = env._gbits
+                    cursor = env._cursor
+                    clear = not spill and not overflow
+            finally:
+                env._ai = ai
+                env._now = now
+                if l0_add:
+                    env._l0_count += l0_add
+                env.events_processed += processed
+
+        def sync() -> None:
+            self.arrived = arrived
+            self.completed = completed
+            self.shared_free = shared_free
+            self.waiting = waiting
+
+        lease_cbs = (on_lease,)
+        cold_cbs = (on_cold,)
+        hop_cbs = (on_hop,)
+        self._on_arrival = on_arrival
+        self._on_lease = on_lease
+        self._on_cold = on_cold
+        self._on_hop = on_hop
+        self._lease_cbs = lease_cbs
+        self._cold_cbs = cold_cbs
+        self._hop_cbs = hop_cbs
+        self._kernel_sync = sync
+        self._kernel_drive = drive if is_wheel else None
+        admit_chunk()
+
+
+@dataclass
+class TenantShardResult:
+    """One shard of the multi-tenant scenario: per-tenant accumulators
+    (exact integer counters + keyed streaming summaries) plus the
+    per-environment measurement."""
+
+    shard: int
+    shards: int
+    names: list[str]
+    invocations: int
+    completed: int
+    arrived_by: list[int]
+    dispatched_by: list[int]
+    missed_by: list[int]
+    congested_by: list[int]
+    queued_by: list[int]
+    cold_by: list[int]
+    max_backlog_by: list[int]
+    sojourn_totals: list[int]
+    sojourn_total: int
+    events_processed: int
+    wall_s: float
+    peak_rss_bytes: int
+    final_now_ns: int
+    timeout_pool_hits: int
+    stream: StreamingSummary
+    keyed: KeyedStreamingSummary
+    occupancy: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class TenantStats:
+    """One tenant's admission outcomes and sojourn tail over a run."""
+
+    name: str
+    arrived: int
+    dispatched: int
+    missed: int
+    congested: int
+    queued: int
+    cold_starts: int
+    max_backlog: int
+    sojourn_total: int
+    latency: Optional[SummaryStats]
+
+    @property
+    def succeeded(self) -> int:
+        """SUCCESS outcomes: dispatched and made the deadline."""
+        return self.dispatched - self.missed
+
+    @property
+    def miss_rate(self) -> float:
+        """DEADLINE_MISSED per dispatched invocation."""
+        return self.missed / self.dispatched if self.dispatched else 0.0
+
+    @property
+    def congestion_rate(self) -> float:
+        """CONGESTION rejections per arrival."""
+        return self.congested / self.arrived if self.arrived else 0.0
+
+
+@dataclass
+class TenantScaleResult:
+    """A multi-tenant open-loop run (merged across shards)."""
+
+    scheduler: str
+    admission: str
+    partitioning: str
+    pool_policy: str
+    shards: int
+    invocations: int
+    workers: int
+    completed: int
+    events_processed: int
+    wall_s: float
+    events_per_sec: float
+    peak_rss_bytes: int
+    final_now_ns: int
+    queued: int
+    congested: int
+    missed: int
+    cold_starts: int
+    latency: SummaryStats
+    tenants: dict[str, TenantStats]
+    stream_buckets: int
+    occupancy: dict[str, int] = field(default_factory=dict)
+
+    def fingerprint(self) -> dict[str, Any]:
+        """Simulated-domain outputs: identical across heap/wheel engines
+        and (in the unsaturated regime) across K=1/K=2 shard splits."""
+        per_tenant = {}
+        for name, t in self.tenants.items():
+            stats = {
+                "arrived": t.arrived,
+                "dispatched": t.dispatched,
+                "missed": t.missed,
+                "congested": t.congested,
+                "queued": t.queued,
+                "cold_starts": t.cold_starts,
+                "sojourn_total": t.sojourn_total,
+            }
+            if t.latency is not None:
+                stats.update(
+                    latency_median_ns=t.latency.median,
+                    latency_p95_ns=t.latency.p95,
+                    latency_p99_ns=t.latency.p99,
+                    latency_min_ns=t.latency.minimum,
+                    latency_max_ns=t.latency.maximum,
+                )
+            per_tenant[name] = stats
+        return {
+            "invocations": self.invocations,
+            "completed": self.completed,
+            "events_processed": self.events_processed,
+            "final_now_ns": self.final_now_ns,
+            "queued": self.queued,
+            "congested": self.congested,
+            "missed": self.missed,
+            "cold_starts": self.cold_starts,
+            "latency_p99_ns": self.latency.p99,
+            "latency_mean_ns": self.latency.mean,
+            "tenants": per_tenant,
+        }
+
+    def table(self) -> Table:
+        table = Table(
+            f"Multi-tenant scale run -- {self.invocations:,} invocations, "
+            f"{self.partitioning} partitioning ({self.scheduler} scheduler, "
+            f"{self.admission} admission)",
+            [
+                "tenant",
+                "arrived",
+                "p95 sojourn",
+                "p99 sojourn",
+                "miss rate",
+                "congestion",
+                "queued",
+                "cold",
+            ],
+        )
+        for name, t in self.tenants.items():
+            table.add_row(
+                name,
+                f"{t.arrived:,}",
+                format_ns(t.latency.p95) if t.latency else "-",
+                format_ns(t.latency.p99) if t.latency else "-",
+                f"{t.miss_rate:.4f}",
+                f"{t.congestion_rate:.4f}",
+                f"{t.queued:,}",
+                f"{t.cold_starts:,}",
+            )
+        table.add_row(
+            "(all)",
+            f"{self.invocations:,}",
+            format_ns(self.latency.p95),
+            format_ns(self.latency.p99),
+            f"{self.missed / max(1, self.completed):.4f}",
+            f"{self.congested / max(1, self.invocations):.4f}",
+            f"{self.queued:,}",
+            f"{self.cold_starts:,}",
+        )
+        return table
+
+
+def _run_tenant_shard(
+    shard: int,
+    shards: int,
+    specs: tuple,
+    workers: int = 1 << 21,
+    partitioning: str = "pinned",
+    scheduler: str = "wheel",
+    admission: str = "batch",
+    pool_policy: str = "queue",
+    start_model: str = "remote-fork",
+    hybrid_threshold: int = 64,
+    lease_check_interval_ns: int = ms(64),
+    granularity_bits: Union[int, str] = "auto",
+    seed: int = 0x7E7A77,
+    subbits: int = 8,
+) -> TenantShardResult:
+    """Run one shard of the multi-tenant scenario (picklable factory)."""
+    validate_granularity_bits(granularity_bits)
+    _validate_admission(admission)
+    _validate_partitioning(partitioning)
+    _validate_pool_policy(pool_policy, start_model, 0, hybrid_threshold)
+    if not 0 <= shard < shards:
+        raise ValueError(f"shard {shard} outside [0, {shards})")
+    config = MultiTenantConfig(
+        specs=tuple(specs),
+        workers=workers,
+        partitioning=partitioning,
+        lease_check_interval_ns=lease_check_interval_ns,
+        seed=seed,
+        scheduler=scheduler,
+        granularity_bits=granularity_bits,
+        admission=admission,
+        subbits=subbits,
+        shards=shards,
+        pool_policy=pool_policy,
+        start_model=start_model,
+        hybrid_threshold=hybrid_threshold,
+    )
+    env_kwargs = {"granularity_bits": granularity_bits} if scheduler == "wheel" else {}
+    env = new_environment(config.scheduler, **env_kwargs)
+    driver = _TenantDriver(env, config, shard, shards)
+    driver.start()
+
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    started = time.perf_counter()
+    try:
+        driver.drive()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    wall_s = time.perf_counter() - started
+    driver.finish()
+
+    congested = sum(driver.congested_by)
+    if driver.completed + congested != driver.count:
+        raise RuntimeError(
+            f"tenant shard {shard}/{shards} lost invocations: "
+            f"{driver.completed} completed + {congested} congested "
+            f"of {driver.count}"
+        )
+    return TenantShardResult(
+        shard=shard,
+        shards=shards,
+        names=list(driver.names),
+        invocations=driver.count,
+        completed=driver.completed,
+        arrived_by=list(driver.arrived_by),
+        dispatched_by=list(driver.dispatched_by),
+        missed_by=list(driver.missed_by),
+        congested_by=list(driver.congested_by),
+        queued_by=list(driver.queued_by),
+        cold_by=list(driver.cold_by),
+        max_backlog_by=list(driver.max_backlog_by),
+        sojourn_totals=list(driver.sojourn_totals),
+        sojourn_total=driver.sojourn_total,
+        events_processed=env.events_processed,
+        wall_s=wall_s,
+        peak_rss_bytes=_peak_rss_bytes(),
+        final_now_ns=env.now,
+        timeout_pool_hits=env.timeout_pool_hits,
+        stream=driver.stream,
+        keyed=driver.keyed,
+        occupancy=dict(driver.occupancy_peaks),
+    )
+
+
+def merge_tenant_shards(
+    results: list[TenantShardResult],
+    *,
+    scheduler: str,
+    admission: str,
+    partitioning: str,
+    pool_policy: str,
+    workers: int,
+    wall_s: float,
+) -> TenantScaleResult:
+    """Fold per-shard tenant accumulators, in shard order, into one result.
+
+    Counts sum per tenant; clocks take the max; the keyed summaries
+    fold with the exact :meth:`KeyedStreamingSummary.merge` path, and
+    every per-tenant mean comes from summed exact integer totals."""
+    if not results:
+        raise ValueError("merge of zero tenant shards")
+    if [r.shard for r in results] != list(range(len(results))):
+        raise ValueError("tenant shard results must arrive complete and in shard order")
+    names = results[0].names
+    stream = StreamingSummary.merged([r.stream for r in results])
+    keyed = KeyedStreamingSummary.merged([r.keyed for r in results])
+    occupancy: dict[str, int] = {}
+    for result in results:
+        for key, value in result.occupancy.items():
+            if value > occupancy.get(key, -1):
+                occupancy[key] = value
+    tenants: dict[str, TenantStats] = {}
+    for t, name in enumerate(names):
+        dispatched = sum(r.dispatched_by[t] for r in results)
+        sojourn_total = sum(r.sojourn_totals[t] for r in results)
+        if dispatched:
+            latency = replace(
+                keyed.summarize(name), mean=sojourn_total / dispatched
+            )
+        else:
+            latency = None
+        tenants[name] = TenantStats(
+            name=name,
+            arrived=sum(r.arrived_by[t] for r in results),
+            dispatched=dispatched,
+            missed=sum(r.missed_by[t] for r in results),
+            congested=sum(r.congested_by[t] for r in results),
+            queued=sum(r.queued_by[t] for r in results),
+            cold_starts=sum(r.cold_by[t] for r in results),
+            max_backlog=max(r.max_backlog_by[t] for r in results),
+            sojourn_total=sojourn_total,
+            latency=latency,
+        )
+    events = sum(r.events_processed for r in results)
+    completed = sum(r.completed for r in results)
+    return TenantScaleResult(
+        scheduler=scheduler,
+        admission=admission,
+        partitioning=partitioning,
+        pool_policy=pool_policy,
+        shards=len(results),
+        invocations=sum(r.invocations for r in results),
+        workers=workers,
+        completed=completed,
+        events_processed=events,
+        wall_s=wall_s,
+        events_per_sec=events / wall_s if wall_s > 0 else 0.0,
+        peak_rss_bytes=max(r.peak_rss_bytes for r in results),
+        final_now_ns=max(r.final_now_ns for r in results),
+        queued=sum(sum(r.queued_by) for r in results),
+        congested=sum(sum(r.congested_by) for r in results),
+        missed=sum(sum(r.missed_by) for r in results),
+        cold_starts=sum(sum(r.cold_by) for r in results),
+        latency=replace(
+            stream.summarize(),
+            mean=sum(r.sojourn_total for r in results) / stream.count,
+        ),
+        tenants=tenants,
+        stream_buckets=len(stream.histogram) + keyed.buckets(),
+        occupancy=occupancy,
+    )
+
+
+def run_tenant_scale(
+    specs=None,
+    invocations: Optional[int] = None,
+    rate_scale: float = 1.0,
+    compute_scale: float = 1.0,
+    workers: int = 1 << 21,
+    partitioning: str = "pinned",
+    scheduler: str = "wheel",
+    admission: str = "batch",
+    pool_policy: str = "queue",
+    start_model: str = "remote-fork",
+    hybrid_threshold: int = 64,
+    lease_check_interval_ns: int = ms(64),
+    granularity_bits: Union[int, str] = "auto",
+    seed: int = 0x7E7A77,
+    subbits: int = 8,
+    shards: int = 1,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+) -> TenantScaleResult:
+    """Drive the multi-tenant open-loop scenario once and measure it.
+
+    *specs* defaults to :func:`repro.workloads.tenants.standard_mix`
+    rescaled by (*invocations*, *rate_scale*, *compute_scale*); pass an
+    explicit mix to override.  ``shards > 1`` decomposes the one merged
+    calendar by global arrival index (partition split) and fans the
+    shards out over ``parallel`` worker processes -- exact in the
+    unsaturated regime, where the K-shard merge is bit-identical to
+    the 1-shard run.
+    """
+    if specs is None:
+        specs = standard_mix(invocations, rate_scale, compute_scale)
+    specs = tuple(specs)
+    if not specs:
+        raise ValueError("multi-tenant run needs at least one tenant spec")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"tenant names must be unique, got {names}")
+    validate_granularity_bits(granularity_bits)
+    _validate_admission(admission)
+    _validate_partitioning(partitioning)
+    _validate_pool_policy(pool_policy, start_model, 0, hybrid_threshold)
+    _tenant_pool_plan(specs, workers, partitioning)  # fail fast on thin pools
+    total = sum(spec.invocations for spec in specs)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards > total:
+        raise ValueError(f"{shards} shards for {total} invocations (some get none)")
+    shared_kwargs = dict(
+        shards=shards,
+        specs=specs,
+        workers=workers,
+        partitioning=partitioning,
+        scheduler=scheduler,
+        admission=admission,
+        pool_policy=pool_policy,
+        start_model=start_model,
+        hybrid_threshold=hybrid_threshold,
+        lease_check_interval_ns=lease_check_interval_ns,
+        granularity_bits=granularity_bits,
+        seed=seed,
+        subbits=subbits,
+    )
+    if shards == 1:
+        started = time.perf_counter()
+        outcomes: list = [_run_tenant_shard(shard=0, **shared_kwargs)]
+        wall_s = time.perf_counter() - started
+    else:
+        from repro.parallel import FailedPoint, RunSpec, run_specs
+
+        run_spec_list = [
+            RunSpec(
+                factory="repro.experiments.scale:_run_tenant_shard",
+                kwargs={"shard": shard, **shared_kwargs},
+                index=shard,
+                label=f"tenant-shard[{shard}/{shards}]",
+            )
+            for shard in range(shards)
+        ]
+        cache = None
+        if cache_dir is not None:
+            from repro.cache import ResultCache
+
+            cache = ResultCache(cache_dir)
+        started = time.perf_counter()
+        outcomes = run_specs(run_spec_list, parallel, cache=cache)
+        wall_s = time.perf_counter() - started
+        failed = [o for o in outcomes if isinstance(o, FailedPoint)]
+        if failed:
+            raise RuntimeError(f"multi-tenant run failed: {failed[0].summary()}")
+    return merge_tenant_shards(
+        outcomes,
+        scheduler=scheduler or "heap",
+        admission=admission,
+        partitioning=partitioning,
+        pool_policy=pool_policy,
+        workers=workers,
+        wall_s=wall_s,
+    )

@@ -30,6 +30,14 @@ Three shapes, all with the same long-run mean rate ``1/mean_gap_ns``:
 Every generator yields ``numpy.int64`` arrays of **absolute** times
 (non-decreasing, first arrival >= 1 ns) totalling exactly ``count``
 entries; peak memory is one chunk regardless of ``count``.
+
+:func:`merge_tenant_streams` lifts per-tenant streams into one global
+calendar: a ``(times, tenants)`` chunk sequence, globally non-decreasing
+in time, with a tenant-id column that the multi-tenant scale engine
+carries through every slab.  Ties (equal arrival times across tenants)
+break on the lowest tenant id via a stable ``np.lexsort``, so the
+merged order is a pure function of the input streams -- the property
+the batch/per-event bit-identity contract rests on.
 """
 
 from __future__ import annotations
@@ -198,3 +206,80 @@ def arrival_times(
         )
         return _diurnal_times(rng, count, mean_gap_ns, period, diurnal_multipliers, chunk)
     raise ValueError(f"unknown arrival shape {shape!r} (expected one of {SHAPES})")
+
+
+#: Dtype of the tenant-id column produced by :func:`merge_tenant_streams`.
+TENANT_DTYPE = np.int32
+
+
+def merge_tenant_streams(
+    streams: Sequence[Iterator[np.ndarray]],
+    chunk: int = ARRIVAL_CHUNK,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Merge per-tenant arrival streams into one tagged global calendar.
+
+    Yields ``(times, tenants)`` pairs -- ``times`` an ``int64`` array of
+    absolute arrival times, globally non-decreasing across all yielded
+    chunks, and ``tenants`` the parallel ``int32`` column of stream
+    indices.  Equal times order by ascending tenant id (stable lexsort,
+    primary key time, secondary key tenant).
+
+    The merge is barrier-based so memory stays bounded: each round tops
+    up every live tenant's buffer to ~one chunk, then emits the prefix
+    of the combined buffer at or below the *barrier* -- the smallest
+    last-buffered time over tenants that still have arrivals pending.
+    Everything retained is provably later than everything emitted (a
+    non-exhausted tenant can only produce times beyond its buffered
+    horizon), which is what makes the output globally non-decreasing.
+    """
+    iters = [iter(s) for s in streams]
+    if not iters:
+        raise ValueError("merge_tenant_streams needs at least one stream")
+    buffers: list[np.ndarray] = [np.empty(0, dtype=ARRIVAL_DTYPE) for _ in iters]
+    live = [True] * len(iters)
+    while True:
+        # Top up: every live tenant holds at least `chunk` buffered
+        # arrivals (or is exhausted), so the barrier advances by at
+        # least one chunk's span per round.
+        for t, it in enumerate(iters):
+            if not live[t]:
+                continue
+            parts = [buffers[t]]
+            size = buffers[t].size
+            while size < chunk:
+                block = next(it, None)
+                if block is None:
+                    live[t] = False
+                    break
+                parts.append(block)
+                size += block.size
+            if len(parts) > 1:
+                buffers[t] = np.concatenate(parts)
+        pending = [t for t in range(len(iters)) if live[t]]
+        if pending:
+            barrier = min(int(buffers[t][-1]) for t in pending)
+            emit = [
+                buf[: np.searchsorted(buf, barrier, side="right")] for buf in buffers
+            ]
+            buffers = [
+                buf[np.searchsorted(buf, barrier, side="right") :] for buf in buffers
+            ]
+        else:
+            emit, buffers = buffers, [b[:0] for b in buffers]
+        total = sum(part.size for part in emit)
+        if total:
+            times = np.concatenate([part for part in emit if part.size])
+            tenants = np.concatenate(
+                [
+                    np.full(part.size, t, dtype=TENANT_DTYPE)
+                    for t, part in enumerate(emit)
+                    if part.size
+                ]
+            )
+            # Stable sort, primary key = time, secondary = tenant id
+            # (the concatenation above is already tenant-major, so the
+            # tenant key only has to break exact time ties).
+            order = np.lexsort((tenants, times))
+            yield times[order], tenants[order]
+        if not pending:
+            return

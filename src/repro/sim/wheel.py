@@ -1686,13 +1686,15 @@ class WheelEnvironment(Environment):
         heappush(self._spill, (when, NORMAL, next(self._eid), event))
 
     def schedule_batch(
-        self, times: Any, callback: Any, priority: int = NORMAL
+        self, times: Any, callback: Any, priority: int = NORMAL, cls: type = BatchEvent
     ) -> list[Event]:
         """Vectorized batch admission: bucket-sort a whole chunk at once.
 
         Same contract as the base class (non-decreasing absolute
         *times*, all ``>= now``; one shared-callback :class:`BatchEvent`
-        per deadline, eids in sequence order), but instead of ~2^16
+        per deadline, eids in sequence order, *cls* swapping in a
+        BatchEvent subclass such as the multi-tenant kernel's
+        :class:`~repro.sim.events.TenantEvent`), but instead of ~2^16
         per-event Python calls the chunk is classified in one numpy
         pass: ``searchsorted`` against the cursor finds the
         spill/level-0/level-1/overflow segment boundaries (the slot
@@ -1725,7 +1727,7 @@ class WheelEnvironment(Environment):
         cursor = self._cursor
         s0 = arr >> gbits
         shared = callback if callback.__class__ is tuple else (callback,)
-        events = [BatchEvent(self, shared) for _ in range(n)]
+        events = [cls(self, shared) for _ in range(n)]
         entries = list(zip(arr.tolist(), repeat(priority), islice(self._eid, n), events))
         # Segment boundaries over the sorted slot numbers:
         # s0 <= cursor                  -> spill

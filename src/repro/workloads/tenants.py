@@ -2,21 +2,41 @@
 
 The paper's oversubscription argument (Sec. III-D) is about *mixes*:
 latency-critical tenants pin hot workers while bursty and batch tenants
-share oversubscribed capacity warmly.  This module generates those
-tenant profiles -- arrival processes, payload sizes, compute costs --
-for the multi-tenant experiment and tests.
+share oversubscribed capacity warmly.  This module declares those
+tenant profiles -- arrival processes, payload sizes, compute costs,
+deadlines -- for the multi-tenant experiments and tests.
+
+:class:`TenantSpec` stays purely declarative.  Arrival *generation*
+lives in :mod:`repro.sim.arrivals` (this module predates it and used
+to carry its own exponential-gap generator); :meth:`TenantSpec.
+arrival_stream` maps the declared profile onto ``arrival_times``:
+
+* ``arrival="poisson"`` -- exponential gaps with mean
+  ``1e9 / rate_per_s`` ns (the same long-run rate the retired
+  ``interarrival_ns`` produced);
+* ``arrival="bursty"`` -- a compound process with burst epochs of
+  ``burst_len`` back-to-back invocations (``burst_intra_gap_ns``
+  apart) and exponential epoch gaps of mean ``1e9 / rate_per_s`` --
+  the retired generator's semantics, where ``rate_per_s`` was the
+  *epoch* rate and each epoch released a whole burst.
+
+For the million-invocation scale engine the same three-profile
+:func:`standard_mix` is rescaled through its parameters: a target
+total invocation count (split across profiles by their declared
+weights), a rate multiplier, and a compute multiplier that scales
+service times and deadlines together.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.core.functions import CodePackage, FunctionSpec
+from repro.sim.arrivals import ARRIVAL_CHUNK, arrival_times
 from repro.sim.clock import ms, us
-from repro.sim.rng import RngStreams
 
 
 @dataclass(frozen=True)
@@ -25,16 +45,31 @@ class TenantSpec:
 
     name: str
     #: "poisson" (rate_per_s) or "bursty" (bursts of burst_len calls
-    #: back-to-back, separated by exponential gaps).
+    #: back-to-back, separated by exponential epoch gaps).
     arrival: str = "poisson"
+    #: Poisson invocation rate -- or the burst-*epoch* rate for bursty
+    #: tenants (each epoch releases ``burst_len`` invocations), exactly
+    #: the semantics the retired per-tenant generator had.
     rate_per_s: float = 100.0
     burst_len: int = 10
+    #: Spacing of invocations inside one burst ("bursty" only).
+    burst_intra_gap_ns: int = 1
     payload_bytes: int = 1_024
     compute_ns: int = us(50)
     workers: int = 1
     #: None = stay hot forever; 0 = always warm; else rollback timeout.
     hot_timeout_ns: Optional[int] = 0
     invocations: int = 100
+    #: Log-normal service shape around ``compute_ns`` (the scale engine
+    #: draws service times as ``lognormal(ln(compute_ns), sigma)``; the
+    #: RPC-level experiment uses the fixed ``compute_ns`` cost).
+    service_log_sigma: float = 0.35
+    #: Sojourn budget for the admission layer; ``None`` derives the
+    #: default 2x compute budget (see :meth:`effective_deadline_ns`).
+    deadline_ns: Optional[int] = None
+    #: Per-tenant FIFO backlog depth beyond which a dry-pool arrival is
+    #: rejected with CONGESTION instead of queueing.
+    queue_cap: int = 1 << 30
 
     def package(self) -> CodePackage:
         package = CodePackage(name=f"tenant-{self.name}")
@@ -48,14 +83,94 @@ class TenantSpec:
         )
         return package
 
-    def interarrival_ns(self, rng: np.random.Generator) -> int:
-        """Next gap before an invocation (bursts return 0 inside)."""
-        return max(1, round(rng.exponential(1e9 / self.rate_per_s)))
+    @property
+    def mean_gap_ns(self) -> float:
+        """Mean *per-invocation* gap implied by ``rate_per_s``.
+
+        Bursty profiles release ``burst_len`` invocations per epoch at
+        an epoch rate of ``rate_per_s``, so their long-run invocation
+        rate is ``rate_per_s * burst_len`` and the per-invocation gap
+        (what :func:`repro.sim.arrivals.arrival_times` takes) divides
+        accordingly.
+        """
+        if self.rate_per_s <= 0:
+            raise ValueError(f"tenant {self.name!r} needs rate_per_s > 0")
+        if self.arrival == "bursty":
+            return 1e9 / (self.rate_per_s * self.burst_len)
+        return 1e9 / self.rate_per_s
+
+    def effective_deadline_ns(self) -> int:
+        """The admission deadline: explicit, or 2x the compute budget."""
+        if self.deadline_ns is not None:
+            return int(self.deadline_ns)
+        return 2 * int(self.compute_ns)
+
+    def arrival_stream(
+        self,
+        rng: np.random.Generator,
+        count: Optional[int] = None,
+        chunk: int = ARRIVAL_CHUNK,
+    ) -> Iterator[np.ndarray]:
+        """Chunked absolute arrival times for this profile.
+
+        Thin declarative bridge onto :func:`repro.sim.arrivals.
+        arrival_times` -- the single home of every arrival-shape
+        recipe (the old per-tenant exponential generator is retired).
+        """
+        return arrival_times(
+            self.arrival,
+            rng,
+            self.invocations if count is None else count,
+            self.mean_gap_ns,
+            burst_len=self.burst_len,
+            burst_intra_gap_ns=self.burst_intra_gap_ns,
+            chunk=chunk,
+        )
 
 
-def standard_mix() -> list[TenantSpec]:
-    """The three-profile mix used by the multi-tenant experiment."""
-    return [
+def split_by_weights(total: int, weights: list[int]) -> list[int]:
+    """Deterministic largest-remainder split of *total* by *weights*.
+
+    Used both to spread a target invocation count across the mix's
+    profiles and, by the multi-tenant scale engine, to carve the warm
+    pool into per-tenant pinned partitions.
+    """
+    denom = sum(weights)
+    if denom <= 0:
+        raise ValueError("invocation weights must sum to a positive count")
+    quotas = [total * w / denom for w in weights]
+    counts = [int(q) for q in quotas]
+    leftover = total - sum(counts)
+    # Hand leftovers to the largest fractional remainders; ties break
+    # on the lowest profile index so the split is reproducible.
+    order = sorted(
+        range(len(weights)), key=lambda i: (counts[i] - quotas[i], i)
+    )
+    for i in order[:leftover]:
+        counts[i] += 1
+    return counts
+
+
+def standard_mix(
+    invocations: Optional[int] = None,
+    rate_scale: float = 1.0,
+    compute_scale: float = 1.0,
+) -> list[TenantSpec]:
+    """The three-profile mix used by the multi-tenant experiments.
+
+    With no arguments this is the RPC-level mix (a few hundred
+    invocations over two spot executors).  The scale engine rescales
+    the same declared shapes: *invocations* redistributes a target
+    total across the profiles by their declared weights (150:120:60),
+    *rate_scale* multiplies every arrival rate, and *compute_scale*
+    multiplies service medians and deadlines together so the
+    deadline-miss geometry of each profile is scale-invariant.
+    """
+    if rate_scale <= 0:
+        raise ValueError(f"rate_scale must be positive, got {rate_scale}")
+    if compute_scale <= 0:
+        raise ValueError(f"compute_scale must be positive, got {compute_scale}")
+    mix = [
         TenantSpec(
             name="latency-critical",
             arrival="poisson",
@@ -87,6 +202,27 @@ def standard_mix() -> list[TenantSpec]:
             hot_timeout_ns=0,  # always warm: the cheap tenant
             invocations=60,
         ),
+    ]
+    if invocations is None and rate_scale == 1.0 and compute_scale == 1.0:
+        return mix
+    counts = (
+        split_by_weights(invocations, [spec.invocations for spec in mix])
+        if invocations is not None
+        else [spec.invocations for spec in mix]
+    )
+    if invocations is not None and min(counts) < 1:
+        raise ValueError(
+            f"{invocations} invocations spread too thin across {len(mix)} profiles"
+        )
+    return [
+        replace(
+            spec,
+            invocations=count,
+            rate_per_s=spec.rate_per_s * rate_scale,
+            compute_ns=max(1, int(spec.compute_ns * compute_scale)),
+            deadline_ns=max(1, int(spec.effective_deadline_ns() * compute_scale)),
+        )
+        for spec, count in zip(mix, counts)
     ]
 
 

@@ -14,6 +14,7 @@ import pytest
 
 from repro.analysis.stats import percentile, summarize
 from repro.analysis.streams import (
+    KeyedStreamingSummary,
     LogHistogram,
     P2Quantile,
     StreamingSummary,
@@ -314,3 +315,95 @@ def test_streaming_summary_empty_cases():
     assert summary.count == 1
     assert summary.minimum == summary.maximum == 5.0
     assert not math.isnan(summary.median)
+
+
+# -- KeyedStreamingSummary ---------------------------------------------
+
+
+def _keyed_samples():
+    """Three tenants with very uneven sample counts (2400 / 320 / 11)."""
+    rng = random.Random(22)
+    samples = []
+    for key, count, mu in (("hot", 2_400, 10.0), ("bursty", 320, 12.0), ("batch", 11, 14.0)):
+        samples.extend((key, rng.lognormvariate(mu, 1.1)) for _ in range(count))
+    rng.shuffle(samples)
+    return samples
+
+
+def _keyed_part(samples):
+    part = KeyedStreamingSummary()
+    for key, value in samples:
+        part.observe(key, value)
+    return part
+
+
+@pytest.mark.parametrize("ways", [1, 2, 4, 8])
+def test_keyed_merged_invariant_across_split_arity(ways):
+    """Per-key accumulators fold exactly for K in 1..8, tenants unevenly
+    spread across the shards (contiguous splits of a shuffled stream, so
+    the 11-sample tenant can be entirely absent from most shards)."""
+    samples = _keyed_samples()
+    serial = _keyed_part(samples)
+    merged = KeyedStreamingSummary.merged(
+        [_keyed_part(shard) for shard in _split(samples, ways)]
+    )
+    assert set(merged.parts) == set(serial.parts)
+    assert merged.total_count() == serial.total_count()
+    assert merged.buckets() == serial.buckets()
+    for key in serial.parts:
+        assert merged.count(key) == serial.count(key)
+        a, b = merged.summarize(key), serial.summarize(key)
+        assert (a.median, a.p95, a.p99, a.minimum, a.maximum) == (
+            b.median,
+            b.p95,
+            b.p99,
+            b.minimum,
+            b.maximum,
+        )
+        assert a.mean == pytest.approx(b.mean, rel=1e-12)
+
+
+def test_keyed_merged_commutes_and_associates():
+    """Shard order and grouping never reach the per-key histograms."""
+    samples = _keyed_samples()
+    shards = [_keyed_part(shard) for shard in _split(samples, 4)]
+    forward = KeyedStreamingSummary.merged(shards)
+    backward = KeyedStreamingSummary.merged(list(reversed(shards)))
+    nested = KeyedStreamingSummary.merged(
+        [
+            KeyedStreamingSummary.merged([shards[0], shards[1]]),
+            KeyedStreamingSummary.merged([shards[2], shards[3]]),
+        ]
+    )
+    for other in (backward, nested):
+        assert set(other.parts) == set(forward.parts)
+        for key in forward.parts:
+            assert other.count(key) == forward.count(key)
+            assert (
+                other.parts[key].histogram._buckets
+                == forward.parts[key].histogram._buckets
+            )
+            assert other.parts[key].minimum == forward.parts[key].minimum
+            assert other.parts[key].maximum == forward.parts[key].maximum
+            assert other.parts[key].welford.mean == pytest.approx(
+                forward.parts[key].welford.mean, rel=1e-12
+            )
+
+
+def test_keyed_merge_never_aliases_shard_state():
+    """Folding a shard in must deep-copy unseen keys, not alias them."""
+    shard = KeyedStreamingSummary()
+    shard.observe("only-here", 7.0)
+    out = KeyedStreamingSummary.merged([shard])
+    out.observe("only-here", 9.0)
+    assert shard.count("only-here") == 1
+    assert out.count("only-here") == 2
+
+
+def test_keyed_merge_validates_and_raises_on_unknown_key():
+    left = KeyedStreamingSummary(subbits=8)
+    with pytest.raises(ValueError):
+        left.merge(KeyedStreamingSummary(subbits=4))
+    with pytest.raises(KeyError):
+        left.summarize("never-observed")
+    assert left.count("never-observed") == 0

@@ -21,6 +21,7 @@ def test_registry_complete():
         "leases",
         "softroce",
         "multitenant",
+        "multitenant-rpc",
         "pipelining",
         "concurrency",
         "warmpool",
@@ -79,8 +80,20 @@ def test_softroce_quick_shape():
     assert result.slowdown(64) > 3
 
 
-def test_multitenant_outcomes_populated():
-    result = run_experiment("multitenant", quick=True)
+def test_multitenant_rpc_outcomes_populated():
+    result = run_experiment("multitenant-rpc", quick=True)
     for outcome in result.outcomes.values():
         assert outcome.rtts_ns
         assert outcome.cost > 0
+
+
+def test_multitenant_scale_quick_per_tenant_outcomes():
+    result = run_experiment("multitenant", quick=True, partitioning="shared")
+    assert result.partitioning == "shared"
+    assert result.completed + result.congested == result.invocations
+    assert set(result.tenants) == {"latency-critical", "bursty-service", "batch-analytics"}
+    for stats in result.tenants.values():
+        assert stats.dispatched == stats.succeeded + stats.missed
+        assert stats.latency is not None and stats.latency.p99 >= stats.latency.p95
+    rendered = result.table().render()
+    assert rendered.count("\n") >= 5

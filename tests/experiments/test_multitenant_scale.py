@@ -1,0 +1,156 @@
+"""Multi-tenant scale engine: bit-identity, sharding, and pool plans.
+
+The contract under test mirrors the single-stream scale engine's: the
+vectorized batch kernel and the per-event referee FSM must agree on
+every simulated-domain output -- here *per tenant*: outcome counts
+(SUCCESS / CONGESTION / DEADLINE_MISSED), exact sojourn totals, and
+histogram-derived tails -- across both schedulers, and (unsaturated) a
+K-way shard split must merge back bit-identical to the 1-shard run.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.scale import (
+    MultiTenantConfig,
+    _tenant_chunks,
+    _tenant_pool_plan,
+    run_tenant_scale,
+)
+from repro.workloads.tenants import TenantSpec, standard_mix
+
+#: A saturated mix: pool far smaller than the in-flight demand, so
+#: queueing, deadline misses, and (with a queue cap) congestion all
+#: actually occur and the engines must agree on each of them.
+SATURATED = dict(workers=48, seed=13)
+
+
+def _specs(**overrides):
+    specs = standard_mix(invocations=4_000, rate_scale=400.0, compute_scale=40.0)
+    return [replace(spec, **overrides) for spec in specs] if overrides else specs
+
+
+@pytest.mark.parametrize("partitioning", ["pinned", "shared", "overflow"])
+def test_engines_bit_identical_across_partitionings(partitioning):
+    fingerprints = [
+        run_tenant_scale(
+            specs=_specs(),
+            partitioning=partitioning,
+            scheduler=scheduler,
+            admission=admission,
+            **SATURATED,
+        ).fingerprint()
+        for scheduler in ("heap", "wheel")
+        for admission in ("per-event", "batch")
+    ]
+    assert all(fp == fingerprints[0] for fp in fingerprints[1:])
+    assert fingerprints[0]["completed"] == 4_000
+    # Saturation produced real per-tenant queueing/misses to agree on.
+    assert fingerprints[0]["missed"] > 0
+    assert all(t["dispatched"] > 0 for t in fingerprints[0]["tenants"].values())
+
+
+@pytest.mark.parametrize("pool_policy", ["queue", "cold", "hybrid"])
+def test_engines_bit_identical_across_pool_policies(pool_policy):
+    specs = _specs(queue_cap=32)
+    results = [
+        run_tenant_scale(
+            specs=specs,
+            partitioning="overflow",
+            pool_policy=pool_policy,
+            hybrid_threshold=8,
+            scheduler=scheduler,
+            admission=admission,
+            **SATURATED,
+        )
+        for scheduler in ("heap", "wheel")
+        for admission in ("per-event", "batch")
+    ]
+    base = results[0].fingerprint()
+    assert all(r.fingerprint() == base for r in results[1:])
+    if pool_policy == "queue":
+        assert base["congested"] > 0 and base["cold_starts"] == 0
+    else:
+        assert base["cold_starts"] > 0
+    # Accounting closes: every arrival either completed or was rejected.
+    assert base["completed"] + base["congested"] == 4_000
+
+
+@pytest.mark.parametrize("shards", [2, 3])
+def test_unsaturated_shard_split_is_exact(shards):
+    """K-way partition split merges bit-identical to the 1-shard run
+    when the pool never saturates (no cross-shard queue interaction)."""
+    specs = standard_mix(invocations=3_000, rate_scale=50.0)
+    kwargs = dict(specs=specs, workers=8_192, partitioning="overflow", seed=5)
+    serial = run_tenant_scale(**kwargs)
+    sharded = run_tenant_scale(shards=shards, **kwargs)
+    assert sharded.fingerprint() == serial.fingerprint()
+    assert sharded.shards == shards
+
+
+def test_per_tenant_outcome_conservation_and_stats():
+    result = run_tenant_scale(specs=_specs(queue_cap=64), partitioning="pinned", **SATURATED)
+    total_arrived = 0
+    for stats in result.tenants.values():
+        assert stats.arrived == stats.dispatched + stats.congested
+        assert stats.succeeded + stats.missed == stats.dispatched
+        assert 0.0 <= stats.miss_rate <= 1.0
+        assert 0.0 <= stats.congestion_rate <= 1.0
+        assert stats.latency.mean == stats.sojourn_total / stats.dispatched
+        total_arrived += stats.arrived
+    assert total_arrived == result.invocations
+    assert result.events_processed > 0
+    assert "(all)" in result.table().render()
+
+
+def test_tenant_chunks_shard_union_is_global_stream():
+    """The K shards' merged calendars tile the global one exactly."""
+    config = MultiTenantConfig(specs=tuple(standard_mix(invocations=2_000)))
+    serial = []
+    for times, tenants, services in _tenant_chunks(config, 0, 1):
+        serial.extend(zip(times, tenants, services))
+    recombined = [[] for _ in range(3)]
+    for shard in range(3):
+        for times, tenants, services in _tenant_chunks(config, shard, 3):
+            recombined[shard].extend(zip(times, tenants, services))
+    interleaved = []
+    cursors = [0, 0, 0]
+    for index in range(len(serial)):
+        shard = index % 3
+        interleaved.append(recombined[shard][cursors[shard]])
+        cursors[shard] += 1
+    assert interleaved == serial
+    assert [t for t, _, _ in serial] == sorted(t for t, _, _ in serial)
+
+
+def test_pool_plan_partitions_and_validation():
+    specs = tuple(standard_mix())
+    pinned, shared = _tenant_pool_plan(specs, 1_000, "pinned")
+    assert sum(pinned) == 1_000 and shared == 0
+    pinned, shared = _tenant_pool_plan(specs, 1_000, "shared")
+    assert pinned == [0, 0, 0] and shared == 1_000
+    pinned, shared = _tenant_pool_plan(specs, 1_001, "overflow")
+    assert sum(pinned) + shared == 1_001 and shared >= 501
+    with pytest.raises(ValueError):
+        _tenant_pool_plan(specs, 2, "pinned")  # thinner than one slot each
+    with pytest.raises(ValueError):
+        _tenant_pool_plan(specs, 1_000, "bogus")
+
+
+def test_run_validation_rejects_bad_knobs():
+    specs = standard_mix()
+    with pytest.raises(ValueError):
+        run_tenant_scale(specs=specs, partitioning="bogus")
+    with pytest.raises(ValueError):
+        run_tenant_scale(specs=specs, admission="bogus")
+    with pytest.raises(ValueError):
+        run_tenant_scale(specs=specs, pool_policy="bogus")
+    with pytest.raises(ValueError):
+        run_tenant_scale(specs=[])
+    with pytest.raises(ValueError):
+        run_tenant_scale(specs=[TenantSpec(name="a"), TenantSpec(name="a")])
+    with pytest.raises(ValueError):
+        run_tenant_scale(specs=specs, shards=0)
+    with pytest.raises(ValueError):
+        run_tenant_scale(specs=specs, shards=10**9)

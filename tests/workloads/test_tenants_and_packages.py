@@ -44,16 +44,79 @@ def test_tenant_spec_package_runs():
     assert output is None and size == 8
 
 
-def test_tenant_interarrival_positive_and_seeded():
-    spec = TenantSpec(name="t", rate_per_s=1000.0)
-    rng1 = RngStreams(5).stream("t")
-    rng2 = RngStreams(5).stream("t")
-    draws1 = [spec.interarrival_ns(rng1) for _ in range(10)]
-    draws2 = [spec.interarrival_ns(rng2) for _ in range(10)]
-    assert draws1 == draws2
-    assert all(d >= 1 for d in draws1)
-    # Mean roughly 1/rate.
-    assert 0.2e6 < np.mean(draws1) < 5e6
+def test_tenant_arrival_stream_seeded_and_positive():
+    spec = TenantSpec(name="t", rate_per_s=1000.0, invocations=200)
+    times1 = np.concatenate(list(spec.arrival_stream(RngStreams(5).stream("t"))))
+    times2 = np.concatenate(list(spec.arrival_stream(RngStreams(5).stream("t"))))
+    assert np.array_equal(times1, times2)
+    assert times1.size == 200
+    assert times1[0] >= 1
+    assert bool((np.diff(times1) >= 0).all())
+    # Mean per-invocation gap roughly 1/rate (1 ms at 1000/s).
+    mean_gap = times1[-1] / times1.size
+    assert 0.2e6 < mean_gap < 5e6
+
+
+def test_tenant_arrival_stream_matches_arrivals_module():
+    # TenantSpec is declarative only: its stream must be byte-identical
+    # to calling sim.arrivals.arrival_times with the documented mapping.
+    from repro.sim.arrivals import arrival_times
+
+    spec = TenantSpec(
+        name="b", arrival="bursty", rate_per_s=50.0, burst_len=8, invocations=96
+    )
+    got = np.concatenate(list(spec.arrival_stream(RngStreams(7).stream("b"))))
+    want = np.concatenate(
+        list(
+            arrival_times(
+                "bursty",
+                RngStreams(7).stream("b"),
+                96,
+                1e9 / (50.0 * 8),  # epoch rate semantics: gap divides by burst_len
+                burst_len=8,
+                burst_intra_gap_ns=1,
+            )
+        )
+    )
+    assert np.array_equal(got, want)
+
+
+def test_tenant_bursty_stream_has_burst_shape():
+    spec = TenantSpec(
+        name="b", arrival="bursty", rate_per_s=20.0, burst_len=8, invocations=80
+    )
+    times = np.concatenate(list(spec.arrival_stream(RngStreams(3).stream("b"))))
+    gaps = np.diff(times)
+    # Within a burst arrivals sit 1 ns apart; between epochs the gap is
+    # exponential with mean 1e9/20 = 50 ms.  7 of every 8 gaps are intra.
+    assert int((gaps <= 8) .sum()) >= 60
+    assert int(gaps.max()) > 1_000_000
+
+
+def test_standard_mix_rescaling_preserves_shape():
+    base = standard_mix()
+    scaled = standard_mix(invocations=33_000, rate_scale=10.0, compute_scale=3.0)
+    assert [s.name for s in scaled] == [s.name for s in base]
+    # Largest-remainder split by the declared 150:120:60 weights.
+    assert [s.invocations for s in scaled] == [15_000, 12_000, 6_000]
+    for b, s in zip(base, scaled):
+        assert s.rate_per_s == pytest.approx(b.rate_per_s * 10.0)
+        assert s.compute_ns == b.compute_ns * 3
+        assert s.deadline_ns == b.effective_deadline_ns() * 3
+        assert s.arrival == b.arrival and s.workers == b.workers
+    # Scaling preserves the per-profile deadline/compute geometry.
+    for s in scaled:
+        assert s.effective_deadline_ns() == 2 * s.compute_ns
+
+
+def test_standard_mix_default_unchanged_and_validation():
+    assert standard_mix()[0].invocations == 150
+    with pytest.raises(ValueError):
+        standard_mix(rate_scale=0.0)
+    with pytest.raises(ValueError):
+        standard_mix(compute_scale=-1.0)
+    with pytest.raises(ValueError):
+        standard_mix(invocations=2)  # spreads below 1 per profile
 
 
 def test_standard_mix_profiles():
